@@ -1,0 +1,244 @@
+(* The lemur command-line tool.
+
+     lemur place   <spec.lemur>   compute and print a placement
+     lemur compile <spec.lemur>   run the meta-compiler, print artifacts
+     lemur run     <spec.lemur>   place, compile, simulate, report SLOs
+     lemur nfs                    list the NF vocabulary (Table 3)
+
+   Common options select the rack: --servers N, --cores-per-socket N,
+   --smartnic, --ofswitch, --no-pisa, and --strategy. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                       *)
+
+let spec_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc:"Chain specification file.")
+
+let servers =
+  Arg.(value & opt int 1 & info [ "servers" ] ~docv:"N" ~doc:"Number of NF servers in the rack.")
+
+let cores_per_socket =
+  Arg.(value & opt int 8 & info [ "cores-per-socket" ] ~docv:"N" ~doc:"Cores per CPU socket.")
+
+let smartnic =
+  Arg.(value & flag & info [ "smartnic" ] ~doc:"Attach an eBPF SmartNIC to server0.")
+
+let ofswitch =
+  Arg.(value & flag & info [ "ofswitch" ] ~doc:"Add an OpenFlow switch to the rack.")
+
+let no_pisa =
+  Arg.(value & flag & info [ "no-pisa" ] ~doc:"Use a dumb ToR (no PISA switch).")
+
+let metron =
+  Arg.(
+    value & flag
+    & info [ "metron" ]
+        ~doc:
+          "Enable Metron-style core tagging: the ToR steers packets directly \
+           to subgroup replica cores, bypassing the software demultiplexer.")
+
+let strategy =
+  let strategies =
+    List.map
+      (fun s -> (String.lowercase_ascii (Lemur_placer.Strategy.name s), s))
+      Lemur_placer.Strategy.all
+  in
+  Arg.(
+    value
+    & opt (enum strategies) Lemur_placer.Strategy.Lemur
+    & info [ "strategy" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Placement strategy: %s."
+             (String.concat ", " (List.map fst strategies))))
+
+let topology servers cores_per_socket smartnic ofswitch no_pisa =
+  if no_pisa then Lemur_topology.Topology.no_pisa_testbed ~ofswitch ()
+  else
+    Lemur_topology.Topology.testbed ~num_servers:servers ~cores_per_socket
+      ~smartnic ~ofswitch ()
+
+let deploy strategy topo metron file =
+  Lemur.Deployment.of_spec ~strategy ~topology:topo ~metron (read_file file)
+
+(* ------------------------------------------------------------------ *)
+
+let place_cmd =
+  let run strategy servers cps smartnic ofswitch no_pisa metron file =
+    let topo = topology servers cps smartnic ofswitch no_pisa in
+    match deploy strategy topo metron file with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok d ->
+        let p = d.Lemur.Deployment.placement in
+        List.iter
+          (fun r -> Format.printf "%a" Lemur_placer.Plan.pp r.Lemur_placer.Strategy.plan)
+          p.Lemur_placer.Strategy.chain_reports;
+        Format.printf
+          "predicted aggregate %a (marginal %a), %d switch stages, %d cores, %.3fs@."
+          Lemur_util.Units.pp_rate p.Lemur_placer.Strategy.total_rate
+          Lemur_util.Units.pp_rate p.Lemur_placer.Strategy.total_marginal
+          p.Lemur_placer.Strategy.stages_used p.Lemur_placer.Strategy.cores_used
+          p.Lemur_placer.Strategy.elapsed;
+        0
+  in
+  Cmd.v
+    (Cmd.info "place" ~doc:"Compute an SLO-satisfying placement for a chain specification.")
+    Term.(
+      const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
+      $ no_pisa $ metron $ spec_file)
+
+let compile_cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Print the complete generated sources.")
+  in
+  let run strategy servers cps smartnic ofswitch no_pisa metron full file =
+    let topo = topology servers cps smartnic ofswitch no_pisa in
+    match deploy strategy topo metron file with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok d ->
+        let art = d.Lemur.Deployment.artifact in
+        Format.printf "%a" Lemur_codegen.Codegen.pp_summary art;
+        if full then begin
+          (match art.Lemur_codegen.Codegen.p4 with
+          | Some p -> Printf.printf "\n%s\n" p.Lemur_codegen.P4gen.source
+          | None -> ());
+          List.iter
+            (fun b -> Printf.printf "\n%s\n" b.Lemur_codegen.Bessgen.script)
+            art.Lemur_codegen.Codegen.bess;
+          List.iter
+            (fun e -> Printf.printf "\n%s\n" e.Lemur_codegen.Ebpfgen.c_source)
+            art.Lemur_codegen.Codegen.ebpf;
+          match art.Lemur_codegen.Codegen.openflow with
+          | Some rules -> Format.printf "@.%a" Lemur_openflow.Openflow.pp rules
+          | None -> ()
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Generate the cross-platform coordination code.")
+    Term.(
+      const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
+      $ no_pisa $ metron $ full $ spec_file)
+
+let run_cmd =
+  let duration =
+    Arg.(
+      value & opt float 50.0
+      & info [ "duration" ] ~docv:"MS" ~doc:"Simulated measurement window (ms).")
+  in
+  let run strategy servers cps smartnic ofswitch no_pisa metron duration file =
+    let topo = topology servers cps smartnic ofswitch no_pisa in
+    match deploy strategy topo metron file with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok d ->
+        let result = Lemur.Deployment.measure ~duration:(Lemur_util.Units.ms duration) d in
+        Format.printf "%a" Lemur_dataplane.Sim.pp_result result;
+        let all_met = ref true in
+        List.iter
+          (fun (id, ok, measured, t_min) ->
+            if not ok then all_met := false;
+            Printf.printf "SLO %s: %s (measured %.2f Gbps, t_min %.2f Gbps)\n" id
+              (if ok then "met" else "VIOLATED")
+              (measured /. 1e9) (t_min /. 1e9))
+          (Lemur.Deployment.slo_report d result);
+        if !all_met then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Place, compile, and execute on the packet-level simulator.")
+    Term.(
+      const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
+      $ no_pisa $ metron $ duration $ spec_file)
+
+let failover_cmd =
+  let fail_arg =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "pisa" -> Ok Lemur.Failover.Pisa_failed
+      | "smartnic" -> Ok Lemur.Failover.Smartnic_failed
+      | "ofswitch" -> Ok Lemur.Failover.Ofswitch_failed
+      | other when String.length other > 6 && String.sub other 0 6 = "server" ->
+          Ok (Lemur.Failover.Server_failed other)
+      | other -> Error (`Msg (Printf.sprintf "unknown element %S" other))
+    in
+    let print ppf f = Lemur.Failover.pp_failure ppf f in
+    Arg.(
+      value
+      & opt_all (conv (parse, print)) [ Lemur.Failover.Pisa_failed ]
+      & info [ "fail" ] ~docv:"ELEMENT"
+          ~doc:"Element to fail: pisa, smartnic, ofswitch, or serverN. Repeatable.")
+  in
+  let run strategy servers cps smartnic ofswitch no_pisa metron failures file =
+    let topo = topology servers cps smartnic ofswitch no_pisa in
+    match deploy strategy topo metron file with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok d ->
+        let failed = ref false in
+        List.iter
+          (fun failure ->
+            Format.printf "@.== after %a ==@." Lemur.Failover.pp_failure failure;
+            match Lemur.Failover.react d failure with
+            | Error e ->
+                failed := true;
+                Printf.printf "no fallback: %s\n" e
+            | Ok d' ->
+                let p = d'.Lemur.Deployment.placement in
+                List.iter
+                  (fun r ->
+                    Format.printf "%a" Lemur_placer.Plan.pp r.Lemur_placer.Strategy.plan)
+                  p.Lemur_placer.Strategy.chain_reports;
+                Format.printf "fallback aggregate %a@." Lemur_util.Units.pp_rate
+                  p.Lemur_placer.Strategy.total_rate)
+          failures;
+        if !failed then 2 else 0
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Show the fallback placement after hardware failures (reactive mode).")
+    Term.(
+      const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
+      $ no_pisa $ metron $ fail_arg $ spec_file)
+
+let nfs_cmd =
+  let run () =
+    let t = Lemur_util.Texttable.create ~headers:[ "NF"; "Spec"; "Targets"; "Stateful"; "Replicable" ] in
+    List.iter
+      (fun kind ->
+        Lemur_util.Texttable.add_row t
+          [
+            Lemur_nf.Kind.name kind;
+            Lemur_nf.Kind.spec_summary kind;
+            String.concat ", "
+              (List.map Lemur_nf.Target.to_string (Lemur_nf.Kind.targets kind));
+            (if Lemur_nf.Kind.stateful kind then "yes" else "no");
+            (if Lemur_nf.Kind.replicable kind then "yes" else "no");
+          ])
+      Lemur_nf.Kind.all;
+    Lemur_util.Texttable.print t;
+    0
+  in
+  Cmd.v
+    (Cmd.info "nfs" ~doc:"List the NF vocabulary and platform support (Table 3).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "lemur" ~version:"1.0.0"
+      ~doc:"Meeting SLOs in cross-platform NFV (CoNEXT '20 reproduction)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ place_cmd; compile_cmd; run_cmd; failover_cmd; nfs_cmd ]))

@@ -1,0 +1,1 @@
+examples/isp_pop.ml: Format Lemur Lemur_dataplane Lemur_placer Lemur_slo Lemur_topology Lemur_util List Plan Printf Strategy

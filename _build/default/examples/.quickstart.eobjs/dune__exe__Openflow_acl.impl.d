@@ -1,0 +1,1 @@
+examples/openflow_acl.ml: Format Lemur Lemur_codegen Lemur_dataplane Lemur_openflow Lemur_placer Lemur_slo Lemur_topology Lemur_util List Plan Printf Strategy

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lemur Lemur_codegen Lemur_dataplane Lemur_placer Lemur_util List Printf String

@@ -1,0 +1,1 @@
+examples/smartnic_offload.ml: Format Lemur Lemur_codegen Lemur_dataplane Lemur_placer Lemur_topology Lemur_util List Plan Printf Strategy String

@@ -1,0 +1,1 @@
+examples/smartnic_offload.mli:

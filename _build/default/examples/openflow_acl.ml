@@ -1,0 +1,48 @@
+(* Fig 3c scenario: a PISA-less rack (commodity dumb ToR) where an
+   OpenFlow switch with a fixed table pipeline is the only accelerator.
+   Lemur offloads chain 3's ACL to the OpenFlow switch — steering with
+   the 12-bit VLAN vid instead of NSH — and frees the server cores the
+   ACL would have burned.
+
+     dune exec examples/openflow_acl.exe
+*)
+
+open Lemur_placer
+
+let run ~ofswitch =
+  let topology = Lemur_topology.Topology.no_pisa_testbed ~ofswitch () in
+  (* The evaluation-only "IPv4Fwd is P4-only" restriction makes no sense
+     without a PISA switch; use the real Table 3 matrix. *)
+  let config = { (Plan.default_config topology) with Plan.eval_capabilities = false } in
+  let g = Lemur.Chains.graph 3 in
+  let base = Lemur.Chains.base_rate config g in
+  let inputs =
+    [
+      {
+        Plan.id = "chain3";
+        graph = g;
+        slo =
+          Lemur_slo.Slo.make ~t_min:(0.5 *. base)
+            ~t_max:(Lemur_util.Units.gbps 100.0) ();
+      };
+    ]
+  in
+  Printf.printf "\n== chain 3 %s the OpenFlow switch ==\n"
+    (if ofswitch then "WITH" else "WITHOUT");
+  match Lemur.Deployment.deploy config inputs with
+  | Error e -> Printf.printf "infeasible: %s\n" e
+  | Ok d ->
+      let p = d.Lemur.Deployment.placement in
+      List.iter (fun r -> Format.printf "%a" Plan.pp r.Strategy.plan) p.Strategy.chain_reports;
+      (match d.Lemur.Deployment.artifact.Lemur_codegen.Codegen.openflow with
+      | Some rules -> Format.printf "%a" Lemur_openflow.Openflow.pp rules
+      | None -> print_endline "(no OpenFlow rules generated)");
+      let result = Lemur.Deployment.measure d in
+      Format.printf "%a" Lemur_dataplane.Sim.pp_result result
+
+let () =
+  run ~ofswitch:true;
+  run ~ofswitch:false;
+  print_endline
+    "\n(paper: OF offload sustains 7710 Mbps on this chain; stitching the ACL\n\
+    \ through the server reaches only 693 Mbps)"

@@ -1,0 +1,1 @@
+lib/bess/cost.ml: Lemur_util List

@@ -1,0 +1,1 @@
+lib/bess/cost.mli:

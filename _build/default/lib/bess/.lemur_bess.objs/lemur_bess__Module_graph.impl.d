@@ -1,0 +1,1 @@
+lib/bess/module_graph.ml: Hashtbl Lemur_nf List Printf String

@@ -1,0 +1,1 @@
+lib/bess/module_graph.mli: Lemur_nf

@@ -1,0 +1,1 @@
+lib/bess/scheduler.ml: Format Lemur_util List

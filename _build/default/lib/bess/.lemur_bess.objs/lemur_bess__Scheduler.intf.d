@@ -1,0 +1,1 @@
+lib/bess/scheduler.mli: Format

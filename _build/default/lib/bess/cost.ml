@@ -1,0 +1,14 @@
+let nsh_overhead_cycles = 220.0
+let multicore_lb_cycles = 180.0
+
+let subgroup_cycles ?(core_tagging = false) ~nf_cycles ~multi_core () =
+  let base = List.fold_left ( +. ) 0.0 nf_cycles in
+  base +. nsh_overhead_cycles
+  +. (if multi_core && not core_tagging then multicore_lb_cycles else 0.0)
+
+let subgroup_rate ?(core_tagging = false) ~clock_hz ~cores ~pkt_bytes ~nf_cycles () =
+  let cycles = subgroup_cycles ~core_tagging ~nf_cycles ~multi_core:(cores > 1) () in
+  if cycles <= 0.0 then infinity
+  else
+    let pps = float_of_int cores *. clock_hz /. cycles in
+    Lemur_util.Units.bps_of_pps ~pkt_bytes pps

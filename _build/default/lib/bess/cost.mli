@@ -1,0 +1,32 @@
+(** BESS-side cycle cost model (§5.3 "Meta-compiler Benefits and
+    Overhead").
+
+    The paper measures the framework overheads Lemur adds on a server:
+    ~220 cycles/packet for NSH encap+decap at a service path's head and
+    tail, and ~180 cycles/packet to load-balance packets across the
+    cores of a replicated subgroup. Run-to-completion inside a subgroup
+    is otherwise zero-copy and scheduler-free (§3.2), so a subgroup's
+    per-packet cost is simply the sum of its NFs' costs plus these
+    overheads. *)
+
+val nsh_overhead_cycles : float
+(** Encap + decap at subgroup boundaries (~220). *)
+
+val multicore_lb_cycles : float
+(** Demux load-balancing penalty when a subgroup runs on >1 core
+    (~180). *)
+
+val subgroup_cycles :
+  ?core_tagging:bool -> nf_cycles:float list -> multi_core:bool -> unit -> float
+(** Total per-packet cycles of a run-to-completion subgroup. Includes
+    {!nsh_overhead_cycles} (every server subgroup sits behind an NSH
+    decap and before an encap) and, when [multi_core], the
+    load-balancing penalty — unless [core_tagging] (the Metron-style
+    extension: the ToR tags each packet with its target core, so the
+    server-side demux does no balancing work). *)
+
+val subgroup_rate :
+  ?core_tagging:bool ->
+  clock_hz:float -> cores:int -> pkt_bytes:int -> nf_cycles:float list -> unit -> float
+(** Estimated bit/s of a subgroup given a core allocation:
+    [cores * clock / subgroup_cycles] packets/s (§3.2). *)

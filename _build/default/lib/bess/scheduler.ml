@@ -1,0 +1,68 @@
+type node =
+  | Leaf of { task : string; chain_id : string }
+  | Round_robin of node list
+  | Rate_limit of { bps : float; child : node }
+
+type core_tree = { core : int; socket : int; root : node }
+
+type t = { server : string; trees : core_tree list }
+
+let create ~server = { server; trees = [] }
+
+let assign t ~core ~socket ~task ~chain_id ?rate_limit () =
+  let leaf = Leaf { task; chain_id } in
+  let leaf =
+    match rate_limit with
+    | Some bps -> Rate_limit { bps; child = leaf }
+    | None -> leaf
+  in
+  match List.find_opt (fun tr -> tr.core = core) t.trees with
+  | None ->
+      { t with trees = t.trees @ [ { core; socket; root = Round_robin [ leaf ] } ] }
+  | Some tree ->
+      let root =
+        match tree.root with
+        | Round_robin children -> Round_robin (children @ [ leaf ])
+        | other -> Round_robin [ other; leaf ]
+      in
+      {
+        t with
+        trees =
+          List.map
+            (fun tr -> if tr.core = core then { tr with root } else tr)
+            t.trees;
+      }
+
+let cores_used t = List.length t.trees
+
+let rec node_leaves = function
+  | Leaf { task; _ } -> [ task ]
+  | Round_robin children -> List.concat_map node_leaves children
+  | Rate_limit { child; _ } -> node_leaves child
+
+let leaves t =
+  List.concat_map
+    (fun tr -> List.map (fun task -> (tr.core, task)) (node_leaves tr.root))
+    t.trees
+
+let tasks_on_core t core =
+  match List.find_opt (fun tr -> tr.core = core) t.trees with
+  | None -> []
+  | Some tr -> node_leaves tr.root
+
+let rec pp_node ppf = function
+  | Leaf { task; chain_id } -> Format.fprintf ppf "leaf:%s(%s)" task chain_id
+  | Round_robin children ->
+      Format.fprintf ppf "rr[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_node)
+        children
+  | Rate_limit { bps; child } ->
+      Format.fprintf ppf "limit(%a){%a}" Lemur_util.Units.pp_rate bps pp_node child
+
+let pp ppf t =
+  Format.fprintf ppf "scheduler on %s:@." t.server;
+  List.iter
+    (fun tr -> Format.fprintf ppf "  core %d: %a@." tr.core pp_node tr.root)
+    t.trees

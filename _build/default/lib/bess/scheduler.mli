@@ -1,0 +1,34 @@
+(** BESS scheduler tree (§A.1.3).
+
+    BESS separates the module graph from scheduling: each core owns a
+    tree of schedulable entities — policy interior nodes (round-robin,
+    rate limit) over leaf tasks (a subgroup instance pinned to that
+    core). The meta-compiler builds one tree per allocated core; when
+    Placer assigns several subgroups to one core they share a
+    round-robin node, and [t_max] enforcement attaches a rate limiter
+    above a chain's leaves. *)
+
+type node =
+  | Leaf of { task : string; chain_id : string }
+  | Round_robin of node list
+  | Rate_limit of { bps : float; child : node }
+
+type core_tree = { core : int; socket : int; root : node }
+
+type t = { server : string; trees : core_tree list }
+
+val create : server:string -> t
+val assign :
+  t -> core:int -> socket:int -> task:string -> chain_id:string ->
+  ?rate_limit:float -> unit -> t
+(** Add a leaf under [core]'s tree (creating the tree on first use);
+    multiple leaves on one core share the round-robin root. A
+    [rate_limit] wraps this leaf. *)
+
+val cores_used : t -> int
+val leaves : t -> (int * string) list
+(** (core, task) pairs. *)
+
+val tasks_on_core : t -> int -> string list
+
+val pp : Format.formatter -> t -> unit

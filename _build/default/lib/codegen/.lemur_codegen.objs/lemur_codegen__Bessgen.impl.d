@@ -1,0 +1,1 @@
+lib/codegen/bessgen.ml: Array Buffer Format Lemur_bess Lemur_nf Lemur_placer Lemur_platform Lemur_slo Lemur_spec Lemur_topology Lemur_util List Module_graph Plan Printf Scheduler Strategy String

@@ -1,0 +1,1 @@
+lib/codegen/bessgen.mli: Lemur_bess Lemur_placer

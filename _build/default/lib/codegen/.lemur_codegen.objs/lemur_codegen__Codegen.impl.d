@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Bessgen Ebpfgen Format Lemur_bess Lemur_nf Lemur_nsh Lemur_openflow Lemur_placer Lemur_spec Lemur_topology Lemur_util List Option P4gen Plan Spi Strategy

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Bessgen Ebpfgen Format Lemur_openflow Lemur_placer P4gen Spi

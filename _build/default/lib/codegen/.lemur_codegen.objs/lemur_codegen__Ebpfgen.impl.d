@@ -1,0 +1,1 @@
+lib/codegen/ebpfgen.ml: Buffer Format Lemur_ebpf Lemur_nf Lemur_placer Lemur_spec Lemur_topology List Plan Printf Strategy String

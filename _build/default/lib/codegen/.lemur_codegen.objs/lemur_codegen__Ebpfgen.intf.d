@@ -1,0 +1,1 @@
+lib/codegen/ebpfgen.mli: Lemur_nf Lemur_placer

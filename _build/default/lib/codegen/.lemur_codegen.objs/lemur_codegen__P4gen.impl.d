@@ -1,0 +1,1 @@
+lib/codegen/p4gen.ml: Array Buffer Format Hashtbl Kind Lemur_nf Lemur_p4 Lemur_placer Lemur_platform Lemur_spec Lemur_topology List Option Plan Printf Spi String

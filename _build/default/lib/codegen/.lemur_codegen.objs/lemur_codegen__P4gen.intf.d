@@ -1,0 +1,1 @@
+lib/codegen/p4gen.mli: Lemur_p4 Lemur_placer Spi

@@ -1,0 +1,1 @@
+lib/codegen/routing_check.ml: Array Codegen Lemur_nf Lemur_placer Lemur_spec List P4gen Plan Printf Scanf Spi Strategy String

@@ -1,0 +1,1 @@
+lib/codegen/routing_check.mli: Codegen Lemur_placer

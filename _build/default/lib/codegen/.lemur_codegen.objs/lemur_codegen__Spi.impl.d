@@ -1,0 +1,1 @@
+lib/codegen/spi.ml: Lemur_placer Lemur_spec List Plan String

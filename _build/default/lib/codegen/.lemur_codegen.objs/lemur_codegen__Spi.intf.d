@@ -1,0 +1,1 @@
+lib/codegen/spi.mli: Lemur_placer Lemur_spec

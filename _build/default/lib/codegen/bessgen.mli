@@ -1,0 +1,23 @@
+(** BESS pipeline + scheduler generation (§4.2 "Codegen for BESS packet
+    steering and NF scheduling", §A.1).
+
+    For each server used by the placement: build the module graph
+    (PortInc -> shared NSHdecap demux -> per-subgroup run-to-completion
+    instances [-> CoreLB when replicated] -> NSHencap -> PortOut), build
+    the per-core scheduler trees (round-robin shared cores, rate limits
+    enforcing t_max), and render the BESS configuration script. *)
+
+type server_artifact = {
+  server : string;
+  graph : Lemur_bess.Module_graph.t;
+  scheduler : Lemur_bess.Scheduler.t;
+  script : string;
+  generated_lines : int;
+}
+
+val generate :
+  Lemur_placer.Plan.config ->
+  Lemur_placer.Strategy.chain_report list ->
+  server_artifact list
+(** One artifact per server that hosts at least one subgroup. The module
+    graphs pass [Module_graph.validate]. *)

@@ -1,0 +1,22 @@
+(** eBPF/XDP C source generation for SmartNIC-placed NFs (§A.3).
+
+    Emits one XDP program per NIC-placed NF instance, with the loop
+    unrolling and inlining already applied (what actually gets compiled
+    to the Netronome target), and checks it against the NIC's verifier
+    model. *)
+
+type nic_artifact = {
+  nf_id : string;
+  kind : Lemur_nf.Kind.t;
+  c_source : string;
+  instruction_count : int;
+  generated_lines : int;
+}
+
+exception Rejected of string
+(** A NIC-placed NF failed the verifier model (Placer bug). *)
+
+val generate :
+  Lemur_placer.Plan.config ->
+  Lemur_placer.Strategy.chain_report list ->
+  nic_artifact list

@@ -1,0 +1,96 @@
+open Lemur_placer
+
+type entry = { e_spi : int; e_si : int; next_spi : int; next_si : int; port : string }
+
+(* Steering entries as emitted by P4gen:
+     /* entry */ set (spi=S, si=I) -> steer(S', I', port);
+   and ingress classification lines, which we skip. *)
+let parse_entries source =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      match
+        Scanf.sscanf line "/* entry */ set (spi=%d, si=%d) -> steer(%d, %d, %s@)"
+          (fun a b c d p -> { e_spi = a; e_si = b; next_spi = c; next_si = d; port = p })
+      with
+      | entry -> Some entry
+      | exception Scanf.Scan_failure _ | exception End_of_file
+      | exception Failure _ ->
+          None)
+    (String.split_on_char '\n' source)
+
+let expected_port loc =
+  match loc with
+  | Plan.Switch -> "pipeline"
+  | Plan.Server -> "server_port"
+  | Plan.Smartnic -> "nic_port"
+  | Plan.Ofswitch -> "ofswitch_port"
+
+let verify placement artifact =
+  match artifact.Codegen.p4 with
+  | None -> Ok () (* nothing on the switch: no steering table exists *)
+  | Some p4 ->
+      let entries = parse_entries p4.P4gen.source in
+      let lookup spi si =
+        List.find_opt (fun e -> e.e_spi = spi && e.e_si = si) entries
+      in
+      let check_path (report : Strategy.chain_report) path =
+        let nodes = path.Spi.nodes in
+        let len = List.length nodes in
+        let rec walk si = function
+          | [] -> (
+              (* all NFs done: the SI-0 entry must steer to egress *)
+              match lookup path.Spi.spi 0 with
+              | Some { port = "egress_port"; _ } -> Ok ()
+              | Some e ->
+                  Error
+                    (Printf.sprintf "spi %d: terminal entry steers to %s" path.Spi.spi
+                       e.port)
+              | None ->
+                  Error (Printf.sprintf "spi %d: missing egress entry" path.Spi.spi))
+          | node :: rest -> (
+              match lookup path.Spi.spi si with
+              | None ->
+                  Error
+                    (Printf.sprintf "spi %d: no steering entry at si %d" path.Spi.spi si)
+              | Some e ->
+                  let want = expected_port report.Strategy.plan.Plan.locs.(node) in
+                  if not (String.equal e.port want) then
+                    Error
+                      (Printf.sprintf
+                         "spi %d si %d: steered to %s, expected %s (NF %s)"
+                         path.Spi.spi si e.port want
+                         (Lemur_spec.Graph.node
+                            report.Strategy.plan.Plan.input.Plan.graph node)
+                           .Lemur_spec.Graph.instance
+                           .Lemur_nf.Instance.name)
+                  else if e.next_spi <> path.Spi.spi then
+                    Error
+                      (Printf.sprintf "spi %d si %d: jumps to spi %d" path.Spi.spi si
+                         e.next_spi)
+                  else if e.next_si <> si - 1 then
+                    Error
+                      (Printf.sprintf
+                         "spi %d si %d: SI advances to %d instead of %d"
+                         path.Spi.spi si e.next_si (si - 1))
+                  else walk (si - 1) rest)
+        in
+        walk len nodes
+      in
+      let rec check_all = function
+        | [] -> Ok ()
+        | report :: rest ->
+            let paths =
+              Spi.paths_of_chain artifact.Codegen.spi
+                report.Strategy.plan.Plan.input.Plan.id
+            in
+            let rec go = function
+              | [] -> check_all rest
+              | path :: more -> (
+                  match check_path report path with
+                  | Ok () -> go more
+                  | Error _ as e -> e)
+            in
+            go paths
+      in
+      check_all placement.Strategy.chain_reports

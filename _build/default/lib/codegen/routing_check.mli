@@ -1,0 +1,18 @@
+(** End-to-end validation of the generated chain routing (§4.1).
+
+    Parses the steering entries back out of the generated P4 program and
+    walks every service path the way the switch would: start from the
+    ingress classification, follow (SPI, SI) transitions entry by entry,
+    and check that the sequence of steering targets matches the chain's
+    placed NF sequence and terminates at the egress entry with SI = 0.
+
+    This closes the loop on the meta-compiler: the check consumes only
+    the emitted artifact text, so a codegen regression (wrong SI
+    arithmetic, a missing hop, a misdirected port) fails here even if
+    the placement data structures look right. *)
+
+val verify :
+  Lemur_placer.Strategy.placement -> Codegen.artifact -> (unit, string) result
+(** [Ok ()] when every service path of every chain routes correctly.
+    Placements with nothing on the switch (no P4 program, hence no
+    steering table) verify trivially. *)

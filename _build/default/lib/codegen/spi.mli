@@ -1,0 +1,29 @@
+(** Service-path (SPI/SI) assignment (§4.1).
+
+    Each linear entry-to-exit path of a chain is a service path and gets
+    a unique SPI across the whole deployment; the SI counts down from
+    the path length as NFs execute. To minimize encap/decap overhead the
+    meta-compiler only rewrites NSH at platform boundaries: a node's SI
+    is its position from the end of its path. *)
+
+type t
+
+val assign : Lemur_placer.Plan.plan list -> t
+(** SPIs are dense, deterministic, and ordered by (chain, path). *)
+
+type path_info = {
+  spi : int;
+  chain_id : string;
+  nodes : Lemur_spec.Graph.node_id list;  (** entry-to-exit order *)
+  fraction : float;
+}
+
+val paths : t -> path_info list
+
+val si_of : t -> spi:int -> Lemur_spec.Graph.node_id -> int option
+(** SI of a node on a given service path ([None] if not on the path).
+    SI = number of NFs left to execute including this one. *)
+
+val spi_count : t -> int
+
+val paths_of_chain : t -> string -> path_info list

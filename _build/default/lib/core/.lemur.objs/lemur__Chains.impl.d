@@ -1,0 +1,1 @@
+lib/core/chains.ml: Float Graph Lemur_nf Lemur_placer Lemur_platform Lemur_profiler Lemur_slo Lemur_spec Lemur_topology Lemur_util List Loader Plan Printf

@@ -1,0 +1,1 @@
+lib/core/chains.mli: Lemur_placer Lemur_slo Lemur_spec

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Format Lemur_codegen Lemur_dataplane Lemur_openflow Lemur_placer Lemur_slo Lemur_spec Lemur_topology List Plan Printf Strategy String

@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Format Lemur_codegen Lemur_dataplane Lemur_placer Lemur_profiler Lemur_topology

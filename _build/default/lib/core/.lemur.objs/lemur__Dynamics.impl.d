@@ -1,0 +1,1 @@
+lib/core/dynamics.ml: Deployment Lemur_placer Lemur_slo List Plan Printf Result Strategy String

@@ -1,0 +1,1 @@
+lib/core/dynamics.mli: Deployment Lemur_placer Lemur_slo

@@ -1,0 +1,1 @@
+lib/core/failover.ml: Deployment Dynamics Format Lemur_placer Lemur_platform Lemur_topology List Printf Result String Topology

@@ -1,0 +1,1 @@
+lib/core/failover.mli: Deployment Format Lemur_placer Lemur_topology

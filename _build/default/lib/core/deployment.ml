@@ -1,0 +1,83 @@
+open Lemur_placer
+
+type t = {
+  config : Plan.config;
+  placement : Strategy.placement;
+  artifact : Lemur_codegen.Codegen.artifact;
+}
+
+let deploy ?(strategy = Strategy.Lemur) config inputs =
+  match Strategy.place strategy config inputs with
+  | Strategy.Infeasible { reason } -> Error reason
+  | Strategy.Placed placement -> (
+      match Lemur_codegen.Codegen.compile config placement with
+      | artifact -> (
+          (* Validate the emitted steering before calling it deployed. *)
+          match Lemur_codegen.Routing_check.verify placement artifact with
+          | Ok () -> Ok { config; placement; artifact }
+          | Error msg -> Error ("generated routing is inconsistent: " ^ msg))
+      | exception Lemur_codegen.Ebpfgen.Rejected msg ->
+          Error ("eBPF verifier rejected: " ^ msg)
+      | exception Lemur_openflow.Openflow.Unplaceable msg ->
+          Error ("OpenFlow: " ^ msg))
+
+let of_spec ?strategy ?(topology = Lemur_topology.Topology.testbed ()) ?profiler
+    ?(metron = false) source =
+  match Lemur_spec.Loader.load source with
+  | exception Lemur_spec.Parser.Error { line; message } ->
+      Error (Printf.sprintf "parse error at line %d: %s" line message)
+  | exception Lemur_spec.Lexer.Error { line; col; message } ->
+      Error (Printf.sprintf "lexical error at %d:%d: %s" line col message)
+  | exception Lemur_spec.Graph.Invalid message -> Error message
+  | chains -> (
+      let base_config =
+        { (Plan.default_config topology) with Plan.metron_steering = metron }
+      in
+      let config =
+        match profiler with
+        | None -> base_config
+        | Some p -> { base_config with Plan.profiler = p }
+      in
+      match
+        List.map
+          (fun c ->
+            let slo =
+              match c.Lemur_spec.Loader.slo_args with
+              | None -> Lemur_slo.Slo.best_effort
+              | Some args -> Lemur_slo.Slo.of_params args
+            in
+            {
+              Plan.id = c.Lemur_spec.Loader.chain_name;
+              graph = c.Lemur_spec.Loader.graph;
+              slo;
+            })
+          chains
+      with
+      | exception Lemur_slo.Slo.Invalid message -> Error ("bad SLO: " ^ message)
+      | [] -> Error "specification declares no chains"
+      | inputs -> deploy ?strategy config inputs)
+
+let measure ?seed ?duration ?batch_pkts ?overdrive ?traffic t =
+  Lemur_dataplane.Sim.run ?seed ?duration ?batch_pkts ?overdrive ?traffic
+    ~config:t.config ~placement:t.placement ()
+
+let slo_report t result =
+  List.map
+    (fun r ->
+      let chain =
+        List.find
+          (fun c ->
+            String.equal c.Lemur_dataplane.Sim.chain_id
+              r.Strategy.plan.Plan.input.Plan.id)
+          result.Lemur_dataplane.Sim.chains
+      in
+      let t_min = r.Strategy.plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_min in
+      ( r.Strategy.plan.Plan.input.Plan.id,
+        chain.Lemur_dataplane.Sim.delivered >= t_min *. 0.98,
+        chain.Lemur_dataplane.Sim.delivered,
+        t_min ))
+    t.placement.Strategy.chain_reports
+
+let pp ppf t =
+  Format.fprintf ppf "%a" Strategy.pp_outcome (Strategy.Placed t.placement);
+  Format.fprintf ppf "%a" Lemur_codegen.Codegen.pp_summary t.artifact

@@ -1,0 +1,50 @@
+(** End-to-end Lemur: specification text in, placed + compiled +
+    measurable deployment out (Figure 1's full flow).
+
+    {[
+      let topo = Lemur_topology.Topology.testbed () in
+      let d =
+        Deployment.of_spec ~topology:topo
+          "chain web slo(tmin='1Gbps', tmax='100Gbps') = ACL -> Encrypt -> IPv4Fwd"
+        |> Result.get_ok
+      in
+      let measured = Deployment.measure d in
+      ...
+    ]} *)
+
+type t = {
+  config : Lemur_placer.Plan.config;
+  placement : Lemur_placer.Strategy.placement;
+  artifact : Lemur_codegen.Codegen.artifact;
+}
+
+val deploy :
+  ?strategy:Lemur_placer.Strategy.t ->
+  Lemur_placer.Plan.config ->
+  Lemur_placer.Plan.chain_input list ->
+  (t, string) result
+(** Place (default strategy: [Lemur]) and run the meta-compiler. *)
+
+val of_spec :
+  ?strategy:Lemur_placer.Strategy.t ->
+  ?topology:Lemur_topology.Topology.t ->
+  ?profiler:Lemur_profiler.Profiler.t ->
+  ?metron:bool ->
+  string ->
+  (t, string) result
+(** Parse a specification (chains with optional [slo(...)] clauses),
+    then {!deploy} on the given topology (default: the paper's
+    single-server testbed). [metron] enables the Metron-style
+    core-tagging extension. *)
+
+val measure :
+  ?seed:int -> ?duration:float -> ?batch_pkts:int -> ?overdrive:float ->
+  ?traffic:Lemur_dataplane.Sim.traffic -> t ->
+  Lemur_dataplane.Sim.result
+(** Execute the deployment on the packet-level simulator. *)
+
+val slo_report :
+  t -> Lemur_dataplane.Sim.result -> (string * bool * float * float) list
+(** Per chain: (id, t_min met, measured rate, t_min). *)
+
+val pp : Format.formatter -> t -> unit

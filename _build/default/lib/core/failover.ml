@@ -1,0 +1,82 @@
+open Lemur_topology
+
+type failure =
+  | Pisa_failed
+  | Smartnic_failed
+  | Ofswitch_failed
+  | Server_failed of string
+
+let pp_failure ppf = function
+  | Pisa_failed -> Format.pp_print_string ppf "PISA pipeline failed"
+  | Smartnic_failed -> Format.pp_print_string ppf "SmartNIC failed"
+  | Ofswitch_failed -> Format.pp_print_string ppf "OpenFlow switch failed"
+  | Server_failed s -> Format.fprintf ppf "server %s failed" s
+
+let degrade topo failure =
+  match failure with
+  | Pisa_failed ->
+      if topo.Topology.tor.Lemur_platform.Pisa.stages = 0 then
+        Error "the ToR pipeline is already unusable"
+      else
+        Ok
+          {
+            topo with
+            Topology.tor = { topo.Topology.tor with Lemur_platform.Pisa.stages = 0 };
+          }
+  | Smartnic_failed ->
+      if topo.Topology.smartnics = [] then Error "no SmartNIC in the rack"
+      else Ok { topo with Topology.smartnics = [] }
+  | Ofswitch_failed ->
+      if topo.Topology.ofswitch = None then Error "no OpenFlow switch in the rack"
+      else Ok { topo with Topology.ofswitch = None }
+  | Server_failed name ->
+      if not (List.exists (fun s -> String.equal s.Lemur_platform.Server.name name)
+                topo.Topology.servers)
+      then Error (Printf.sprintf "no server %S in the rack" name)
+      else
+        let rest =
+          List.filter
+            (fun s -> not (String.equal s.Lemur_platform.Server.name name))
+            topo.Topology.servers
+        in
+        if rest = [] then Error "the last server failed: no software fallback left"
+        else
+          Ok
+            {
+              topo with
+              Topology.servers = rest;
+              smartnics =
+                List.filter
+                  (fun n -> not (String.equal n.Lemur_platform.Smartnic.host name))
+                  topo.Topology.smartnics;
+            }
+
+let react (d : Deployment.t) failure =
+  match degrade d.Deployment.config.Lemur_placer.Plan.topology failure with
+  | Error e -> Error e
+  | Ok topo ->
+      let config = { d.Deployment.config with Lemur_placer.Plan.topology = topo } in
+      Deployment.deploy config (Dynamics.inputs_of d)
+
+let proactive config inputs failures =
+  match Deployment.deploy config inputs with
+  | Error e -> Error ("primary placement: " ^ e)
+  | Ok primary ->
+      let fallbacks =
+        List.fold_left
+          (fun acc failure ->
+            Result.bind acc (fun fbs ->
+                match degrade config.Lemur_placer.Plan.topology failure with
+                | Error e ->
+                    Error (Format.asprintf "%a: %s" pp_failure failure e)
+                | Ok topo -> (
+                    let cfg = { config with Lemur_placer.Plan.topology = topo } in
+                    match Deployment.deploy cfg inputs with
+                    | Ok d -> Ok (fbs @ [ (failure, d) ])
+                    | Error e ->
+                        Error
+                          (Format.asprintf "no fallback for %a: %s" pp_failure
+                             failure e))))
+          (Ok []) failures
+      in
+      Result.map (fun fbs -> (primary, fbs)) fallbacks

@@ -1,0 +1,33 @@
+(** Failure handling (§7 "Failures").
+
+    Lemur leverages on-path hardware; when an accelerator fails it
+    re-routes and re-places, falling back to server-based NFs when the
+    degraded rack lacks offload resources. The Placer can run
+    {e reactively} (after a failure) or {e proactively} (pre-reserving
+    spare capacity so a failover placement is known ahead of time). *)
+
+type failure =
+  | Pisa_failed  (** ToR keeps forwarding but its pipeline is unusable *)
+  | Smartnic_failed
+  | Ofswitch_failed
+  | Server_failed of string
+
+val degrade :
+  Lemur_topology.Topology.t -> failure -> (Lemur_topology.Topology.t, string) result
+(** The rack after the failure. [Error] when the failed element is not
+    present, or the last server fails (nothing left to run software NFs). *)
+
+val react : Deployment.t -> failure -> (Deployment.t, string) result
+(** Reactive failover: re-place the deployment's chains on the degraded
+    rack. [Error] if no feasible fallback exists (e.g. an SLO that only
+    the accelerator could satisfy). *)
+
+val proactive :
+  Lemur_placer.Plan.config ->
+  Lemur_placer.Plan.chain_input list ->
+  failure list ->
+  (Deployment.t * (failure * Deployment.t) list, string) result
+(** Proactive planning: the primary deployment plus a precomputed
+    fallback for each anticipated failure. All must be feasible. *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,1 @@
+lib/dataplane/sim.ml: Array Float Format Hashtbl Heap Lemur_bess Lemur_nf Lemur_placer Lemur_platform Lemur_slo Lemur_spec Lemur_topology Lemur_util List Listx Option Plan Prng Stats Strategy Units

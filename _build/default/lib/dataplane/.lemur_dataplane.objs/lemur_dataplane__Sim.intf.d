@@ -1,0 +1,1 @@
+lib/dataplane/sim.mli: Format Lemur_placer

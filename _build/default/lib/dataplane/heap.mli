@@ -1,0 +1,11 @@
+(** Binary min-heap keyed by time — the simulator's event queue. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Smallest key first; ties in insertion order are not guaranteed. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,498 @@
+open Lemur_placer
+open Lemur_util
+
+type chain_result = {
+  chain_id : string;
+  offered : float;
+  delivered : float;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  max_latency : float;
+  batches_dropped : int;
+  batches_delivered : int;
+}
+
+type result = {
+  chains : chain_result list;
+  aggregate_throughput : float;
+  duration : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Static route structure *)
+
+type visit =
+  | Server_visit of {
+      server : string;
+      nic_nodes : Lemur_spec.Graph.node_id list;  (** inline SmartNIC NFs *)
+      subgroups : int list;  (** indices into the report's subgroups *)
+    }
+  | Of_visit
+
+type route = { fraction : float; visits : visit list }
+
+type chain_rt = {
+  report : Strategy.chain_report;
+  routes : route list;
+  offered_rate : float;
+  batch_interval : float;
+  (* token bucket for t_max *)
+  mutable tokens : float;
+  mutable last_refill : float;
+  (* accounting *)
+  mutable delivered_bits : float;
+  mutable dropped : int;
+  mutable delivered_batches : int;
+  mutable latency_sum : float;
+  mutable latency_max : float;
+  mutable latency_samples : float list;
+}
+
+(* Mutable busy-until resources. *)
+type resource = { mutable busy_until : float }
+
+type core = { res : resource; socket : int }
+
+type server_rt = {
+  demux : core;
+  link_in : resource;  (** ToR -> server direction *)
+  link_out : resource;
+  capacity : float;
+  clock : float;
+  nic_socket : int;
+  (* (chain_id, sg_index) -> instance cores *)
+  sg_cores : (string * int, core list) Hashtbl.t;
+}
+
+let build_routes report =
+  let plan = report.Strategy.plan in
+  let graph = plan.Plan.input.Plan.graph in
+  let sg_index_of_node =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i sg -> List.iter (fun n -> Hashtbl.replace tbl n i) sg.Plan.sg_nodes)
+      plan.Plan.subgroups;
+    tbl
+  in
+  let server_of_sg i =
+    let sg = List.nth plan.Plan.subgroups i in
+    List.assoc sg.Plan.sg_segment report.Strategy.seg_server
+  in
+  List.map
+    (fun path ->
+      let hop_class id =
+        match plan.Plan.locs.(id) with
+        | Plan.Switch -> `Sw
+        | Plan.Server | Plan.Smartnic -> `Srv
+        | Plan.Ofswitch -> `Of
+      in
+      let groups =
+        Listx.group_consecutive
+          (fun a b -> hop_class a = hop_class b)
+          path.Lemur_spec.Graph.path_nodes
+      in
+      (* merge adjacent Srv-class groups (Server next to Smartnic) *)
+      let rec merge = function
+        | a :: b :: rest
+          when hop_class (List.hd a) <> `Sw
+               && hop_class (List.hd b) <> `Sw
+               && hop_class (List.hd a) <> `Of
+               && hop_class (List.hd b) <> `Of ->
+            merge ((a @ b) :: rest)
+        | g :: rest -> g :: merge rest
+        | [] -> []
+      in
+      let groups = merge groups in
+      let visits =
+        List.filter_map
+          (fun group ->
+            match hop_class (List.hd group) with
+            | `Sw -> None
+            | `Of -> Some Of_visit
+            | `Srv ->
+                let nic_nodes =
+                  List.filter (fun id -> plan.Plan.locs.(id) = Plan.Smartnic) group
+                in
+                let subgroups =
+                  List.filter_map (Hashtbl.find_opt sg_index_of_node) group
+                  |> Listx.uniq ( = )
+                in
+                let server =
+                  match subgroups with
+                  | i :: _ -> server_of_sg i
+                  | [] -> "server0" (* NIC-only visit: the NIC's host *)
+                in
+                Some (Server_visit { server; nic_nodes; subgroups }))
+          groups
+      in
+      { fraction = path.Lemur_spec.Graph.fraction; visits })
+    (Lemur_spec.Graph.linearize graph)
+
+(* ------------------------------------------------------------------ *)
+
+type event = Generate of int | Step of batch
+
+and batch = {
+  chain : int;
+  t_ingress : float;
+  bits : float;
+  pkts : int;
+  flow : int;  (* 5-tuple hash: keeps replica choice flow-consistent *)
+  mutable remaining : visit list;
+}
+
+let link_queue_limit = Units.ms 1.0
+let core_queue_limit = Units.ms 2.0
+let wire_delay = 350.0 (* ns one way *)
+let demux_cycles_per_pkt = 150.0
+
+type traffic = Long_lived | Short_flows
+
+let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
+    ?(batch_pkts = 32) ?(overdrive = 1.08) ?(traffic = Long_lived) ~config
+    ~placement () =
+  let prng = Prng.create ~seed in
+  let topo = config.Plan.topology in
+  let tor_latency = topo.Lemur_topology.Topology.tor.Lemur_platform.Pisa.latency in
+  let pkt_bits = Units.bytes_to_bits config.Plan.pkt_bytes in
+  let batch_bits = pkt_bits *. float_of_int batch_pkts in
+  (* OpenFlow switch contention: one shared full-duplex link. *)
+  let of_link = { busy_until = 0.0 } in
+  (* Per-server runtime state, with the same core-assignment order as the
+     BESS code generator (core 0 = demux; NF cores from 1). *)
+  let servers = Hashtbl.create 4 in
+  List.iter
+    (fun s ->
+      let name = s.Lemur_platform.Server.name in
+      Hashtbl.replace servers name
+        {
+          demux = { res = { busy_until = 0.0 }; socket = 0 };
+          link_in = { busy_until = 0.0 };
+          link_out = { busy_until = 0.0 };
+          capacity = Lemur_platform.Server.nic_capacity s;
+          clock = s.Lemur_platform.Server.clock_hz;
+          nic_socket = 0;
+          sg_cores = Hashtbl.create 8;
+        })
+    topo.Lemur_topology.Topology.servers;
+  let next_core = Hashtbl.create 4 in
+  List.iter
+    (fun report ->
+      let chain_id = report.Strategy.plan.Plan.input.Plan.id in
+      List.iteri
+        (fun sg_index sg ->
+          let server =
+            List.assoc sg.Plan.sg_segment report.Strategy.seg_server
+          in
+          let srv = Hashtbl.find servers server in
+          let s_decl = Lemur_topology.Topology.find_server topo server in
+          let cores =
+            List.init report.Strategy.cores.(sg_index) (fun _ ->
+                let c = Option.value (Hashtbl.find_opt next_core server) ~default:1 in
+                Hashtbl.replace next_core server (c + 1);
+                {
+                  res = { busy_until = 0.0 };
+                  socket = c / s_decl.Lemur_platform.Server.cores_per_socket;
+                })
+          in
+          Hashtbl.replace srv.sg_cores (chain_id, sg_index) cores)
+        report.Strategy.plan.Plan.subgroups)
+    placement.Strategy.chain_reports;
+  let chains =
+    Array.of_list
+      (List.map
+         (fun report ->
+           let slo = report.Strategy.plan.Plan.input.Plan.slo in
+           (* offered load cannot exceed the chain's ToR ingress port *)
+           let port_cap =
+             topo.Lemur_topology.Topology.tor.Lemur_platform.Pisa.port_capacity
+           in
+           let offered =
+             Float.min
+               (Float.min (report.Strategy.rate *. overdrive) slo.Lemur_slo.Slo.t_max)
+               port_cap
+           in
+           {
+             report;
+             routes = build_routes report;
+             offered_rate = offered;
+             batch_interval =
+               (if offered <= 0.0 then infinity else batch_bits /. offered *. 1e9);
+             tokens = batch_bits *. 4.0;
+             last_refill = 0.0;
+             delivered_bits = 0.0;
+             dropped = 0;
+             delivered_batches = 0;
+             latency_sum = 0.0;
+             latency_max = 0.0;
+             latency_samples = [];
+           })
+         placement.Strategy.chain_reports)
+  in
+  let events = Heap.create () in
+  let horizon = warmup +. duration in
+  Array.iteri
+    (fun i c ->
+      if c.batch_interval < infinity then
+        Heap.push events (Prng.float prng c.batch_interval) (Generate i))
+    chains;
+  (* sampled per-packet cycles of one NF on a given socket *)
+  let sample_cycles node socket nic_socket =
+    let instance = node.Lemur_spec.Graph.instance in
+    let numa =
+      if socket = nic_socket then Lemur_nf.Datasheet.Same else Lemur_nf.Datasheet.Diff
+    in
+    let size =
+      match Lemur_nf.Instance.state_size instance with
+      | Some s -> s
+      | None ->
+          Option.value
+            (Lemur_nf.Datasheet.reference_size instance.Lemur_nf.Instance.kind)
+            ~default:0
+    in
+    let cost =
+      Lemur_nf.Datasheet.cycle_cost_sized instance.Lemur_nf.Instance.kind numa ~size
+    in
+    (* Short-lived flow churn stresses stateful NFs: cold tables and
+       entry allocation raise both the mean and the tail (footnote 6's
+       worst-case traffic; mirrors the profiler's model). *)
+    let cost =
+      if traffic = Short_flows && Lemur_nf.Kind.stateful instance.Lemur_nf.Instance.kind
+      then
+        {
+          Lemur_nf.Datasheet.mean = cost.Lemur_nf.Datasheet.mean *. 1.012;
+          min = cost.Lemur_nf.Datasheet.min;
+          max = cost.Lemur_nf.Datasheet.max *. 1.018;
+        }
+      else cost
+    in
+    let sigma = (cost.Lemur_nf.Datasheet.max -. cost.Lemur_nf.Datasheet.min) /. 5.0 in
+    Prng.truncated_gaussian prng ~mu:cost.Lemur_nf.Datasheet.mean ~sigma
+      ~lo:cost.Lemur_nf.Datasheet.min ~hi:cost.Lemur_nf.Datasheet.max
+  in
+  (* Claim a resource: returns service start time, or None on queue
+     overflow. *)
+  let claim res now limit =
+    let start = Float.max now res.busy_until in
+    if start -. now > limit then None else Some start
+  in
+  let deliver c batch now =
+    if now > warmup && batch.t_ingress > warmup then begin
+      c.delivered_bits <- c.delivered_bits +. batch.bits;
+      c.delivered_batches <- c.delivered_batches + 1;
+      let lat = now -. batch.t_ingress in
+      c.latency_sum <- c.latency_sum +. lat;
+      c.latency_samples <- lat :: c.latency_samples;
+      if lat > c.latency_max then c.latency_max <- lat
+    end
+  in
+
+  let drop c = c.dropped <- c.dropped + 1 in
+  let rec step batch now =
+    let c = chains.(batch.chain) in
+    match batch.remaining with
+    | [] -> deliver c batch now
+    | Of_visit :: rest -> (
+        match topo.Lemur_topology.Topology.ofswitch with
+        | None ->
+            batch.remaining <- rest;
+            step batch now
+        | Some sw -> (
+            let tx = batch.bits /. sw.Lemur_platform.Ofswitch.capacity *. 1e9 in
+            match claim of_link (now +. tor_latency) link_queue_limit with
+            | None -> drop c
+            | Some start ->
+                of_link.busy_until <- start +. tx;
+                let t =
+                  start +. tx +. (2.0 *. wire_delay)
+                  +. sw.Lemur_platform.Ofswitch.latency
+                in
+                batch.remaining <- rest;
+                Heap.push events t (Step batch)))
+    | Server_visit { server; nic_nodes; subgroups } :: rest -> (
+        let srv = Hashtbl.find servers server in
+        (* ToR then downlink serialization *)
+        let t0 = now +. tor_latency in
+        let tx = batch.bits /. srv.capacity *. 1e9 in
+        match claim srv.link_in t0 link_queue_limit with
+        | None -> drop c
+        | Some start ->
+            srv.link_in.busy_until <- start +. tx;
+            let t1 = start +. tx +. wire_delay in
+            (* inline SmartNIC processing on ingress *)
+            let t1 =
+              List.fold_left
+                (fun t node_id ->
+                  let node =
+                    Lemur_spec.Graph.node c.report.Strategy.plan.Plan.input.Plan.graph
+                      node_id
+                  in
+                  let kind = node.Lemur_spec.Graph.instance.Lemur_nf.Instance.kind in
+                  let cy = sample_cycles node srv.nic_socket srv.nic_socket in
+                  let speed = Lemur_nf.Datasheet.ebpf_speedup kind in
+                  t
+                  +. (cy *. float_of_int batch.pkts /. (srv.clock *. speed) *. 1e9))
+                t1 nic_nodes
+            in
+            (* demux + subgroup cores, sequentially *)
+            let finish =
+              if subgroups = [] then Some t1
+              else begin
+                let demux_service =
+                  if config.Plan.metron_steering then 0.0
+                  else demux_cycles_per_pkt *. float_of_int batch.pkts /. srv.clock *. 1e9
+                in
+                match
+                  if config.Plan.metron_steering then Some t1
+                  else claim srv.demux.res t1 core_queue_limit
+                with
+                | None -> None
+                | Some dstart ->
+                    if not config.Plan.metron_steering then
+                      srv.demux.res.busy_until <- dstart +. demux_service;
+                    let t = ref (dstart +. demux_service) in
+                    let ok = ref true in
+                    List.iter
+                      (fun sg_index ->
+                        if !ok then begin
+                          let chain_id = c.report.Strategy.plan.Plan.input.Plan.id in
+                          let cores =
+                            Hashtbl.find srv.sg_cores (chain_id, sg_index)
+                          in
+                          (* HashLB: flow-consistent replica choice *)
+                          let core =
+                            List.nth cores (batch.flow mod List.length cores)
+                          in
+                          let sg =
+                            List.nth c.report.Strategy.plan.Plan.subgroups sg_index
+                          in
+                          let nf_cycles =
+                            Listx.sum_by
+                              (fun node_id ->
+                                sample_cycles
+                                  (Lemur_spec.Graph.node
+                                     c.report.Strategy.plan.Plan.input.Plan.graph
+                                     node_id)
+                                  core.socket srv.nic_socket)
+                              sg.Plan.sg_nodes
+                          in
+                          let total =
+                            Lemur_bess.Cost.subgroup_cycles
+                              ~core_tagging:config.Plan.metron_steering
+                              ~nf_cycles:[ nf_cycles ]
+                              ~multi_core:(List.length cores > 1) ()
+                          in
+                          let service =
+                            total *. float_of_int batch.pkts /. srv.clock *. 1e9
+                          in
+                          match claim core.res !t core_queue_limit with
+                          | None -> ok := false
+                          | Some cstart ->
+                              core.res.busy_until <- cstart +. service;
+                              t := cstart +. service
+                        end)
+                      subgroups;
+                    if !ok then Some !t else None
+              end
+            in
+            (match finish with
+            | None -> drop c
+            | Some t2 ->
+                (* Uplink back to the ToR. The cores pace TX (the rate
+                   LP keeps their aggregate under the link rate), so the
+                   TX queue only absorbs transient bursts — lossless. *)
+                let ustart = Float.max t2 srv.link_out.busy_until in
+                srv.link_out.busy_until <- ustart +. tx;
+                batch.remaining <- rest;
+                Heap.push events (ustart +. tx +. wire_delay) (Step batch)))
+  in
+  let generate i now =
+    let c = chains.(i) in
+    (* refill the t_max token bucket *)
+    let t_max = c.report.Strategy.plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_max in
+    if t_max < infinity then begin
+      c.tokens <-
+        Float.min (batch_bits *. 8.0)
+          (c.tokens +. ((now -. c.last_refill) /. 1e9 *. t_max));
+      c.last_refill <- now
+    end;
+    if t_max = infinity || c.tokens >= batch_bits then begin
+      if t_max < infinity then c.tokens <- c.tokens -. batch_bits;
+      (* pick a service path *)
+      let r = Prng.float prng 1.0 in
+      let rec pick acc = function
+        | [ route ] -> route
+        | route :: rest ->
+            if r < acc +. route.fraction then route else pick (acc +. route.fraction) rest
+        | [] -> assert false
+      in
+      let route = pick 0.0 c.routes in
+      (* a few dozen concurrent flows per chain (footnote 6) *)
+      let batch =
+        {
+          chain = i;
+          t_ingress = now;
+          bits = batch_bits;
+          pkts = batch_pkts;
+          flow = Prng.int prng 40;
+          remaining = route.visits;
+        }
+      in
+      (* ingress ToR traversal then walk the route *)
+      step batch (now +. tor_latency)
+    end
+    else drop c;
+    let next = now +. c.batch_interval in
+    if next < horizon then Heap.push events next (Generate i)
+  in
+  let rec loop () =
+    match Heap.pop events with
+    | None -> ()
+    | Some (now, ev) ->
+        if now <= horizon +. Units.ms 5.0 then begin
+          (match ev with Generate i -> generate i now | Step b -> step b now);
+          loop ()
+        end
+        else loop ()
+  in
+  loop ();
+  let chain_results =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           {
+             chain_id = c.report.Strategy.plan.Plan.input.Plan.id;
+             offered = c.offered_rate;
+             delivered = c.delivered_bits /. duration *. 1e9;
+             mean_latency =
+               (if c.delivered_batches = 0 then 0.0
+                else c.latency_sum /. float_of_int c.delivered_batches);
+             p50_latency =
+               (if c.latency_samples = [] then 0.0
+                else Stats.percentile 50.0 c.latency_samples);
+             p99_latency =
+               (if c.latency_samples = [] then 0.0
+                else Stats.percentile 99.0 c.latency_samples);
+             max_latency = c.latency_max;
+             batches_dropped = c.dropped;
+             batches_delivered = c.delivered_batches;
+           })
+         chains)
+  in
+  {
+    chains = chain_results;
+    aggregate_throughput = Listx.sum_by (fun r -> r.delivered) chain_results;
+    duration;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "aggregate measured: %a@." Units.pp_rate r.aggregate_throughput;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %-8s offered %a delivered %a latency %.1f us (p99 %.1f, max %.1f) drops %d@."
+        c.chain_id Units.pp_rate c.offered Units.pp_rate c.delivered
+        (Units.to_us c.mean_latency) (Units.to_us c.p99_latency)
+        (Units.to_us c.max_latency) c.batches_dropped)
+    r.chains

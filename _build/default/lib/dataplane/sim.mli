@@ -1,0 +1,57 @@
+(** Discrete-event packet-level execution of a placement — the
+    reproduction's stand-in for the paper's testbed runs (§5.1
+    "Metrics": place, generate code, execute, measure).
+
+    The simulator executes batches of packets along each chain's service
+    paths: through the ToR (line rate, fixed traversal latency), over
+    the shared server links (serialization + bounded queueing), through
+    the demux core and the run-to-completion subgroup cores (per-batch
+    NF cycle costs sampled from the {e ground-truth} datasheet
+    distributions, with the NUMA penalty decided by the core's socket),
+    through the SmartNIC and OpenFlow switch where placed. Token buckets
+    enforce each chain's [t_max].
+
+    Because the Placer predicts with worst-case profiled cycles while
+    execution samples the true distribution, measured throughput
+    typically lands at or slightly above the prediction — the §5.2
+    "predictions are conservative" effect. *)
+
+type chain_result = {
+  chain_id : string;
+  offered : float;  (** bit/s offered by the generator *)
+  delivered : float;  (** bit/s measured at egress *)
+  mean_latency : float;  (** ns, ingress to egress *)
+  p50_latency : float;
+  p99_latency : float;
+  max_latency : float;
+  batches_dropped : int;
+  batches_delivered : int;
+}
+
+type result = {
+  chains : chain_result list;
+  aggregate_throughput : float;
+  duration : float;  (** measured window, ns *)
+}
+
+type traffic =
+  | Long_lived  (** a few dozen long-lived flows (footnote 6) *)
+  | Short_flows  (** flow churn: 10k new flows/s, 1 s lifetimes *)
+
+val run :
+  ?seed:int ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?batch_pkts:int ->
+  ?overdrive:float ->
+  ?traffic:traffic ->
+  config:Lemur_placer.Plan.config ->
+  placement:Lemur_placer.Strategy.placement ->
+  unit ->
+  result
+(** Defaults: seed 7, duration 50 ms, warmup 5 ms, 32-packet batches,
+    overdrive 1.08 (each chain is offered [overdrive x] its LP-allocated
+    rate, capped at [t_max], to expose whether the placement actually
+    sustains its allocation). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/ebpf/ebpf.ml: Array Format Lemur_platform Lemur_util List Printf String

@@ -1,0 +1,1 @@
+lib/ebpf/ebpf.mli: Format Lemur_platform

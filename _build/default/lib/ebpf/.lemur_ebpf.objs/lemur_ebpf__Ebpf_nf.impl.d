@@ -1,0 +1,1 @@
+lib/ebpf/ebpf_nf.ml: Ebpf Kind Lemur_nf List Printf Target

@@ -1,0 +1,1 @@
+lib/ebpf/ebpf_nf.mli: Ebpf Lemur_nf Lemur_platform

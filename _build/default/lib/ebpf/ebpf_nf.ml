@@ -1,0 +1,134 @@
+open Lemur_nf
+
+let supports kind = List.mem Target.Ebpf (Kind.targets kind)
+
+let require kind =
+  if not (supports kind) then
+    invalid_arg (Printf.sprintf "Ebpf_nf: %s has no eBPF implementation" (Kind.name kind))
+
+let alu n = List.init n (fun i -> Ebpf.Alu (Printf.sprintf "op%d" i))
+
+let parse_headers =
+  (* bounds-checked loads of eth/ip/l4 headers from packet memory *)
+  [
+    Ebpf.Load { stack_bytes = 0 }; Ebpf.Branch { skip = 1 };
+    Ebpf.Load { stack_bytes = 0 }; Ebpf.Branch { skip = 1 };
+    Ebpf.Load { stack_bytes = 0 };
+  ]
+
+(* ChaCha20: 10 double rounds of 8 quarter rounds per 64-byte block;
+   blocks pipelined 4 at a time over the payload (§A.3: 64-bit
+   optimized, loops unrolled, functions inlined). *)
+let fast_encrypt =
+  let quarter_round = { Ebpf.fname = "quarter_round"; body = alu 12 } in
+  let double_round =
+    {
+      Ebpf.fname = "double_round";
+      body = List.concat (List.init 8 (fun _ -> [ Ebpf.Call "quarter_round" ])) @ alu 1;
+    }
+  in
+  let block_body =
+    alu 2
+    @ [ Ebpf.Loop { iterations = 10; body = [ Ebpf.Call "double_round" ] } ]
+    @ alu 3
+  in
+  {
+    Ebpf.name = "fast_encrypt";
+    main =
+      parse_headers
+      @ [ Ebpf.Store { stack_bytes = 64 } (* key + state block *) ]
+      @ [ Ebpf.Loop { iterations = 4; body = block_body } ]
+      @ alu 2 @ [ Ebpf.Exit ];
+    functions = [ quarter_round; double_round ];
+  }
+
+let tunnel =
+  {
+    Ebpf.name = "tunnel";
+    main =
+      parse_headers
+      @ [ Ebpf.Store { stack_bytes = 4 } ]
+      @ alu 6
+      @ [ Ebpf.Store { stack_bytes = 0 } (* adjust head, write tag *) ]
+      @ alu 2 @ [ Ebpf.Exit ];
+    functions = [];
+  }
+
+let detunnel =
+  {
+    Ebpf.name = "detunnel";
+    main =
+      parse_headers
+      @ [ Ebpf.Load { stack_bytes = 4 } ]
+      @ alu 5
+      @ [ Ebpf.Store { stack_bytes = 0 } ]
+      @ alu 1 @ [ Ebpf.Exit ];
+    functions = [];
+  }
+
+let ipv4_fwd =
+  let lookup = { Ebpf.fname = "lpm_lookup"; body = alu 14 @ [ Ebpf.Load { stack_bytes = 8 } ] } in
+  {
+    Ebpf.name = "ipv4_fwd";
+    main =
+      parse_headers
+      @ [ Ebpf.Call "lpm_lookup" ]
+      @ alu 4
+      @ [ Ebpf.Store { stack_bytes = 0 }; Ebpf.Exit ];
+    functions = [ lookup ];
+  }
+
+let lb =
+  let hash = { Ebpf.fname = "flow_hash"; body = alu 18 } in
+  {
+    Ebpf.name = "lb";
+    main =
+      parse_headers
+      @ [ Ebpf.Store { stack_bytes = 16 } (* 5-tuple scratch *) ]
+      @ [ Ebpf.Call "flow_hash" ]
+      @ [ Ebpf.Load { stack_bytes = 0 } (* backend map *) ]
+      @ alu 8
+      @ [ Ebpf.Store { stack_bytes = 0 }; Ebpf.Exit ];
+    functions = [ hash ];
+  }
+
+let bpf_match =
+  {
+    Ebpf.name = "bpf_match";
+    main =
+      parse_headers
+      @ [ Ebpf.Store { stack_bytes = 16 } ]
+      @ [ Ebpf.Loop { iterations = 8; body = alu 2 @ [ Ebpf.Branch { skip = 1 } ] } ]
+      @ alu 3 @ [ Ebpf.Exit ];
+    functions = [];
+  }
+
+let acl =
+  {
+    Ebpf.name = "acl";
+    main =
+      parse_headers
+      @ [ Ebpf.Store { stack_bytes = 8 } ]
+      @ [ Ebpf.Loop { iterations = 16; body = alu 2 @ [ Ebpf.Branch { skip = 1 } ] } ]
+      @ alu 2
+      @ [ Ebpf.Branch { skip = 1 }; Ebpf.Exit ];
+    functions = [];
+  }
+
+let source kind =
+  require kind;
+  match kind with
+  | Kind.Fast_encrypt -> fast_encrypt
+  | Kind.Tunnel -> tunnel
+  | Kind.Detunnel -> detunnel
+  | Kind.Ipv4_fwd -> ipv4_fwd
+  | Kind.Lb -> lb
+  | Kind.Bpf -> bpf_match
+  | Kind.Acl -> acl
+  | Kind.Encrypt | Kind.Decrypt | Kind.Dedup | Kind.Limiter | Kind.Url_filter
+  | Kind.Monitor | Kind.Nat ->
+      assert false
+
+let lowered kind = Ebpf.lower (source kind)
+
+let loads_on nic kind = Ebpf.Verifier.loads nic (lowered kind)

@@ -1,0 +1,16 @@
+(** eBPF implementations of the offloadable NFs (Table 3's eBPF column),
+    written structurally (loops + helper functions) and lowered per §A.3
+    (inline all calls, unroll all loops) so they pass the SmartNIC
+    verifier. *)
+
+val supports : Lemur_nf.Kind.t -> bool
+
+val source : Lemur_nf.Kind.t -> Ebpf.program
+(** The as-written program, with loops and calls.
+    @raise Invalid_argument when not {!supports}. *)
+
+val lowered : Lemur_nf.Kind.t -> Ebpf.program
+(** [Ebpf.lower (source kind)]: what actually loads on the NIC. *)
+
+val loads_on : Lemur_platform.Smartnic.t -> Lemur_nf.Kind.t -> bool
+(** Whether the lowered NF passes the NIC's verifier. *)

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Array Float Lemur_util List Simplex

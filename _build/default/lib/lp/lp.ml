@@ -1,0 +1,151 @@
+type var = int
+
+type sense = [ `Le | `Ge | `Eq ]
+
+type outcome =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+type var_info = {
+  name : string;
+  lb : float;
+  ub : float;
+  integer : bool;
+}
+
+type row = { terms : (float * var) list; sense : sense; rhs : float }
+
+type t = {
+  mutable vars : var_info list; (* reversed *)
+  mutable rows : row list; (* reversed *)
+  mutable objective : (float * var) list;
+  mutable maximize : bool;
+}
+
+let create () = { vars = []; rows = []; objective = []; maximize = true }
+
+let add_var t ?(lb = 0.0) ?(ub = infinity) ?(integer = false) ~name () =
+  let id = List.length t.vars in
+  t.vars <- { name; lb; ub; integer } :: t.vars;
+  id
+
+let add_constraint t terms sense rhs = t.rows <- { terms; sense; rhs } :: t.rows
+
+let set_objective t ~maximize terms =
+  t.objective <- terms;
+  t.maximize <- maximize
+
+let num_vars t = List.length t.vars
+
+let var_name t v =
+  let vars = Array.of_list (List.rev t.vars) in
+  vars.(v).name
+
+let to_standard_form t =
+  (* Standard form: maximize c.x, A.x <= b, x >= 0.
+     - >= rows are negated; = rows become a <= pair;
+     - finite bounds become rows;
+     - minimization negates c. *)
+  let n = num_vars t in
+  let vars = Array.of_list (List.rev t.vars) in
+  let c = Array.make n 0.0 in
+  List.iter
+    (fun (coef, v) -> c.(v) <- c.(v) +. (if t.maximize then coef else -.coef))
+    t.objective;
+  let rows = ref [] in
+  let emit terms rhs =
+    let coeffs = Array.make n 0.0 in
+    List.iter (fun (coef, v) -> coeffs.(v) <- coeffs.(v) +. coef) terms;
+    rows := (coeffs, rhs) :: !rows
+  in
+  List.iter
+    (fun { terms; sense; rhs } ->
+      match sense with
+      | `Le -> emit terms rhs
+      | `Ge -> emit (List.map (fun (coef, v) -> (-.coef, v)) terms) (-.rhs)
+      | `Eq ->
+          emit terms rhs;
+          emit (List.map (fun (coef, v) -> (-.coef, v)) terms) (-.rhs))
+    (List.rev t.rows);
+  Array.iteri
+    (fun v info ->
+      if info.ub < infinity then emit [ (1.0, v) ] info.ub;
+      if info.lb > 0.0 then emit [ (-1.0, v) ] (-.info.lb))
+    vars;
+  let row_list = List.rev !rows in
+  let a = Array.of_list (List.map fst row_list) in
+  let b = Array.of_list (List.map snd row_list) in
+  (c, a, b)
+
+let solve t =
+  let c, a, b = to_standard_form t in
+  match Simplex.solve ~c ~a ~b with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Optimal { objective; solution } ->
+      let objective = if t.maximize then objective else -.objective in
+      Optimal { objective; values = solution }
+
+let integer_vars t =
+  List.rev t.vars
+  |> List.mapi (fun i info -> (i, info))
+  |> List.filter_map (fun (i, info) -> if info.integer then Some i else None)
+
+let is_integral x = Float.abs (x -. Float.round x) < 1e-6
+
+(* Branch and bound: depth-first, branching on the most fractional
+   integer variable; bound by the LP relaxation. *)
+let solve_milp ?(max_nodes = 100_000) t =
+  let ints = integer_vars t in
+  if ints = [] then solve t
+  else begin
+    let best : (float * float array) option ref = ref None in
+    let nodes = ref 0 in
+    let better obj =
+      match !best with
+      | None -> true
+      | Some (b, _) -> if t.maximize then obj > b +. 1e-9 else obj < b -. 1e-9
+    in
+    (* Extra bounds pushed during branching: (var, `Le|`Ge, bound). *)
+    let rec branch extra =
+      incr nodes;
+      if !nodes > max_nodes then failwith "Lp.solve_milp: node limit exceeded";
+      let sub = { t with rows = t.rows } in
+      (* Copy rows so sibling branches do not see our bounds. *)
+      let sub = { sub with rows = extra @ t.rows } in
+      match solve sub with
+      | Infeasible -> ()
+      | Unbounded -> failwith "Lp.solve_milp: unbounded relaxation"
+      | Optimal { objective; values } ->
+          if better objective then begin
+            let fractional =
+              List.filter (fun v -> not (is_integral values.(v))) ints
+            in
+            match
+              Lemur_util.Listx.max_by
+                (fun v ->
+                  let f = values.(v) -. Float.of_int (int_of_float values.(v)) in
+                  Float.min f (1.0 -. f))
+                fractional
+            with
+            | None ->
+                let rounded =
+                  Array.mapi
+                    (fun i x -> if List.mem i ints then Float.round x else x)
+                    values
+                in
+                if better objective then best := Some (objective, rounded)
+            | Some v ->
+                let x = values.(v) in
+                let lo = Float.of_int (int_of_float (floor x)) in
+                branch ({ terms = [ (1.0, v) ]; sense = `Le; rhs = lo } :: extra);
+                branch
+                  ({ terms = [ (1.0, v) ]; sense = `Ge; rhs = lo +. 1.0 } :: extra)
+          end
+    in
+    branch [];
+    match !best with
+    | None -> Infeasible
+    | Some (objective, values) -> Optimal { objective; values }
+  end

@@ -1,0 +1,46 @@
+(** A small linear-programming interface.
+
+    The Placer's rate-maximization step (§3.2 of the paper, "Finding
+    Maximum Marginal Throughput") is an LP over per-chain rates with link
+    capacity and SLO bound constraints. The sealed environment has no
+    external solver, so Lemur ships its own dense two-phase simplex (see
+    {!Simplex}) behind this problem-builder interface, plus a small
+    branch-and-bound MILP used for the paper's MILP formulation
+    cross-check.
+
+    Variables are indexed by the order of {!add_var} calls. All variables
+    are non-negative; upper bounds are expressed as constraints by the
+    builder. *)
+
+type t
+(** A problem under construction. *)
+
+type var = int
+
+type sense = [ `Le | `Ge | `Eq ]
+
+type outcome =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+val create : unit -> t
+
+val add_var : t -> ?lb:float -> ?ub:float -> ?integer:bool -> name:string -> unit -> var
+(** Fresh non-negative variable. [lb] defaults to 0, [ub] to +inf.
+    [integer] marks the variable for branch-and-bound in {!solve_milp}. *)
+
+val add_constraint : t -> (float * var) list -> sense -> float -> unit
+(** [add_constraint t terms sense rhs] adds [Σ coef·var (<=|>=|=) rhs]. *)
+
+val set_objective : t -> maximize:bool -> (float * var) list -> unit
+
+val num_vars : t -> int
+val var_name : t -> var -> string
+
+val solve : t -> outcome
+(** Solve the LP relaxation (integrality markers ignored). *)
+
+val solve_milp : ?max_nodes:int -> t -> outcome
+(** Branch-and-bound on the variables marked [integer]. [max_nodes]
+    bounds the search (default 100_000); raises [Failure] if exceeded. *)

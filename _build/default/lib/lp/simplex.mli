@@ -1,0 +1,18 @@
+(** Dense two-phase simplex for problems in the standard form
+
+    maximize c·x subject to A·x <= b, x >= 0
+
+    where [b] may contain negative entries (phase 1 finds an initial
+    basic feasible solution with artificial variables). Equality and >=
+    rows must be rewritten by the caller ({!Lp} does this).
+
+    The implementation uses Bland's rule to guarantee termination. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : c:float array -> a:float array array -> b:float array -> result
+(** [solve ~c ~a ~b] with [a] an [m x n] matrix, [b] length [m], [c]
+    length [n]. *)

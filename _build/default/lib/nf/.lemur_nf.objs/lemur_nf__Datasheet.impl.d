@@ -1,0 +1,1 @@
+lib/nf/datasheet.ml: Float Kind List Target

@@ -1,0 +1,1 @@
+lib/nf/datasheet.mli: Kind

@@ -1,0 +1,1 @@
+lib/nf/instance.ml: Format Kind List Params String

@@ -1,0 +1,1 @@
+lib/nf/instance.mli: Format Kind Params

@@ -1,0 +1,1 @@
+lib/nf/kind.ml: Format Stdlib String Target

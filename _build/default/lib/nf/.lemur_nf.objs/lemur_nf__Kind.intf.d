@@ -1,0 +1,1 @@
+lib/nf/kind.mli: Format Target

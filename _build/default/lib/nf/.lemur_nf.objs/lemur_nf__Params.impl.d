@@ -1,0 +1,1 @@
+lib/nf/params.ml: Float Format Kind List String

@@ -1,0 +1,1 @@
+lib/nf/params.mli: Format Kind

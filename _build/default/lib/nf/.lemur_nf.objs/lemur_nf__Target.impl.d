@@ -1,0 +1,1 @@
+lib/nf/target.ml: Format Stdlib String

@@ -1,0 +1,1 @@
+lib/nf/target.mli: Format

@@ -1,0 +1,51 @@
+(** Ground-truth performance data for each NF: the numbers a real
+    deployment would obtain by profiling (paper §3.2, Table 4).
+
+    Cycle costs for Encrypt, Dedup, ACL(1024 rules) and NAT(12000
+    entries) are taken directly from Table 4; the remaining NFs carry
+    costs chosen to preserve the paper's bottleneck structure (Dedup
+    slowest; UrlFilter expensive; header-rewrite NFs cheap). The
+    simulated profiler ([Lemur_profiler]) samples around these values;
+    Placer consumes the profiler's worst-case estimates, never this
+    module directly. *)
+
+type numa = Same | Diff
+(** Whether the NF's core is on the NIC's socket ([Same]) or across the
+    interconnect ([Diff]). *)
+
+type cost = { mean : float; min : float; max : float }
+(** Per-packet CPU cycle cost statistics across profiling runs. *)
+
+val cycle_cost : Kind.t -> numa -> cost
+(** Per-packet cycles on a server core, at the NF's reference state size
+    (ACL: 1024 rules, NAT: 12000 entries). *)
+
+val cycle_cost_sized : Kind.t -> numa -> size:int -> cost
+(** Cycle cost adjusted for state size with the per-kind linear model
+    (paper: "we profile cycle counts for different sizes and use a
+    linear model"). Falls back to {!cycle_cost} for size-independent
+    NFs. *)
+
+val size_slope : Kind.t -> float option
+(** Cycles per state entry for size-dependent NFs ([Acl], [Nat],
+    [Monitor]); [None] otherwise. *)
+
+val reference_size : Kind.t -> int option
+(** State size at which {!cycle_cost} is quoted. *)
+
+val ebpf_speedup : Kind.t -> float
+(** Throughput multiplier of the SmartNIC implementation relative to one
+    server core (paper §5.3: ChaCha "more than 10x faster"). 1.0 when no
+    eBPF implementation exists. *)
+
+val ebpf_instruction_estimate : Kind.t -> int
+(** Rough unrolled-and-inlined eBPF instruction count, used by the eBPF
+    verifier model. 0 when no eBPF implementation exists. *)
+
+val p4_table_count : Kind.t -> int
+(** Number of match/action tables in the P4 implementation (0 when no P4
+    implementation exists). Sequential tables within one NF depend on
+    each other (see [Lemur_p4]). *)
+
+val table4_rows : (Kind.t * int option) list
+(** The four (kind, reference size) rows reported in Table 4. *)

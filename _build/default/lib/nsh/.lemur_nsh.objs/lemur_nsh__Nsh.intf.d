@@ -1,0 +1,1 @@
+lib/nsh/nsh.mli:

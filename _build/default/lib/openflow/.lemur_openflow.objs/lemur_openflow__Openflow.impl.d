@@ -1,0 +1,1 @@
+lib/openflow/openflow.ml: Format Lemur_nf Lemur_nsh Lemur_platform List String

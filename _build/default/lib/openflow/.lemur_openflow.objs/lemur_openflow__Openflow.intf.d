@@ -1,0 +1,1 @@
+lib/openflow/openflow.mli: Format Lemur_nf Lemur_platform

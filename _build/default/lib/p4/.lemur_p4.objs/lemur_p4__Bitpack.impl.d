@@ -1,0 +1,1 @@
+lib/p4/bitpack.ml: Bytes List Option P4header Printf String

@@ -1,0 +1,1 @@
+lib/p4/bitpack.mli: P4header

@@ -1,0 +1,1 @@
+lib/p4/mae.ml: Lemur_util List Option

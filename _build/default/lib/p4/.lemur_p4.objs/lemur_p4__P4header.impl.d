@@ -1,0 +1,1 @@
+lib/p4/p4header.ml: Format Hashtbl List Printf String

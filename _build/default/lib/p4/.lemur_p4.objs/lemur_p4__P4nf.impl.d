@@ -1,0 +1,1 @@
+lib/p4/p4nf.ml: Kind Lemur_nf List Option Parsetree Printf Tablegraph Target

@@ -1,0 +1,1 @@
+lib/p4/p4nf.mli: Lemur_nf Parsetree Tablegraph

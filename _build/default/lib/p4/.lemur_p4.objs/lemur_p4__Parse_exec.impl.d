@@ -1,0 +1,1 @@
+lib/p4/parse_exec.ml: Bitpack List P4header Parsetree String

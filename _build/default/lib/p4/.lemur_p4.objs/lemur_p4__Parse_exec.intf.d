@@ -1,0 +1,1 @@
+lib/p4/parse_exec.mli: Parsetree

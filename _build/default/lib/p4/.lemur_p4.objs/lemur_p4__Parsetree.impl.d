@@ -1,0 +1,1 @@
+lib/p4/parsetree.ml: Format Lemur_util List Option String

@@ -1,0 +1,1 @@
+lib/p4/pipeline.ml: Hashtbl Lemur_nf List P4nf Parsetree String Tablegraph

@@ -1,0 +1,1 @@
+lib/p4/pipeline.mli: Lemur_nf Parsetree Tablegraph

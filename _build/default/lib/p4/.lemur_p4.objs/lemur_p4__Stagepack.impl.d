@@ -1,0 +1,1 @@
+lib/p4/stagepack.ml: Hashtbl List Option Tablegraph

@@ -1,0 +1,1 @@
+lib/p4/tablegraph.ml: Hashtbl List Printf Queue String

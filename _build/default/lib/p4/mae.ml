@@ -1,0 +1,56 @@
+type env = (string * int) list
+
+let get env field = Option.value (List.assoc_opt field env) ~default:0
+
+let set env field v = (field, v) :: List.remove_assoc field env
+
+type matcher = {
+  field : string;
+  kind : [ `Exact of int | `Ternary of int * int | `Any ];
+}
+
+type op =
+  | Set of string * int
+  | Copy of { dst : string; src : string }
+  | Add of string * int
+  | Drop
+
+type entry = { priority : int; matchers : matcher list; ops : op list }
+
+type table = { t_name : string; entries : entry list; default : op list }
+
+let matches env entry =
+  List.for_all
+    (fun m ->
+      let v = get env m.field in
+      match m.kind with
+      | `Exact x -> v = x
+      | `Ternary (x, mask) -> v land mask = x land mask
+      | `Any -> true)
+    entry.matchers
+
+let apply_op env = function
+  | Set (f, v) -> set env f v
+  | Copy { dst; src } -> set env dst (get env src)
+  | Add (f, d) -> set env f (get env f + d)
+  | Drop -> set env "meta.drop_flag" 1
+
+let apply_ops env ops = List.fold_left apply_op env ops
+
+let apply_table env table =
+  let hits = List.filter (matches env) table.entries in
+  match
+    Lemur_util.Listx.max_by (fun e -> float_of_int e.priority) hits
+  with
+  | Some entry -> apply_ops env entry.ops
+  | None -> apply_ops env table.default
+
+let dropped env = get env "meta.drop_flag" <> 0
+
+let run env tables =
+  match tables with
+  | [] -> env
+  | first :: rest ->
+      List.fold_left
+        (fun env t -> if dropped env then env else apply_table env t)
+        (apply_table env first) rest

@@ -1,0 +1,47 @@
+(** A small match/action engine: semantic execution of the tables the
+    meta-compiler generates.
+
+    The stage-packing compiler ({!Stagepack}) decides {e where} tables
+    go; this module models {e what they do} to a packet's header and
+    metadata fields, so tests can execute a generated pipeline instead
+    of only inspecting its text. Fields are flat names
+    (["ipv4.dst_addr"], ["meta.si"]); values are ints. *)
+
+type env = (string * int) list
+(** Packet state: header fields and metadata. Missing fields read 0. *)
+
+val get : env -> string -> int
+val set : env -> string -> int -> env
+
+type matcher = {
+  field : string;
+  kind : [ `Exact of int | `Ternary of int * int  (** value, mask *) | `Any ];
+}
+
+type op =
+  | Set of string * int
+  | Copy of { dst : string; src : string }
+  | Add of string * int
+  | Drop  (** sets [meta.drop_flag] *)
+
+type entry = { priority : int; matchers : matcher list; ops : op list }
+
+type table = {
+  t_name : string;
+  entries : entry list;
+  default : op list;  (** applied on miss *)
+}
+
+val matches : env -> entry -> bool
+
+val apply_op : env -> op -> env
+
+val apply_table : env -> table -> env
+(** Highest-priority matching entry wins (ties: first); miss runs the
+    default action list. *)
+
+val run : env -> table list -> env
+(** Apply tables in order. Tables other than the first are skipped once
+    [meta.drop_flag] is set (the generated control flow's guard). *)
+
+val dropped : env -> bool

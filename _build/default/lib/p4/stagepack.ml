@@ -1,0 +1,57 @@
+type assignment = { stages_used : int; stage_of_table : (string * int) list }
+
+let pack ~capacity graph =
+  if capacity < 1 then invalid_arg "Stagepack.pack: capacity < 1";
+  if Tablegraph.has_cycle graph then
+    invalid_arg "Stagepack.pack: dependency cycle";
+  let tables = Tablegraph.tables graph in
+  let stage_of = Hashtbl.create 16 in
+  let per_stage_load = Hashtbl.create 16 in
+  let load stage = Option.value (Hashtbl.find_opt per_stage_load stage) ~default:0 in
+  (* Process in topological order (insertion order is not guaranteed
+     topological, so iterate until all placed). *)
+  let remaining = ref (List.map (fun t -> t.Tablegraph.table_name) tables) in
+  let placed name = Hashtbl.mem stage_of name in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun name ->
+        let preds = Tablegraph.predecessors graph name in
+        if List.for_all placed preds then begin
+          (* Earliest stage after all predecessors with free capacity. *)
+          let min_stage =
+            List.fold_left
+              (fun acc p -> max acc (Hashtbl.find stage_of p + 1))
+              0 preds
+          in
+          let stage = ref min_stage in
+          while load !stage >= capacity do
+            incr stage
+          done;
+          Hashtbl.replace stage_of name !stage;
+          Hashtbl.replace per_stage_load !stage (load !stage + 1);
+          progress := true
+        end
+        else still := name :: !still)
+      !remaining;
+    remaining := List.rev !still
+  done;
+  assert (!remaining = []);
+  let stage_of_table =
+    List.map (fun t -> (t.Tablegraph.table_name, Hashtbl.find stage_of t.Tablegraph.table_name)) tables
+  in
+  let stages_used =
+    List.fold_left (fun acc (_, s) -> max acc (s + 1)) 0 stage_of_table
+  in
+  { stages_used; stage_of_table }
+
+let fits ~capacity ~max_stages graph =
+  (pack ~capacity graph).stages_used <= max_stages
+
+let estimate ~capacity graph =
+  let reduced = max 1 (capacity - 1) in
+  (pack ~capacity:reduced graph).stages_used
+
+let naive_stages graph = (pack ~capacity:1 graph).stages_used

@@ -1,0 +1,34 @@
+(** The simulated Tofino stage-packing compiler (§3.2's
+    compiler-in-the-loop feasibility check, §5.2's "extreme
+    configuration").
+
+    The paper's key observation: static models of PISA stage usage are
+    conservative, so Lemur invokes the real compiler to decide whether a
+    placement fits. Our simulated compiler packs a table-dependency DAG
+    into stages by list scheduling: a stage holds up to [capacity]
+    mutually independent tables all of whose predecessors sit in earlier
+    stages. Three modes reproduce the three regimes of §5.2:
+
+    - {!pack}: the "real compiler" with black-box packing (capacity =
+      the switch's tables/stage);
+    - {!estimate}: a Sonata-style static estimate — same algorithm but
+      with one less table per stage, which is what not modeling the
+      compiler's internal optimizations costs;
+    - {!naive_stages}: one table per stage (topological-sort codegen
+      with per-NF checks, the "without dependency elimination" strawman). *)
+
+type assignment = {
+  stages_used : int;
+  stage_of_table : (string * int) list;  (** table name -> 0-based stage *)
+}
+
+val pack : capacity:int -> Tablegraph.t -> assignment
+(** @raise Invalid_argument if the graph has a cycle or capacity < 1. *)
+
+val fits : capacity:int -> max_stages:int -> Tablegraph.t -> bool
+
+val estimate : capacity:int -> Tablegraph.t -> int
+(** Conservative static stage estimate (>= [pack]'s result). *)
+
+val naive_stages : Tablegraph.t -> int
+(** Stage count of the naive topological codegen. *)

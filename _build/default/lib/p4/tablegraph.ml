@@ -1,0 +1,92 @@
+type table = {
+  table_name : string;
+  owner : string;
+  match_fields : string list;
+  action : string;
+  entries_hint : int;
+}
+
+type t = {
+  mutable table_list : table list; (* reversed *)
+  mutable dep_list : (string * string) list; (* (before, after), reversed *)
+}
+
+let create () = { table_list = []; dep_list = [] }
+
+let find t name =
+  List.find_opt (fun tab -> String.equal tab.table_name name) t.table_list
+
+let add_table t table =
+  if find t table.table_name <> None then
+    invalid_arg
+      (Printf.sprintf "Tablegraph.add_table: duplicate table %S" table.table_name);
+  t.table_list <- table :: t.table_list
+
+let add_dep t ~before ~after =
+  if String.equal before after then
+    invalid_arg "Tablegraph.add_dep: self-dependency";
+  if find t before = None then
+    invalid_arg (Printf.sprintf "Tablegraph.add_dep: unknown table %S" before);
+  if find t after = None then
+    invalid_arg (Printf.sprintf "Tablegraph.add_dep: unknown table %S" after);
+  if not (List.mem (before, after) t.dep_list) then
+    t.dep_list <- (before, after) :: t.dep_list
+
+let tables t = List.rev t.table_list
+let deps t = List.rev t.dep_list
+let table_count t = List.length t.table_list
+
+let predecessors t name =
+  List.filter_map
+    (fun (before, after) -> if String.equal after name then Some before else None)
+    t.dep_list
+
+let successors t name =
+  List.filter_map
+    (fun (before, after) -> if String.equal before name then Some after else None)
+    t.dep_list
+
+let has_cycle t =
+  (* Kahn's algorithm: if we cannot consume all tables, there is a cycle. *)
+  let names = List.map (fun tab -> tab.table_name) (tables t) in
+  let in_deg = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace in_deg n (List.length (predecessors t n))) names;
+  let queue = Queue.create () in
+  List.iter (fun n -> if Hashtbl.find in_deg n = 0 then Queue.add n queue) names;
+  let consumed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr consumed;
+    List.iter
+      (fun succ ->
+        let d = Hashtbl.find in_deg succ - 1 in
+        Hashtbl.replace in_deg succ d;
+        if d = 0 then Queue.add succ queue)
+      (successors t n)
+  done;
+  !consumed <> List.length names
+
+let critical_path t =
+  let memo = Hashtbl.create 16 in
+  let rec height name =
+    match Hashtbl.find_opt memo name with
+    | Some h -> h
+    | None ->
+        let h =
+          1
+          + List.fold_left (fun acc p -> max acc (height p)) 0 (predecessors t name)
+        in
+        Hashtbl.replace memo name h;
+        h
+  in
+  List.fold_left
+    (fun acc tab -> max acc (height tab.table_name))
+    0 (tables t)
+
+let merge a b =
+  let t = create () in
+  List.iter (add_table t) (tables a);
+  List.iter (add_table t) (tables b);
+  List.iter (fun (before, after) -> add_dep t ~before ~after) (deps a);
+  List.iter (fun (before, after) -> add_dep t ~before ~after) (deps b);
+  t

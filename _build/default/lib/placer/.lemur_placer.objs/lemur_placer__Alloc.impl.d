@@ -1,0 +1,1 @@
+lib/placer/alloc.ml: Array Float Fun Hashtbl Lemur_bess Lemur_platform Lemur_slo Lemur_topology Lemur_util List Option Plan Ratelp Topology

@@ -1,0 +1,1 @@
+lib/placer/alloc.mli: Plan Ratelp

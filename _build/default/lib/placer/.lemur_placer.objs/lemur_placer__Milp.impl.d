@@ -1,0 +1,1 @@
+lib/placer/milp.ml: Array Float Format Fun Graph Lemur_bess Lemur_lp Lemur_nf Lemur_platform Lemur_profiler Lemur_slo Lemur_spec Lemur_topology Lemur_util List Plan Printf

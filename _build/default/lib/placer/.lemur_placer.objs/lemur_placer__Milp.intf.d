@@ -1,0 +1,1 @@
+lib/placer/milp.mli: Plan

@@ -1,0 +1,1 @@
+lib/placer/plan.mli: Format Lemur_nf Lemur_p4 Lemur_profiler Lemur_slo Lemur_spec Lemur_topology

@@ -1,0 +1,1 @@
+lib/placer/ratelp.ml: Array Float Fun Lemur_lp Lemur_util List Option

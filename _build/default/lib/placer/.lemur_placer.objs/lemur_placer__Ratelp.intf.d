@@ -1,0 +1,1 @@
+lib/placer/ratelp.mli:

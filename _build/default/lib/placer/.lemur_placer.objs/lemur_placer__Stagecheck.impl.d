@@ -1,0 +1,1 @@
+lib/placer/stagecheck.ml: Array Float Lemur_p4 Lemur_platform Lemur_profiler Lemur_spec Lemur_topology List Plan

@@ -1,0 +1,1 @@
+lib/placer/stagecheck.mli: Lemur_spec Plan

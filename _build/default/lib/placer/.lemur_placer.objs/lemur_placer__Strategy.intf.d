@@ -1,0 +1,1 @@
+lib/placer/strategy.mli: Alloc Format Plan

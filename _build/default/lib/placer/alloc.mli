@@ -1,0 +1,50 @@
+(** Core allocation and server assignment (§3.2 "Searching through Core
+    Allocations").
+
+    Every subgroup needs at least one core; server segments (maximal
+    runs of server NFs) are pinned to a single server because subgroups
+    within a segment hand packets off through that server's local
+    demultiplexer. Spare cores are then spent according to a policy:
+
+    - [Slo_driven] (Lemur): first bring every chain's estimated capacity
+      up to its t_min, then add cores where the marginal-throughput gain
+      is largest.
+    - [Even] (HW Preferred baseline): spare cores are distributed evenly
+      across chains, round-robin.
+    - [By_index] (Greedy baseline): meet each chain's t_min in index
+      order, then give chains spare cores sequentially by index until
+      each reaches t_max.
+    - [No_extra] (the "No Core Allocation" ablation of Fig 2f): one core
+      per subgroup, nothing more. *)
+
+type spare_policy = Slo_driven | Even | By_index | No_extra
+
+type chain_alloc = {
+  plan : Plan.plan;
+  sg_cores : int array;  (** aligned with [plan.subgroups] *)
+  seg_server : (int * string) list;  (** segment id -> server name *)
+}
+
+val allocate :
+  Plan.config -> spare_policy -> Plan.plan list -> chain_alloc list option
+(** [None] when even the minimum (one core per subgroup) does not fit
+    the rack. *)
+
+val assign_only :
+  Plan.config -> (Plan.plan * int array) list -> chain_alloc list option
+(** Server assignment for externally chosen core counts (used by the
+    brute-force Optimal strategy). [None] when the cores do not fit. *)
+
+val capacity_of : Plan.config -> chain_alloc -> float
+(** {!Plan.capacity} under this allocation. *)
+
+val cores_used : chain_alloc -> int
+
+val link_loads : Plan.config -> chain_alloc -> (string * float) list
+(** Per-link traversals per delivered packet: each server by its
+    assigned segments (SmartNIC visits charged to the NIC's host), the
+    OpenFlow switch by [of_visits]. *)
+
+val evaluate : Plan.config -> chain_alloc list -> Ratelp.result option
+(** Build and solve the rate LP for a joint allocation. [None] = SLOs
+    not satisfiable. *)

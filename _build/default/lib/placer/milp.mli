@@ -1,0 +1,44 @@
+(** The MILP formulation of run-to-completion placement (§3.2).
+
+    The paper notes that placement "lends itself to an optimization
+    formulation" and open-sources an MILP that handles run-to-completion
+    execution, SLOs and link capacities — but cannot check the switch's
+    stage constraint exactly (it must use a conservative static stage
+    estimate, which is precisely why Lemur's Placer invokes the compiler
+    instead). This module reproduces that formulation for {e linear
+    chains of replicable NFs} and solves it with [Lemur_lp]'s
+    branch-and-bound; tests cross-check it against the search-based
+    Optimal strategy on small instances.
+
+    Decision variables, per chain c over NFs i = 1..n_c:
+    - x_ci in {0,1}: NF i runs on the server (0 = on the switch; NFs
+      with only one feasible platform are fixed);
+    - b_ci in {0,1}: a platform boundary sits between i and i+1
+      (virtual switch endpoints at both ends), so the chain's server
+      segments m_c = (1/2) Σ b_ci;
+    - k_c  in Z+: cores allocated to chain c;
+    - r_c >= 0: the chain's allocated rate.
+
+    Per-packet server work is w_c = Σ c_i x_ci + oh_nsh m_c; the core
+    constraint k_c f >= r_c w_c is bilinear and linearized with
+    McCormick envelopes (y_ci = r_c x_ci, u_ci = r_c b_ci bounded by the
+    rate ceiling R). Remaining constraints: t_min <= r_c <= t_max,
+    Σ k_c <= cores, link Σ_c r_c m_c <= C (via the u variables), and the
+    conservative stage bound Σ tables_i (1 - x_ci) <= S. Objective:
+    maximize Σ (r_c - t_min_c). *)
+
+type result = {
+  objective : float;  (** total marginal throughput, bit/s *)
+  rates : (string * float) list;
+  server_nfs : (string * string list) list;
+      (** per chain, the NF instance names placed on the server *)
+  cores : (string * int) list;
+}
+
+exception Unsupported of string
+(** Raised for chains with branches or non-replicable NFs (outside this
+    formulation's scope), or NFs with no feasible platform. *)
+
+val solve :
+  ?max_nodes:int -> Plan.config -> Plan.chain_input list -> result option
+(** [None] when the MILP is infeasible. @raise Unsupported. *)

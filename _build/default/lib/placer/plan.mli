@@ -1,0 +1,99 @@
+(** Chain plans: a placement {e pattern} (a platform per NF) elaborated
+    into the structure the Placer reasons about (§3.2) — run-to-completion
+    subgroups, server segments (bounces), per-path traffic fractions,
+    throughput capacity under a core allocation, worst-path latency, and
+    the switch projection handed to the P4 stage checker.
+
+    Node ids index arrays: [Lemur_spec.Graph] allocates ids densely in
+    creation order. *)
+
+type location =
+  | Switch  (** ToR PISA switch *)
+  | Server  (** x86 server class; the concrete server is chosen by the
+                core-allocation step *)
+  | Smartnic
+  | Ofswitch
+
+type chain_input = {
+  id : string;
+  graph : Lemur_spec.Graph.t;
+  slo : Lemur_slo.Slo.t;
+}
+
+type config = {
+  topology : Lemur_topology.Topology.t;
+  profiler : Lemur_profiler.Profiler.t;
+  pkt_bytes : int;
+  eval_capabilities : bool;
+      (** use Table 3's evaluation restriction (IPv4Fwd P4-only) *)
+  numa : Lemur_nf.Datasheet.numa;
+      (** NUMA assumption for profiles; [Diff] = the paper's
+          conservative worst case *)
+  metron_steering : bool;
+      (** Metron-style extension (§3.2/§4.2 future work): the ToR tags
+          packets with their target core, removing the server demux's
+          load-balancing cost for replicated subgroups *)
+}
+
+val default_config : Lemur_topology.Topology.t -> config
+(** 1500-byte packets, eval capabilities, worst-case (Diff) NUMA, a
+    fresh default profiler. *)
+
+val allowed_locations : config -> Lemur_nf.Instance.t -> location list
+(** Where this NF may run, intersecting Table 3 with the topology's
+    available hardware (no SmartNIC in the rack means no [Smartnic]
+    choice) and, for the SmartNIC, the eBPF verifier model. *)
+
+type subgroup = {
+  sg_nodes : Lemur_spec.Graph.node_id list;  (** run-to-completion order *)
+  sg_cycles : float;  (** per-packet cycles of the NFs, sans overheads *)
+  sg_replicable : bool;
+  sg_fraction : float;  (** share of the chain's traffic crossing it *)
+  sg_segment : int;  (** which server segment the subgroup belongs to *)
+}
+
+type plan = {
+  input : chain_input;
+  locs : location array;  (** indexed by node id *)
+  subgroups : subgroup list;
+  segments : int;  (** distinct server segments in the DAG *)
+  segment_fractions : (int * float) list;
+      (** per server segment, the share of chain traffic entering it *)
+  max_path_bounces : int;  (** worst single path's bounce count *)
+  smartnic_nodes : Lemur_spec.Graph.node_id list;
+  ofswitch_nodes : Lemur_spec.Graph.node_id list;
+  link_visits : float;
+      (** expected server-link traversals per packet (per direction):
+          sum over paths of fraction x segments-on-path *)
+  of_visits : float;  (** same for the OpenFlow switch link *)
+}
+
+exception Invalid_pattern of string
+
+val elaborate : config -> chain_input -> location array -> plan
+(** Check the pattern against {!allowed_locations}, form subgroups, and
+    derive all the structure above.
+    @raise Invalid_pattern if an NF is placed somewhere it cannot run,
+    or OpenFlow table order is violated. *)
+
+val capacity : config -> plan -> cores:(int list) -> float
+(** Estimated chain throughput (§3.2): the minimum over subgroups of
+    [rate(sg, cores) / fraction(sg)] and over SmartNIC NFs of their NIC
+    rate over fraction. [cores] aligns with [plan.subgroups].
+    [infinity] for all-hardware chains (line rate). *)
+
+val latency : config -> plan -> float
+(** Worst entry-to-exit path latency: NF execution + per-bounce cost +
+    ToR traversals (rate-independent model; see DESIGN.md). *)
+
+val meets_latency : config -> plan -> bool
+
+val switch_projection : plan -> Lemur_p4.Pipeline.chain_projection
+(** The chain's switch-resident NFs with projected order, for the stage
+    checker and the P4 code generator. *)
+
+val min_cores : plan -> int
+(** Σ 1 per subgroup — the floor of any core allocation. *)
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> plan -> unit

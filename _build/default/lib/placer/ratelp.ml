@@ -1,0 +1,70 @@
+type entry = {
+  entry_id : string;
+  t_min : float;
+  t_max : float;
+  weight : float;
+  capacity : float;
+  link_loads : (string * float) list;
+}
+
+type result = {
+  rates : (string * float) list;
+  total_rate : float;
+  total_marginal : float;
+}
+
+(* A large-but-finite stand-in for "uncapped" so the LP stays bounded;
+   rates are capped by link capacities anyway, and no single link in our
+   topologies exceeds 3.2 Tbps. *)
+let rate_ceiling = 1e13
+
+let solve ~link_caps entries =
+  (* Work in Gbit/s: the simplex behaves much better when the problem's
+     coefficients and right-hand sides share a magnitude. *)
+  let scale = 1e-9 in
+  let lp = Lemur_lp.Lp.create () in
+  let vars =
+    List.map
+      (fun e ->
+        let ub = Float.min e.t_max e.capacity in
+        let ub = if ub = infinity then rate_ceiling else ub in
+        if ub < e.t_min -. 1e-6 then None
+        else
+          Some
+            ( e,
+              Lemur_lp.Lp.add_var lp ~lb:(e.t_min *. scale) ~ub:(ub *. scale)
+                ~name:e.entry_id () ))
+      entries
+  in
+  if List.exists Option.is_none vars then None
+  else begin
+    let vars = List.filter_map Fun.id vars in
+    List.iter
+      (fun (link, cap) ->
+        let terms =
+          List.filter_map
+            (fun (e, v) ->
+              match List.assoc_opt link e.link_loads with
+              | Some load when load > 0.0 -> Some (load, v)
+              | _ -> None)
+            vars
+        in
+        if terms <> [] then
+          Lemur_lp.Lp.add_constraint lp terms `Le (cap *. scale))
+      link_caps;
+    Lemur_lp.Lp.set_objective lp ~maximize:true
+      (List.map (fun (e, v) -> (e.weight, v)) vars);
+    match Lemur_lp.Lp.solve lp with
+    | Lemur_lp.Lp.Infeasible | Lemur_lp.Lp.Unbounded -> None
+    | Lemur_lp.Lp.Optimal { values; _ } ->
+        let rates =
+          List.map (fun (e, v) -> (e.entry_id, values.(v) /. scale)) vars
+        in
+        let total_rate = Lemur_util.Listx.sum_by snd rates in
+        let total_marginal =
+          List.fold_left2
+            (fun acc (_, r) (e, _) -> acc +. Float.max 0.0 (r -. e.t_min))
+            0.0 rates vars
+        in
+        Some { rates; total_rate; total_marginal }
+  end

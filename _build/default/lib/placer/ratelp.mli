@@ -1,0 +1,30 @@
+(** The max-marginal-throughput LP (§3.2 "Finding Maximum Marginal
+    Throughput").
+
+    Given, for each chain, its estimated capacity under the chosen
+    pattern and core allocation, its SLO bounds, and how much it loads
+    each ToR<->device link per unit of rate, allocate rates maximizing
+    Σ (r_i - t_min_i) subject to
+
+    - t_min_i <= r_i <= min(t_max_i, capacity_i)
+    - Σ_i load_{i,l} * r_i <= capacity_l for each link l. *)
+
+type entry = {
+  entry_id : string;
+  t_min : float;
+  t_max : float;
+  weight : float;  (** marginal-revenue weight in the objective *)
+  capacity : float;  (** estimated chain capacity (may be [infinity]) *)
+  link_loads : (string * float) list;
+      (** link name -> traversals per delivered packet *)
+}
+
+type result = {
+  rates : (string * float) list;
+  total_rate : float;
+  total_marginal : float;
+}
+
+val solve : link_caps:(string * float) list -> entry list -> result option
+(** [None] when SLOs cannot be met (some chain cannot reach its t_min
+    under the capacities or shared links). *)

@@ -1,0 +1,694 @@
+open Lemur_spec
+
+type t =
+  | Lemur
+  | Optimal
+  | Hw_preferred
+  | Sw_preferred
+  | Min_bounce
+  | Greedy
+  | No_profiling
+  | No_core_alloc
+
+let all =
+  [ Lemur; Optimal; Hw_preferred; Sw_preferred; Min_bounce; Greedy; No_profiling; No_core_alloc ]
+
+let name = function
+  | Lemur -> "Lemur"
+  | Optimal -> "Optimal"
+  | Hw_preferred -> "HW Preferred"
+  | Sw_preferred -> "SW Preferred"
+  | Min_bounce -> "Min Bounce"
+  | Greedy -> "Greedy"
+  | No_profiling -> "No Profiling"
+  | No_core_alloc -> "No Core Alloc"
+
+type chain_report = {
+  plan : Plan.plan;
+  cores : int array;
+  seg_server : (int * string) list;
+  capacity : float;
+  rate : float;
+  latency : float;
+  bounces : int;
+}
+
+type placement = {
+  strategy : t;
+  chain_reports : chain_report list;
+  total_rate : float;
+  total_marginal : float;
+  stages_used : int;
+  cores_used : int;
+  elapsed : float;
+}
+
+type outcome = Placed of placement | Infeasible of { reason : string }
+
+let is_feasible = function Placed _ -> true | Infeasible _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pattern construction                                                 *)
+
+let preference_order = function
+  | `Hw -> [ Plan.Switch; Plan.Smartnic; Plan.Ofswitch; Plan.Server ]
+  | `Sw -> [ Plan.Server; Plan.Switch; Plan.Smartnic; Plan.Ofswitch ]
+
+let pattern_by_preference config input pref =
+  let graph = input.Plan.graph in
+  let locs = Array.make (Graph.size graph) Plan.Server in
+  List.iter
+    (fun node ->
+      let allowed = Plan.allowed_locations config node.Graph.instance in
+      if allowed = [] then
+        raise
+          (Plan.Invalid_pattern
+             (Printf.sprintf "%s has no feasible platform in this rack"
+                node.Graph.instance.Lemur_nf.Instance.name));
+      let choice =
+        match List.find_opt (fun l -> List.mem l allowed) (preference_order pref) with
+        | Some l -> l
+        | None -> List.hd allowed
+      in
+      locs.(node.Graph.id) <- choice)
+    (Graph.nodes graph);
+  locs
+
+let all_patterns config input ~limit =
+  let graph = input.Plan.graph in
+  let choices =
+    List.map
+      (fun node ->
+        match Plan.allowed_locations config node.Graph.instance with
+        | [] ->
+            raise
+              (Plan.Invalid_pattern
+                 (Printf.sprintf "%s has no feasible platform"
+                    node.Graph.instance.Lemur_nf.Instance.name))
+        | locs -> locs)
+      (Graph.nodes graph)
+  in
+  let count = List.fold_left (fun acc c -> acc * List.length c) 1 choices in
+  if count > limit then begin
+    (* Fall back to the hardware- and software-preferred corners,
+       single-NF flips of the hardware corner, and an eviction ladder
+       (hardware corner with the k cheapest movable NFs pushed to the
+       server — the shapes stage overflow forces). *)
+    let base = pattern_by_preference config input `Hw in
+    let sw = pattern_by_preference config input `Sw in
+    let flips =
+      List.concat
+        (List.mapi
+           (fun i c ->
+             List.filter_map
+               (fun loc ->
+                 if loc = base.(i) then None
+                 else begin
+                   let v = Array.copy base in
+                   v.(i) <- loc;
+                   Some v
+                 end)
+               c)
+           choices)
+    in
+    let movable =
+      List.filter_map
+        (fun n ->
+          if
+            base.(n.Graph.id) <> Plan.Server
+            && List.mem Plan.Server
+                 (Plan.allowed_locations config n.Graph.instance)
+          then
+            Some
+              ( n.Graph.id,
+                Lemur_profiler.Profiler.cycles config.Plan.profiler
+                  n.Graph.instance config.Plan.numa )
+          else None)
+        (Graph.nodes input.Plan.graph)
+      |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+    in
+    let ladder =
+      let v = Array.copy base in
+      List.map
+        (fun (id, _) ->
+          v.(id) <- Plan.Server;
+          Array.copy v)
+        movable
+    in
+    Lemur_util.Listx.uniq ( = ) ((base :: sw :: flips) @ ladder)
+  end
+  else List.map Array.of_list (Lemur_util.Listx.cartesian choices)
+
+(* ------------------------------------------------------------------ *)
+(* Assembling outcomes                                                  *)
+
+let build_placement strategy config allocs lp stages elapsed =
+  let reports =
+    List.map
+      (fun (a : Alloc.chain_alloc) ->
+        let rate =
+          Option.value
+            (List.assoc_opt a.Alloc.plan.Plan.input.Plan.id lp.Ratelp.rates)
+            ~default:0.0
+        in
+        {
+          plan = a.Alloc.plan;
+          cores = a.Alloc.sg_cores;
+          seg_server = a.Alloc.seg_server;
+          capacity = Alloc.capacity_of config a;
+          rate;
+          latency = Plan.latency config a.Alloc.plan;
+          bounces = a.Alloc.plan.Plan.max_path_bounces;
+        })
+      allocs
+  in
+  {
+    strategy;
+    chain_reports = reports;
+    total_rate = lp.Ratelp.total_rate;
+    total_marginal = lp.Ratelp.total_marginal;
+    stages_used = stages;
+    cores_used = List.fold_left (fun acc a -> acc + Alloc.cores_used a) 0 allocs;
+    elapsed;
+  }
+
+let check_latency config plans =
+  match List.find_opt (fun p -> not (Plan.meets_latency config p)) plans with
+  | Some p ->
+      Error
+        (Printf.sprintf "chain %s exceeds its latency SLO (%.1f us > %.1f us)"
+           p.Plan.input.Plan.id
+           (Lemur_util.Units.to_us (Plan.latency config p))
+           (Lemur_util.Units.to_us p.Plan.input.Plan.slo.Lemur_slo.Slo.d_max))
+  | None -> Ok ()
+
+(* Allocate + LP + stage check for a fixed set of plans. *)
+let finalize strategy config policy plans ~elapsed_start =
+  match check_latency config plans with
+  | Error reason -> Infeasible { reason }
+  | Ok () -> (
+      match Alloc.allocate config policy plans with
+      | None -> Infeasible { reason = "not enough server cores" }
+      | Some allocs -> (
+          match Alloc.evaluate config allocs with
+          | None -> Infeasible { reason = "rate LP infeasible (SLOs unsatisfiable)" }
+          | Some lp -> (
+              match Stagecheck.check config plans with
+              | Stagecheck.Overflow n ->
+                  Infeasible
+                    { reason = Printf.sprintf "switch stages exceeded (%d needed)" n }
+              | Stagecheck.Conflict msg ->
+                  Infeasible { reason = "parser conflict: " ^ msg }
+              | Stagecheck.Fits stages ->
+                  Placed
+                    (build_placement strategy config allocs lp stages
+                       (Unix.gettimeofday () -. elapsed_start)))))
+
+(* ------------------------------------------------------------------ *)
+(* Lemur heuristic                                                      *)
+
+(* Step 1: greedy switch placement, evicting the cheapest movable NF
+   until the unified pipeline compiles. *)
+let evict_to_fit config plans =
+  let rec go plans =
+    match Stagecheck.check config plans with
+    | Stagecheck.Fits _ -> Some plans
+    | Stagecheck.Conflict _ | Stagecheck.Overflow _ -> (
+        let candidates =
+          List.concat_map
+            (fun plan ->
+              List.map
+                (fun (id, cost) -> (plan, id, cost))
+                (Stagecheck.movable_switch_nodes config plan))
+            plans
+        in
+        match Lemur_util.Listx.min_by (fun (_, _, c) -> c) candidates with
+        | None -> None
+        | Some (victim_plan, id, _) ->
+            let plans =
+              List.map
+                (fun plan ->
+                  if plan == victim_plan then begin
+                    let locs = Array.copy plan.Plan.locs in
+                    locs.(id) <- Plan.Server;
+                    Plan.elaborate config plan.Plan.input locs
+                  end
+                  else plan)
+                plans
+            in
+            go plans)
+  in
+  go plans
+
+(* Step 2: coalescing. Moving a switch NF with server neighbours on both
+   sides to the server merges its two neighbouring subgroups. *)
+type coalesce_variant = Baseline | Aggressive | Conservative
+
+let coalesce_candidates plan =
+  let graph = plan.Plan.input.Plan.graph in
+  List.filter_map
+    (fun node ->
+      let id = node.Graph.id in
+      if plan.Plan.locs.(id) <> Plan.Switch then None
+      else
+        let preds = Graph.predecessors graph id in
+        let succs = Graph.successors graph id in
+        let server_side edges pick =
+          List.exists (fun e -> plan.Plan.locs.(pick e) = Plan.Server) edges
+        in
+        if
+          server_side preds (fun e -> e.Graph.src)
+          && server_side succs (fun e -> e.Graph.dst)
+        then Some id
+        else None)
+    (Graph.nodes graph)
+
+let merged_subgroup_index plan_after id =
+  Lemur_util.Listx.index_of
+    (fun sg -> List.mem id sg.Plan.sg_nodes)
+    plan_after.Plan.subgroups
+
+let chain_capacity_ones config plan =
+  Plan.capacity config plan
+    ~cores:(List.map (fun _ -> 1) plan.Plan.subgroups)
+
+let chain_capacity_two_on config plan sg_index =
+  Plan.capacity config plan
+    ~cores:
+      (List.mapi
+         (fun i sg ->
+           if i = sg_index && sg.Plan.sg_replicable then 2 else 1)
+         plan.Plan.subgroups)
+
+let max_capacity config plan =
+  (* Capacity if every replicable subgroup got the whole machine —
+     an optimistic bound used by aggressive coalescing's SLO test. *)
+  let total = Lemur_topology.Topology.total_nf_cores config.Plan.topology in
+  Plan.capacity config plan
+    ~cores:
+      (List.map
+         (fun sg -> if sg.Plan.sg_replicable then max 1 total else 1)
+         plan.Plan.subgroups)
+
+let apply_coalescing config variant plan =
+  match variant with
+  | Baseline -> plan
+  | Aggressive | Conservative ->
+      let rec go plan =
+        let movable_ids =
+          List.filter
+            (fun id ->
+              List.mem Plan.Server
+                (Plan.allowed_locations config
+                   (Graph.node plan.Plan.input.Plan.graph id).Graph.instance))
+            (coalesce_candidates plan)
+        in
+        let try_move id =
+          let locs = Array.copy plan.Plan.locs in
+          locs.(id) <- Plan.Server;
+          let after = Plan.elaborate config plan.Plan.input locs in
+          let before_cap = chain_capacity_ones config plan in
+          match merged_subgroup_index after id with
+          | None -> None
+          | Some sg_index ->
+              let after_cap = chain_capacity_two_on config after sg_index in
+              let strict = after_cap > before_cap +. 1.0 in
+              let conservative = after_cap >= before_cap -. 1.0 in
+              let aggressive =
+                max_capacity config after
+                >= plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_min
+              in
+              let fire =
+                match variant with
+                | Baseline -> false
+                | Aggressive -> strict || aggressive
+                | Conservative -> strict || conservative
+              in
+              if fire then Some after else None
+        in
+        match List.find_map try_move movable_ids with
+        | Some after -> go after
+        | None -> plan
+      in
+      go plan
+
+let lemur_variants config inputs =
+  let base_plans =
+    List.map
+      (fun input ->
+        Plan.elaborate config input (pattern_by_preference config input `Hw))
+      inputs
+  in
+  match evict_to_fit config base_plans with
+  | None -> None
+  | Some baseline ->
+      Some
+        [
+          List.map (apply_coalescing config Baseline) baseline;
+          List.map (apply_coalescing config Aggressive) baseline;
+          List.map (apply_coalescing config Conservative) baseline;
+        ]
+
+let lemur_placement ?policy strategy config inputs start =
+  match lemur_variants config inputs with
+  | None -> Infeasible { reason = "no switch-feasible placement exists" }
+  | Some variants ->
+      (* Step 3: core allocations + LP per candidate placement. When no
+         policy is forced (ablations force one), try both spare-core
+         orders and keep the better. *)
+      let policies =
+        match policy with
+        | Some p -> [ p ]
+        | None -> [ Alloc.Slo_driven; Alloc.By_index ]
+      in
+      let outcomes =
+        List.concat_map
+          (fun plans ->
+            List.map
+              (fun p -> finalize strategy config p plans ~elapsed_start:start)
+              policies)
+          variants
+      in
+      let best =
+        Lemur_util.Listx.max_by
+          (fun o -> match o with Placed p -> p.total_marginal | Infeasible _ -> neg_infinity)
+          (List.filter is_feasible outcomes)
+      in
+      (match best with
+      | Some o -> o
+      | None -> (
+          match outcomes with
+          | o :: _ -> o (* surface the baseline's reason *)
+          | [] -> Infeasible { reason = "no variants" }))
+
+let evaluate_plans strategy config policy plans =
+  finalize strategy config policy plans ~elapsed_start:(Unix.gettimeofday ())
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force Optimal                                                  *)
+
+type opt_config = {
+  oc_plan : Plan.plan;
+  oc_cores : int array;
+  oc_k : int;
+  oc_capacity : float;
+  oc_tables : int;
+  oc_visits : float;
+}
+
+let switch_table_count plan =
+  List.fold_left
+    (fun acc node ->
+      if plan.Plan.locs.(node.Graph.id) = Plan.Switch then
+        acc + Lemur_nf.Datasheet.p4_table_count node.Graph.instance.Lemur_nf.Instance.kind
+      else acc)
+    0
+    (Graph.nodes plan.Plan.input.Plan.graph)
+
+(* Water-filling: best capacity for a fixed plan and total core count —
+   repeatedly grow the capacity-binding subgroup. Stops early when the
+   binding subgroup cannot replicate (more cores would be wasted). *)
+let water_fill config plan k =
+  let n = List.length plan.Plan.subgroups in
+  let cores = Array.make n 1 in
+  let clock =
+    match config.Plan.topology.Lemur_topology.Topology.servers with
+    | s :: _ -> s.Lemur_platform.Server.clock_hz
+    | [] -> Lemur_util.Units.ghz 1.7
+  in
+  let capacity i sg =
+    if sg.Plan.sg_fraction <= 0.0 then infinity
+    else
+      Lemur_bess.Cost.subgroup_rate ~core_tagging:config.Plan.metron_steering
+        ~clock_hz:clock ~cores:cores.(i) ~pkt_bytes:config.Plan.pkt_bytes
+        ~nf_cycles:[ sg.Plan.sg_cycles ] ()
+      /. sg.Plan.sg_fraction
+  in
+  let spare = ref (k - n) in
+  let continue = ref true in
+  while !spare > 0 && !continue do
+    let scored = List.mapi (fun i sg -> (i, sg, capacity i sg)) plan.Plan.subgroups in
+    match Lemur_util.Listx.min_by (fun (_, _, cap) -> cap) scored with
+    | None -> continue := false
+    | Some (_, binding_sg, cap) when cap = infinity || not binding_sg.Plan.sg_replicable ->
+        (* all-hardware, or pinned bottleneck: extra cores are useless *)
+        continue := false
+    | Some (i, _, _) ->
+        cores.(i) <- cores.(i) + 1;
+        decr spare
+  done;
+  cores
+
+let chain_configs config input ~pattern_limit ~core_budget =
+  let patterns = all_patterns config input ~limit:pattern_limit in
+  let plans =
+    List.filter_map
+      (fun locs ->
+        match Plan.elaborate config input locs with
+        | plan -> if Plan.meets_latency config plan then Some plan else None
+        | exception Plan.Invalid_pattern _ -> None)
+      patterns
+  in
+  let configs =
+    List.concat_map
+      (fun plan ->
+        let n = List.length plan.Plan.subgroups in
+        let ks = List.init (max 1 (core_budget - n + 1)) (fun i -> n + i) in
+        let tables = switch_table_count plan in
+        List.filter_map
+          (fun k ->
+            if k < n then None
+            else
+              let cores = water_fill config plan k in
+              let used = Array.fold_left ( + ) 0 cores in
+              if used < k then None (* water-fill saturated below k *)
+              else
+                (* Capacity above t_max is unusable; clamping makes the
+                   dominance pruning prefer cheaper switch footprints
+                   among equally useful configurations. *)
+                let cap =
+                  Float.min
+                    (Plan.capacity config plan ~cores:(Array.to_list cores))
+                    input.Plan.slo.Lemur_slo.Slo.t_max
+                in
+                Some
+                  {
+                    oc_plan = plan;
+                    oc_cores = cores;
+                    oc_k = used;
+                    oc_capacity = cap;
+                    oc_tables = tables;
+                    oc_visits = plan.Plan.link_visits;
+                  })
+          ks)
+      plans
+  in
+  (* Pareto prune: drop configs dominated on (cores, tables, capacity,
+     visits). *)
+  let dominates a b =
+    a.oc_k <= b.oc_k && a.oc_tables <= b.oc_tables
+    && a.oc_capacity >= b.oc_capacity -. 1.0
+    && a.oc_visits <= b.oc_visits +. 1e-9
+    && (a.oc_k < b.oc_k || a.oc_tables < b.oc_tables
+       || a.oc_capacity > b.oc_capacity +. 1.0)
+  in
+  let front =
+    List.filter
+      (fun c -> not (List.exists (fun d -> d != c && dominates d c) configs))
+      configs
+  in
+  (* Bound the joint product while keeping core-count diversity: for
+     each distinct core count, retain the few best configurations. *)
+  let by_k = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let existing = Option.value (Hashtbl.find_opt by_k c.oc_k) ~default:[] in
+      Hashtbl.replace by_k c.oc_k (c :: existing))
+    front;
+  Hashtbl.fold
+    (fun _ cs acc ->
+      (List.sort
+         (fun a b ->
+           (* best capacity first; among ties prefer lighter switch
+              footprints (they survive the joint stage check) *)
+           match Float.compare b.oc_capacity a.oc_capacity with
+           | 0 -> compare a.oc_tables b.oc_tables
+           | c -> c)
+         cs
+      |> Lemur_util.Listx.take 3)
+      @ acc)
+    by_k []
+
+let optimal_placement config inputs start =
+  let core_budget = Lemur_topology.Topology.total_nf_cores config.Plan.topology in
+  let per_chain =
+    List.map
+      (fun input ->
+        chain_configs config input ~pattern_limit:4096 ~core_budget)
+      inputs
+  in
+  if List.exists (fun cs -> cs = []) per_chain then
+    Infeasible { reason = "a chain has no latency-feasible pattern" }
+  else begin
+    (* Enumerate joint combinations within the core budget. *)
+    let combos = ref [] in
+    let rec enum chosen remaining budget =
+      match remaining with
+      | [] -> combos := List.rev chosen :: !combos
+      | configs :: rest ->
+          List.iter
+            (fun c ->
+              if c.oc_k <= budget then enum (c :: chosen) rest (budget - c.oc_k))
+            configs
+    in
+    enum [] per_chain core_budget;
+    (* Evaluate the LP for each combination, rank by objective. *)
+    let scored =
+      List.filter_map
+        (fun combo ->
+          match
+            Alloc.assign_only config
+              (List.map (fun c -> (c.oc_plan, c.oc_cores)) combo)
+          with
+          | None -> None
+          | Some allocs -> (
+              match Alloc.evaluate config allocs with
+              | None -> None
+              | Some lp -> Some (lp.Ratelp.total_marginal, combo, allocs, lp)))
+        !combos
+    in
+    let ranked =
+      List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare b a) scored
+    in
+    (* Walk down the ranking; the first placement the compiler fits wins. *)
+    let rec walk = function
+      | [] -> Infeasible { reason = "no ranked placement fits the switch" }
+      | (_, combo, allocs, lp) :: rest -> (
+          let plans = List.map (fun c -> c.oc_plan) combo in
+          match Stagecheck.check config plans with
+          | Stagecheck.Fits stages ->
+              Placed
+                (build_placement Optimal config allocs lp stages
+                   (Unix.gettimeofday () -. start))
+          | Stagecheck.Overflow _ | Stagecheck.Conflict _ -> walk rest)
+    in
+    if ranked = [] then Infeasible { reason = "SLOs unsatisfiable in any enumerated placement" }
+    else walk ranked
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Minimum Bounce                                                       *)
+
+let min_bounce_placement config inputs start =
+  let pick_pattern input =
+    let patterns = all_patterns config input ~limit:4096 in
+    let plans =
+      List.filter_map
+        (fun locs ->
+          match Plan.elaborate config input locs with
+          | plan -> Some plan
+          | exception Plan.Invalid_pattern _ -> None)
+        patterns
+    in
+    let hw_count plan =
+      Array.fold_left
+        (fun acc loc -> if loc <> Plan.Server then acc + 1 else acc)
+        0 plan.Plan.locs
+    in
+    Lemur_util.Listx.min_by
+      (fun plan ->
+        (float_of_int plan.Plan.max_path_bounces *. 1000.0)
+        -. float_of_int (hw_count plan))
+      plans
+  in
+  let plans = List.map pick_pattern inputs in
+  if List.exists Option.is_none plans then
+    Infeasible { reason = "a chain has no valid pattern" }
+  else
+    finalize Min_bounce config Alloc.Slo_driven
+      (List.filter_map Fun.id plans)
+      ~elapsed_start:start
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: decisions under a uniform profile, judged under the truth  *)
+
+let reevaluate_with_truth strategy config placement start =
+  (* Rebuild plans and capacities with the true profiler but keep the
+     ablated decisions (locations, cores, servers). *)
+  let allocs =
+    List.map
+      (fun r ->
+        let plan = Plan.elaborate config r.plan.Plan.input r.plan.Plan.locs in
+        { Alloc.plan; sg_cores = r.cores; seg_server = r.seg_server })
+      placement.chain_reports
+  in
+  match Alloc.evaluate config allocs with
+  | None -> Infeasible { reason = "SLOs unsatisfiable under true profiles" }
+  | Some lp ->
+      Placed
+        (build_placement strategy config allocs lp placement.stages_used
+           (Unix.gettimeofday () -. start))
+
+(* ------------------------------------------------------------------ *)
+
+let place strategy config inputs =
+  let start = Unix.gettimeofday () in
+  try
+    match strategy with
+    | Lemur -> lemur_placement Lemur config inputs start
+    | Optimal -> optimal_placement config inputs start
+    | Greedy ->
+        let plans =
+          List.map
+            (fun input ->
+              Plan.elaborate config input (pattern_by_preference config input `Hw))
+            inputs
+        in
+        finalize Greedy config Alloc.By_index plans ~elapsed_start:start
+    | Hw_preferred ->
+        let plans =
+          List.map
+            (fun input ->
+              Plan.elaborate config input (pattern_by_preference config input `Hw))
+            inputs
+        in
+        finalize Hw_preferred config Alloc.Even plans ~elapsed_start:start
+    | Sw_preferred ->
+        let plans =
+          List.map
+            (fun input ->
+              Plan.elaborate config input (pattern_by_preference config input `Sw))
+            inputs
+        in
+        finalize Sw_preferred config Alloc.Slo_driven plans ~elapsed_start:start
+    | Min_bounce -> min_bounce_placement config inputs start
+    | No_profiling -> (
+        let blind_config =
+          {
+            config with
+            Plan.profiler =
+              Lemur_profiler.Profiler.create ~uniform_cycles:(Some 5000.0) ();
+          }
+        in
+        match lemur_placement No_profiling blind_config inputs start with
+        | Infeasible _ as i -> i
+        | Placed p -> reevaluate_with_truth No_profiling config p start)
+    | No_core_alloc ->
+        lemur_placement ~policy:Alloc.No_extra No_core_alloc config inputs start
+  with Plan.Invalid_pattern msg -> Infeasible { reason = msg }
+
+let pp_outcome ppf = function
+  | Infeasible { reason } -> Format.fprintf ppf "infeasible: %s" reason
+  | Placed p ->
+      Format.fprintf ppf
+        "%s: rate %a (marginal %a), %d stages, %d cores, %.3fs@."
+        (name p.strategy) Lemur_util.Units.pp_rate p.total_rate
+        Lemur_util.Units.pp_rate p.total_marginal p.stages_used p.cores_used
+        p.elapsed;
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %-8s rate %a cap %a bounces %d cores %d@."
+            r.plan.Plan.input.Plan.id Lemur_util.Units.pp_rate r.rate
+            Lemur_util.Units.pp_rate r.capacity r.bounces
+            (Array.fold_left ( + ) 0 r.cores))
+        p.chain_reports

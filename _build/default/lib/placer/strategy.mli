@@ -1,0 +1,73 @@
+(** Placement strategies (§3.2 and §5.1 "Comparison").
+
+    - [Lemur]: the fast heuristic — greedy switch placement with
+      cheapest-NF eviction to fit stages, subgroup coalescing
+      (strict/aggressive/conservative variants), SLO-driven core
+      allocation, rate LP; best of the three variants wins.
+    - [Optimal]: brute-force search — enumerate per-chain patterns and
+      core budgets, prune dominated configurations, rank joint
+      combinations by LP objective, and accept the first that the PISA
+      compiler fits (§3.2 "Brute-force Placement").
+    - [Hw_preferred]: as many NFs as possible on accelerators; spare
+      cores spread evenly; no stage-overflow recovery.
+    - [Sw_preferred]: every NF with a software implementation on the
+      server (kernel-bypass style deployments).
+    - [Min_bounce]: per chain, the pattern minimizing switch<->server
+      bounces (E2's Kernighan-Lin objective), ties broken toward
+      hardware.
+    - [Greedy]: HW-preferred placement, then profile-driven cores to
+      meet each chain's t_min, then spare cores by chain index.
+    - [No_profiling], [No_core_alloc]: the Fig 2f ablations of Lemur. *)
+
+type t =
+  | Lemur
+  | Optimal
+  | Hw_preferred
+  | Sw_preferred
+  | Min_bounce
+  | Greedy
+  | No_profiling
+  | No_core_alloc
+
+val all : t list
+val name : t -> string
+
+type chain_report = {
+  plan : Plan.plan;
+  cores : int array;  (** per subgroup *)
+  seg_server : (int * string) list;
+  capacity : float;  (** estimated chain capacity (bit/s) *)
+  rate : float;  (** LP-allocated rate (bit/s) *)
+  latency : float;  (** worst-path latency (ns) *)
+  bounces : int;
+}
+
+type placement = {
+  strategy : t;
+  chain_reports : chain_report list;
+  total_rate : float;  (** predicted aggregate throughput (the paper's diamond) *)
+  total_marginal : float;
+  stages_used : int;
+  cores_used : int;
+  elapsed : float;  (** placement computation time, seconds *)
+}
+
+type outcome = Placed of placement | Infeasible of { reason : string }
+
+val place : t -> Plan.config -> Plan.chain_input list -> outcome
+
+val lemur_variants :
+  Plan.config -> Plan.chain_input list -> Plan.plan list list option
+(** The heuristic's three candidate placements after step 2 —
+    \[baseline; aggressive; conservative\] — or [None] when no
+    switch-feasible baseline exists. Exposed for tests and diagnostics. *)
+
+val evaluate_plans :
+  t -> Plan.config -> Alloc.spare_policy -> Plan.plan list -> outcome
+(** Step 3 in isolation (core allocation + rate LP + stage and latency
+    checks) for externally chosen plans — used by the coalescing
+    ablation bench and tests. *)
+
+val is_feasible : outcome -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit

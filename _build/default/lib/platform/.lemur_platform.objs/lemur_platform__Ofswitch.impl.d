@@ -1,0 +1,1 @@
+lib/platform/ofswitch.ml: Format Lemur_nf Lemur_util List

@@ -1,0 +1,1 @@
+lib/platform/ofswitch.mli: Format Lemur_nf

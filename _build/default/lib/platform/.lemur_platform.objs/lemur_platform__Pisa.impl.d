@@ -1,0 +1,1 @@
+lib/platform/pisa.ml: Format Lemur_util

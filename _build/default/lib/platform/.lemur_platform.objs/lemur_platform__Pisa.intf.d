@@ -1,0 +1,1 @@
+lib/platform/pisa.mli: Format

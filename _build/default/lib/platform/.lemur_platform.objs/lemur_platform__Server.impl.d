@@ -1,0 +1,1 @@
+lib/platform/server.ml: Format Lemur_util

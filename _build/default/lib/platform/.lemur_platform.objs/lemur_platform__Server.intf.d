@@ -1,0 +1,1 @@
+lib/platform/server.mli: Format

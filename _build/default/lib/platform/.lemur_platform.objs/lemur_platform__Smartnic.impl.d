@@ -1,0 +1,1 @@
+lib/platform/smartnic.ml: Float Format Lemur_nf Lemur_util

@@ -1,0 +1,1 @@
+lib/platform/smartnic.mli: Format Lemur_nf

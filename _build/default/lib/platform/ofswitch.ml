@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  capacity : float;
+  table_order : Lemur_nf.Kind.t list;
+  vid_bits : int;
+  latency : float;
+}
+
+let edgecore_as5712 =
+  {
+    name = "edgecore-as5712-54x";
+    capacity = Lemur_util.Units.gbps 40.0;
+    table_order =
+      [
+        Lemur_nf.Kind.Acl; Lemur_nf.Kind.Monitor; Lemur_nf.Kind.Tunnel;
+        Lemur_nf.Kind.Detunnel; Lemur_nf.Kind.Ipv4_fwd;
+      ];
+    vid_bits = 12;
+    latency = 1500.0;
+  }
+
+let supports t kind = List.mem kind t.table_order
+
+let order_compatible t kinds =
+  (* [kinds] must embed as a subsequence of [table_order], without
+     repeating a hardware table. *)
+  let rec embed kinds order =
+    match (kinds, order) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | k :: krest, o :: orest ->
+        if Lemur_nf.Kind.equal k o then embed krest orest else embed kinds orest
+  in
+  let no_dup =
+    List.length kinds
+    = List.length (Lemur_util.Listx.uniq Lemur_nf.Kind.equal kinds)
+  in
+  no_dup && embed kinds t.table_order
+
+let max_steering_entries t = (1 lsl t.vid_bits) - 2 (* 0 and 0xFFF reserved *)
+
+let pp ppf t =
+  Format.fprintf ppf "%s (OpenFlow, %a)" t.name Lemur_util.Units.pp_rate
+    t.capacity

@@ -1,0 +1,33 @@
+(** OpenFlow switch model (Edgecore AS5712-54X in the paper, §5.3).
+
+    Unlike a PISA switch, an OpenFlow switch has a {e fixed} table
+    pipeline: the Placer must check that the NFs mapped to it appear in
+    an order compatible with the hardware table order. It does not
+    support NSH; Lemur steers with the 12-bit VLAN vid instead, which
+    bounds how many (chain, position) pairs can be encoded. *)
+
+type t = {
+  name : string;
+  capacity : float;  (** bit/s through the switch *)
+  table_order : Lemur_nf.Kind.t list;
+      (** fixed hardware pipeline order; NFs must be placed respecting
+          this relative order, one table (hence one NF instance) each *)
+  vid_bits : int;  (** VLAN vid bits available for SPI/SI steering *)
+  latency : float;  (** nanoseconds per traversal *)
+}
+
+val edgecore_as5712 : t
+(** 54 ports modeled as an aggregate 40 Gbps on-path capacity, pipeline
+    order ACL -> Monitor -> Tunnel -> Detunnel -> IPv4Fwd, 12-bit vid. *)
+
+val supports : t -> Lemur_nf.Kind.t -> bool
+
+val order_compatible : t -> Lemur_nf.Kind.t list -> bool
+(** Whether the given NF sequence (chain order) can execute on the fixed
+    pipeline: it must be a subsequence of [table_order] with no kind
+    used twice. *)
+
+val max_steering_entries : t -> int
+(** 2^vid_bits - reserved values: how many (SPI, SI) pairs fit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  ports : int;
+  port_capacity : float;
+  stages : int;
+  tables_per_stage : int;
+  latency : float;
+}
+
+let tofino_32x100g =
+  {
+    name = "edgecore-100bf-32x";
+    ports = 32;
+    port_capacity = Lemur_util.Units.gbps 100.0;
+    stages = 12;
+    tables_per_stage = 4;
+    latency = 900.0 (* ns *);
+  }
+
+let line_rate t = float_of_int t.ports *. t.port_capacity
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%dx%a, %d stages)" t.name t.ports
+    Lemur_util.Units.pp_rate t.port_capacity t.stages

@@ -1,0 +1,25 @@
+(** PISA (Tofino-class) switch model.
+
+    The paper's ToR is an Edgecore 100BF-32X (Barefoot Tofino,
+    32x100 Gbps). The properties the Placer and meta-compiler reason
+    about are: line-rate processing for anything that fits, a hard
+    pipeline-stage budget, a bounded number of match/action tables that
+    can share one stage, and a small per-pass latency. *)
+
+type t = {
+  name : string;
+  ports : int;
+  port_capacity : float;  (** bit/s per port *)
+  stages : int;  (** usable pipeline stages *)
+  tables_per_stage : int;
+      (** independent tables the compiler can pack into one stage *)
+  latency : float;  (** nanoseconds per pipeline traversal *)
+}
+
+val tofino_32x100g : t
+(** 32 x 100 Gbps, 12 usable stages, 4 tables/stage, ~0.9 us. *)
+
+val line_rate : t -> float
+(** Aggregate switching capacity (ports x port rate). *)
+
+val pp : Format.formatter -> t -> unit

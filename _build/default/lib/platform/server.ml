@@ -1,0 +1,37 @@
+type nic = { nic_name : string; capacity : float; socket : int }
+
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;
+  clock_hz : float;
+  nics : nic list;
+  reserved_cores : int;
+}
+
+let xeon_bronze ?(name = "nf-server") ?(cores_per_socket = 8) () =
+  {
+    name;
+    sockets = 2;
+    cores_per_socket;
+    clock_hz = Lemur_util.Units.ghz 1.7;
+    nics =
+      [ { nic_name = name ^ "-xl710"; capacity = Lemur_util.Units.gbps 40.0; socket = 0 } ];
+    reserved_cores = 1;
+  }
+
+let total_cores t = t.sockets * t.cores_per_socket
+let nf_cores t = max 0 (total_cores t - t.reserved_cores)
+
+let nic_capacity t = Lemur_util.Listx.sum_by (fun n -> n.capacity) t.nics
+
+let rate_of_cycles t ~cycles ~cores ~pkt_bytes =
+  if cycles <= 0.0 then infinity
+  else
+    let pps = float_of_int cores *. t.clock_hz /. cycles in
+    Lemur_util.Units.bps_of_pps ~pkt_bytes pps
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%dx%d cores @ %.1f GHz, NIC %a)" t.name t.sockets
+    t.cores_per_socket (t.clock_hz /. 1e9) Lemur_util.Units.pp_rate
+    (nic_capacity t)

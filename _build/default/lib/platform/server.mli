@@ -1,0 +1,38 @@
+(** Commodity x86 server model (BESS/DPDK NF host).
+
+    The paper's NF server is a dual-socket 8-core 1.7 GHz Xeon Bronze
+    3106 with one 40 Gbps NIC attached to socket 0. One core is reserved
+    for the BESS demultiplexer, which pulls packets from the NIC,
+    decapsulates NSH and steers batches to subgroup queues (§4.2). *)
+
+type nic = {
+  nic_name : string;
+  capacity : float;  (** bit/s, per direction *)
+  socket : int;  (** socket the NIC's PCIe lanes attach to *)
+}
+
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;
+  clock_hz : float;
+  nics : nic list;
+  reserved_cores : int;  (** cores unavailable to NFs (demux etc.) *)
+}
+
+val xeon_bronze : ?name:string -> ?cores_per_socket:int -> unit -> t
+(** The paper's NF server: 2 sockets x 8 cores @ 1.7 GHz, one 40 G
+    Intel XL710 on socket 0, 1 reserved core. *)
+
+val total_cores : t -> int
+val nf_cores : t -> int
+(** Cores available to NF subgroups. *)
+
+val nic_capacity : t -> float
+(** Total NIC capacity per direction. *)
+
+val rate_of_cycles : t -> cycles:float -> cores:int -> pkt_bytes:int -> float
+(** Estimated bit/s of a run-to-completion workload costing [cycles] per
+    packet, on [cores] cores: [cores * clock / cycles] packets/s. *)
+
+val pp : Format.formatter -> t -> unit

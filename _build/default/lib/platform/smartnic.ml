@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  capacity : float;
+  max_instructions : int;
+  max_stack_bytes : int;
+  allows_calls : bool;
+  allows_back_edges : bool;
+  host : string;
+}
+
+let agilio_cx ~host =
+  {
+    name = host ^ "-agilio-cx";
+    capacity = Lemur_util.Units.gbps 40.0;
+    max_instructions = 4096;
+    max_stack_bytes = 512;
+    allows_calls = false;
+    allows_back_edges = false;
+    host;
+  }
+
+let rate t ~clock_hz ~kind ~cycles ~pkt_bytes =
+  if cycles <= 0.0 then t.capacity
+  else
+    let one_core_pps = clock_hz /. cycles in
+    let pps = one_core_pps *. Lemur_nf.Datasheet.ebpf_speedup kind in
+    Float.min t.capacity (Lemur_util.Units.bps_of_pps ~pkt_bytes pps)
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%a eBPF NIC on %s)" t.name Lemur_util.Units.pp_rate
+    t.capacity t.host

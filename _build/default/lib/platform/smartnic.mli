@@ -1,0 +1,28 @@
+(** eBPF-capable SmartNIC model (Netronome Agilio CX 1x40 Gbps, §A.3).
+
+    The NIC runs one XDP-hooked eBPF program over ingress traffic. The
+    constraints the paper works around — 512-byte stack, ~4k instruction
+    budget, no function calls, no back edges — are enforced by
+    [Lemur_ebpf]'s verifier model against these limits. *)
+
+type t = {
+  name : string;
+  capacity : float;  (** line rate, bit/s *)
+  max_instructions : int;
+  max_stack_bytes : int;
+  allows_calls : bool;
+  allows_back_edges : bool;
+  host : string;  (** name of the server this NIC is attached to *)
+}
+
+val agilio_cx : host:string -> t
+(** 1 x 40 Gbps, 4096-instruction budget, 512 B stack, no calls, no
+    back edges. *)
+
+val rate :
+  t -> clock_hz:float -> kind:Lemur_nf.Kind.t -> cycles:float -> pkt_bytes:int -> float
+(** Throughput of [kind] offloaded to this NIC, modeled as the
+    datasheet speed-up over a single host core of the given clock
+    running [cycles]/packet, capped at line rate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/profiler/profiler.ml: Datasheet Float Hashtbl Instance Kind Lemur_nf Lemur_util List Listx Option Printf Prng Stats

@@ -1,0 +1,1 @@
+lib/profiler/profiler.mli: Lemur_nf Lemur_util

@@ -1,0 +1,155 @@
+open Lemur_nf
+open Lemur_util
+
+type traffic_mode = Long_lived | Short_flows
+
+type t = {
+  seed : int;
+  runs : int;
+  error : float;
+  uniform_cycles : float option;
+  cache : (string, float list) Hashtbl.t;
+}
+
+let create ?(seed = 0xC0FFEE) ?(runs = 500) ?(error = 0.0)
+    ?(uniform_cycles = None) () =
+  if error < 0.0 || error >= 1.0 then invalid_arg "Profiler.create: error";
+  { seed; runs; error; uniform_cycles; cache = Hashtbl.create 64 }
+
+let runs t = t.runs
+
+let kind_index kind =
+  match Listx.index_of (Kind.equal kind) Kind.all with
+  | Some i -> i
+  | None -> assert false
+
+let mode_index = function Long_lived -> 0 | Short_flows -> 1
+let numa_index = function Datasheet.Same -> 0 | Datasheet.Diff -> 1
+
+let cache_key kind numa size mode =
+  Printf.sprintf "%d/%d/%d/%d" (kind_index kind) (numa_index numa) size
+    (mode_index mode)
+
+(* Short-lived flow churn stresses stateful NFs: slightly higher mean
+   (cold tables, allocations) and a wider spread. *)
+let mode_adjust kind mode (cost : Datasheet.cost) =
+  match mode with
+  | Long_lived -> cost
+  | Short_flows ->
+      if Kind.stateful kind then
+        {
+          Datasheet.mean = cost.Datasheet.mean *. 1.012;
+          min = cost.Datasheet.min;
+          max = cost.Datasheet.max *. 1.018;
+        }
+      else cost
+
+let samples t kind numa ?size mode =
+  let size =
+    match (size, Datasheet.reference_size kind) with
+    | Some s, _ -> s
+    | None, Some r -> r
+    | None, None -> 0
+  in
+  let key = cache_key kind numa size mode in
+  match Hashtbl.find_opt t.cache key with
+  | Some xs -> xs
+  | None ->
+      let cost =
+        mode_adjust kind mode (Datasheet.cycle_cost_sized kind numa ~size)
+      in
+      let prng =
+        Prng.create
+          ~seed:
+            (t.seed
+            + (1_000_003 * kind_index kind)
+            + (7919 * numa_index numa)
+            + (104729 * mode_index mode)
+            + size)
+      in
+      let sigma = (cost.Datasheet.max -. cost.Datasheet.min) /. 5.0 in
+      let xs =
+        List.init t.runs (fun _ ->
+            Prng.truncated_gaussian prng ~mu:cost.Datasheet.mean ~sigma
+              ~lo:cost.Datasheet.min ~hi:cost.Datasheet.max)
+      in
+      Hashtbl.replace t.cache key xs;
+      xs
+
+let summary t kind numa ?size mode = Stats.summarize (samples t kind numa ?size mode)
+
+let worst_case t kind numa ~size =
+  match t.uniform_cycles with
+  | Some c -> c
+  | None ->
+      let worst_of mode =
+        List.fold_left Float.max neg_infinity (samples t kind numa ~size mode)
+      in
+      let worst = Float.max (worst_of Long_lived) (worst_of Short_flows) in
+      worst *. (1.0 -. t.error)
+
+let cycles t instance numa =
+  let kind = instance.Instance.kind in
+  let size =
+    match Instance.state_size instance with
+    | Some s -> s
+    | None -> Option.value (Datasheet.reference_size kind) ~default:0
+  in
+  worst_case t kind numa ~size
+
+let cycles_kind t kind numa =
+  let size = Option.value (Datasheet.reference_size kind) ~default:0 in
+  worst_case t kind numa ~size
+
+let size_ladder kind =
+  match Datasheet.reference_size kind with
+  | None -> []
+  | Some r -> List.map (fun f -> max 1 (r * f / 4)) [ 1; 2; 3; 4; 6; 8 ]
+
+let fit_size_model t kind numa =
+  match Datasheet.size_slope kind with
+  | None -> None
+  | Some _ ->
+      let points =
+        List.map
+          (fun size ->
+            let s = summary t kind numa ~size Long_lived in
+            (float_of_int size, s.Stats.mean))
+          (size_ladder kind)
+      in
+      Some (Stats.linear_fit points)
+
+let predict_cycles t kind numa ~size =
+  Option.map
+    (fun (slope, intercept) -> (slope *. float_of_int size) +. intercept)
+    (fit_size_model t kind numa)
+
+let table4 t =
+  List.concat_map
+    (fun (kind, size) ->
+      let label =
+        match size with
+        | None -> Kind.name kind
+        | Some s -> Printf.sprintf "%s (%d)" (Kind.name kind) s
+      in
+      List.map
+        (fun numa ->
+          let numa_label =
+            match numa with Datasheet.Same -> "Same" | Datasheet.Diff -> "Diff"
+          in
+          (label, numa_label, summary t kind numa ?size Long_lived))
+        [ Datasheet.Same; Datasheet.Diff ])
+    Datasheet.table4_rows
+
+let stability_bound t =
+  let bound kind numa =
+    let s = summary t kind numa Long_lived in
+    (s.Stats.max -. s.Stats.mean) /. s.Stats.mean
+  in
+  List.fold_left
+    (fun acc kind ->
+      List.fold_left
+        (fun acc numa -> Float.max acc (bound kind numa))
+        acc
+        [ Datasheet.Same; Datasheet.Diff ])
+    0.0 Kind.all

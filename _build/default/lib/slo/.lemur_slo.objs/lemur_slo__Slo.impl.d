@@ -1,0 +1,1 @@
+lib/slo/slo.ml: Float Format Lemur_nf Lemur_util List String

@@ -1,0 +1,1 @@
+lib/slo/slo.mli: Format Lemur_nf

@@ -1,0 +1,1 @@
+lib/spec/graph.ml: Ast Float Format Fun Hashtbl Lemur_nf Lemur_util List Option Printf

@@ -1,0 +1,1 @@
+lib/spec/graph.mli: Ast Format Lemur_nf

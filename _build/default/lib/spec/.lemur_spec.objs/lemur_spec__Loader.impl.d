@@ -1,0 +1,1 @@
+lib/spec/loader.ml: Ast Graph Lemur_nf List Option Parser Printf

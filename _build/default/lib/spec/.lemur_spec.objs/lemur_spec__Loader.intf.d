@@ -1,0 +1,1 @@
+lib/spec/loader.mli: Graph Lemur_nf

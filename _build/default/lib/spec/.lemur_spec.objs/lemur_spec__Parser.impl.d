@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Array Ast Format Lemur_nf Lexer List

@@ -1,0 +1,167 @@
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | BOOL of bool
+  | ARROW
+  | EQUALS
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | KW_CHAIN
+  | KW_SLO
+  | KW_SUBCHAIN
+  | KW_AGGREGATE
+  | EOF
+
+exception Error of { line : int; col : int; message : string }
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | FLOAT f -> Format.fprintf ppf "float %g" f
+  | BOOL b -> Format.fprintf ppf "bool %b" b
+  | ARROW -> Format.pp_print_string ppf "'->'"
+  | EQUALS -> Format.pp_print_string ppf "'='"
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | KW_CHAIN -> Format.pp_print_string ppf "'chain'"
+  | KW_SLO -> Format.pp_print_string ppf "'slo'"
+  | KW_SUBCHAIN -> Format.pp_print_string ppf "'subchain'"
+  | KW_AGGREGATE -> Format.pp_print_string ppf "'aggregate'"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize source =
+  let len = String.length source in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let fail pos message =
+    raise (Error { line = !line; col = pos - !line_start + 1; message })
+  in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let pos = ref 0 in
+  while !pos < len do
+    let c = source.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos;
+      line_start := !pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '#' then begin
+      while !pos < len && source.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '-' && !pos + 1 < len && source.[!pos + 1] = '>' then begin
+      emit ARROW;
+      pos := !pos + 2
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < len && is_ident_char source.[!pos] do
+        incr pos
+      done;
+      let word = String.sub source start (!pos - start) in
+      match word with
+      | "chain" -> emit KW_CHAIN
+      | "slo" -> emit KW_SLO
+      | "subchain" -> emit KW_SUBCHAIN
+      | "aggregate" -> emit KW_AGGREGATE
+      | "True" | "true" -> emit (BOOL true)
+      | "False" | "false" -> emit (BOOL false)
+      | _ -> emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if
+        c = '0'
+        && !pos + 1 < len
+        && (source.[!pos + 1] = 'x' || source.[!pos + 1] = 'X')
+      then begin
+        pos := !pos + 2;
+        if !pos >= len || not (is_hex_digit source.[!pos]) then
+          fail start "malformed hex literal";
+        while !pos < len && is_hex_digit source.[!pos] do
+          incr pos
+        done;
+        emit (INT (int_of_string (String.sub source start (!pos - start))))
+      end
+      else begin
+        while !pos < len && is_digit source.[!pos] do
+          incr pos
+        done;
+        if !pos < len && source.[!pos] = '.' then begin
+          incr pos;
+          while !pos < len && is_digit source.[!pos] do
+            incr pos
+          done;
+          emit (FLOAT (float_of_string (String.sub source start (!pos - start))))
+        end
+        else emit (INT (int_of_string (String.sub source start (!pos - start))))
+      end
+    end
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let start = !pos in
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < len do
+        let d = source.[!pos] in
+        if d = quote then begin
+          closed := true;
+          incr pos
+        end
+        else if d = '\n' then fail start "unterminated string"
+        else begin
+          Buffer.add_char buf d;
+          incr pos
+        end
+      done;
+      if not !closed then fail start "unterminated string";
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      (match c with
+      | '=' -> emit EQUALS
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '[' -> emit LBRACKET
+      | ']' -> emit RBRACKET
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | ',' -> emit COMMA
+      | ':' -> emit COLON
+      | ';' -> emit SEMI
+      | _ -> fail !pos (Printf.sprintf "unexpected character %C" c));
+      incr pos
+    end
+  done;
+  emit EOF;
+  List.rev !tokens

@@ -1,0 +1,33 @@
+(** Hand-written lexer for the chain-specification language. *)
+
+type token =
+  | IDENT of string
+  | STRING of string  (** single- or double-quoted *)
+  | INT of int  (** decimal or 0x hex *)
+  | FLOAT of float
+  | BOOL of bool  (** [True] / [False] *)
+  | ARROW  (** [->] *)
+  | EQUALS
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | KW_CHAIN
+  | KW_SLO
+  | KW_SUBCHAIN
+  | KW_AGGREGATE
+  | EOF
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with 1-based line numbers; comments ([#] to end of
+    line) and whitespace are skipped. Ends with [(EOF, _)].
+    @raise Error on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,130 @@
+type chain_spec = {
+  chain_name : string;
+  graph : Graph.t;
+  aggregate : Lemur_nf.Params.t option;
+  slo_args : Lemur_nf.Params.t option;
+}
+
+(* Splice subchain references: an atom whose name matches a declared
+   subchain expands (recursively) into a fresh copy of its pipeline.
+   [stack] detects recursive subchain definitions. *)
+let rec expand_pipeline subchains stack pipeline =
+  List.concat_map
+    (fun element ->
+      match element with
+      | Ast.Atom { ref_name; args } -> (
+          match List.assoc_opt ref_name subchains with
+          | None -> [ element ]
+          | Some sub ->
+              if args <> None then
+                raise
+                  (Graph.Invalid
+                     (Printf.sprintf "subchain %s cannot take arguments" ref_name));
+              if List.mem ref_name stack then
+                raise
+                  (Graph.Invalid
+                     (Printf.sprintf "recursive subchain %S" ref_name));
+              expand_pipeline subchains (ref_name :: stack) sub)
+      | Ast.Branch arms ->
+          [
+            Ast.Branch
+              (List.map
+                 (fun arm ->
+                   { arm with Ast.body = expand_pipeline subchains stack arm.Ast.body })
+                 arms);
+          ])
+    pipeline
+
+(* Resolve macro references in parameter values. *)
+let rec resolve_value macros v =
+  match v with
+  | Lemur_nf.Params.Ref name -> (
+      match List.assoc_opt name macros with
+      | Some value -> value
+      | None ->
+          raise (Graph.Invalid (Printf.sprintf "unknown macro %S" name)))
+  | Lemur_nf.Params.List items ->
+      Lemur_nf.Params.List (List.map (resolve_value macros) items)
+  | Lemur_nf.Params.Dict fields ->
+      Lemur_nf.Params.Dict
+        (List.map (fun (k, v) -> (k, resolve_value macros v)) fields)
+  | Lemur_nf.Params.Int _ | Lemur_nf.Params.Float _ | Lemur_nf.Params.Str _
+  | Lemur_nf.Params.Bool _ ->
+      v
+
+let resolve_params macros params =
+  List.map (fun (k, v) -> (k, resolve_value macros v)) params
+
+(* Macro references may also appear as branch-arm conditions. *)
+let rec resolve_pipeline macros pipeline =
+  List.map
+    (fun element ->
+      match element with
+      | Ast.Atom { ref_name; args } ->
+          Ast.Atom { ref_name; args = Option.map (resolve_params macros) args }
+      | Ast.Branch arms ->
+          Ast.Branch
+            (List.map
+               (fun arm ->
+                 {
+                   Ast.conds = resolve_params macros arm.Ast.conds;
+                   weight = arm.Ast.weight;
+                   body = resolve_pipeline macros arm.Ast.body;
+                 })
+               arms))
+    pipeline
+
+let load source =
+  let statements = Parser.parse source in
+  let decls = ref [] in
+  let macros = ref [] in
+  let subchains = ref [] in
+  let chains = ref [] in
+  List.iter
+    (fun statement ->
+      match statement with
+      | Ast.Macro (name, v) ->
+          if List.mem_assoc name !macros then
+            raise (Graph.Invalid (Printf.sprintf "duplicate macro %S" name));
+          macros := (name, resolve_value !macros v) :: !macros
+      | Ast.Decl (name, atom) ->
+          let kind =
+            match Lemur_nf.Kind.of_name atom.Ast.ref_name with
+            | Some k -> k
+            | None ->
+                raise
+                  (Graph.Invalid
+                     (Printf.sprintf "declaration %s: unknown NF %S" name
+                        atom.Ast.ref_name))
+          in
+          let params =
+            resolve_params !macros (Option.value atom.Ast.args ~default:[])
+          in
+          decls := (name, Lemur_nf.Instance.make ~name ~params kind) :: !decls
+      | Ast.Subchain { name; pipeline } ->
+          if List.mem_assoc name !subchains then
+            raise (Graph.Invalid (Printf.sprintf "duplicate subchain name %S" name));
+          (* expand eagerly so later subchains may reference earlier ones *)
+          subchains :=
+            (name, expand_pipeline !subchains [ name ] pipeline) :: !subchains
+      | Ast.Chain { name; aggregate; slo_args; pipeline } ->
+          if List.exists (fun c -> c.chain_name = name) !chains then
+            raise
+              (Graph.Invalid (Printf.sprintf "duplicate chain name %S" name));
+          let pipeline =
+            resolve_pipeline !macros (expand_pipeline !subchains [] pipeline)
+          in
+          let graph = Graph.of_pipeline ~name ~decls:!decls pipeline in
+          chains :=
+            {
+              chain_name = name;
+              graph;
+              aggregate = Option.map (resolve_params !macros) aggregate;
+              slo_args = Option.map (resolve_params !macros) slo_args;
+            }
+            :: !chains)
+    statements;
+  List.rev !chains
+
+let chain_of_string ?(name = "chain") source =
+  Graph.of_pipeline ~name (Parser.parse_pipeline source)

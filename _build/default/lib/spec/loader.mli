@@ -1,0 +1,25 @@
+(** Front door of the specification pipeline: source text to NF-graphs.
+
+    Processes statements in order; instance declarations are visible to
+    all later chains. SLO arguments are returned raw ([Params.t]) — the
+    [Lemur_slo] layer interprets them (avoiding a dependency cycle). *)
+
+type chain_spec = {
+  chain_name : string;
+  graph : Graph.t;
+  aggregate : Lemur_nf.Params.t option;
+      (** raw [aggregate(...)] args: 5-tuple fields selecting the
+          chain's traffic (§2) *)
+  slo_args : Lemur_nf.Params.t option;
+}
+
+val load : string -> chain_spec list
+(** Parse and elaborate a full specification source. Subchain
+    definitions ([subchain s8 = Detunnel -> Encrypt -> IPv4Fwd]) are
+    spliced into the chains that reference them.
+    @raise Parser.Error, Lexer.Error on syntax errors.
+    @raise Graph.Invalid on semantic errors (unknown NFs, bad weights,
+    duplicate chain or subchain names, recursive subchains). *)
+
+val chain_of_string : ?name:string -> string -> Graph.t
+(** Elaborate a bare pipeline such as ["ACL -> Encrypt -> IPv4Fwd"]. *)

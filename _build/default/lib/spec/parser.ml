@@ -1,0 +1,221 @@
+exception Error of { line : int; message : string }
+
+type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+let line st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st message = raise (Error { line = line st; message })
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Format.asprintf "expected %s but found %a" what Lexer.pp_token (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail st (Format.asprintf "expected identifier, found %a" Lexer.pp_token t)
+
+let rec value st =
+  match peek st with
+  | Lexer.IDENT name ->
+      advance st;
+      Lemur_nf.Params.Ref name
+  | Lexer.INT n ->
+      advance st;
+      Lemur_nf.Params.Int n
+  | Lexer.FLOAT f ->
+      advance st;
+      Lemur_nf.Params.Float f
+  | Lexer.STRING s ->
+      advance st;
+      Lemur_nf.Params.Str s
+  | Lexer.BOOL b ->
+      advance st;
+      Lemur_nf.Params.Bool b
+  | Lexer.LBRACKET ->
+      advance st;
+      let items = ref [] in
+      if peek st <> Lexer.RBRACKET then begin
+        items := [ value st ];
+        while peek st = Lexer.COMMA do
+          advance st;
+          items := value st :: !items
+        done
+      end;
+      expect st Lexer.RBRACKET "']' closing a list";
+      Lemur_nf.Params.List (List.rev !items)
+  | Lexer.LBRACE ->
+      advance st;
+      let fields = ref [] in
+      let field () =
+        match peek st with
+        | Lexer.STRING key ->
+            advance st;
+            expect st Lexer.COLON "':' in dict entry";
+            fields := (key, value st) :: !fields
+        | t ->
+            fail st
+              (Format.asprintf "expected string key in dict, found %a"
+                 Lexer.pp_token t)
+      in
+      if peek st <> Lexer.RBRACE then begin
+        field ();
+        while peek st = Lexer.COMMA do
+          advance st;
+          field ()
+        done
+      end;
+      expect st Lexer.RBRACE "'}' closing a dict";
+      Lemur_nf.Params.Dict (List.rev !fields)
+  | t -> fail st (Format.asprintf "expected a value, found %a" Lexer.pp_token t)
+
+let args st =
+  (* caller consumed LPAREN *)
+  let bindings = ref [] in
+  let binding () =
+    let key = ident st in
+    expect st Lexer.EQUALS "'=' in argument";
+    bindings := (key, value st) :: !bindings
+  in
+  if peek st <> Lexer.RPAREN then begin
+    binding ();
+    while peek st = Lexer.COMMA do
+      advance st;
+      binding ()
+    done
+  end;
+  expect st Lexer.RPAREN "')' closing arguments";
+  List.rev !bindings
+
+let atom st =
+  let ref_name = ident st in
+  match peek st with
+  | Lexer.LPAREN ->
+      advance st;
+      { Ast.ref_name; args = Some (args st) }
+  | _ -> { Ast.ref_name; args = None }
+
+let rec pipeline st =
+  let first = element st in
+  let elements = ref [ first ] in
+  while peek st = Lexer.ARROW do
+    advance st;
+    elements := element st :: !elements
+  done;
+  List.rev !elements
+
+and element st =
+  match peek st with
+  | Lexer.LBRACKET ->
+      advance st;
+      let arms = ref [ arm st ] in
+      while peek st = Lexer.COMMA do
+        advance st;
+        arms := arm st :: !arms
+      done;
+      expect st Lexer.RBRACKET "']' closing a branch";
+      Ast.Branch (List.rev !arms)
+  | _ -> Ast.Atom (atom st)
+
+and arm st =
+  expect st Lexer.LBRACE "'{' opening a branch arm";
+  let conds = ref [] in
+  let weight = ref None in
+  let body = ref [] in
+  let item () =
+    match peek st with
+    | Lexer.STRING key ->
+        advance st;
+        expect st Lexer.COLON "':' in branch condition";
+        let v = value st in
+        if key = "weight" then begin
+          match v with
+          | Lemur_nf.Params.Float w -> weight := Some w
+          | Lemur_nf.Params.Int w -> weight := Some (float_of_int w)
+          | _ -> fail st "'weight' must be a number"
+        end
+        else conds := (key, v) :: !conds
+    | Lexer.IDENT _ | Lexer.LBRACKET ->
+        if !body <> [] then fail st "branch arm has more than one pipeline"
+        else body := pipeline st
+    | t ->
+        fail st
+          (Format.asprintf
+             "expected condition or pipeline in branch arm, found %a"
+             Lexer.pp_token t)
+  in
+  if peek st <> Lexer.RBRACE then begin
+    item ();
+    while peek st = Lexer.COMMA do
+      advance st;
+      item ()
+    done
+  end;
+  expect st Lexer.RBRACE "'}' closing a branch arm";
+  { Ast.conds = List.rev !conds; weight = !weight; body = !body }
+
+let statement st =
+  match peek st with
+  | Lexer.KW_CHAIN ->
+      advance st;
+      let name = ident st in
+      let aggregate =
+        if peek st = Lexer.KW_AGGREGATE then begin
+          advance st;
+          expect st Lexer.LPAREN "'(' after aggregate";
+          Some (args st)
+        end
+        else None
+      in
+      let slo_args =
+        if peek st = Lexer.KW_SLO then begin
+          advance st;
+          expect st Lexer.LPAREN "'(' after slo";
+          Some (args st)
+        end
+        else None
+      in
+      expect st Lexer.EQUALS "'=' in chain definition";
+      Ast.Chain { name; aggregate; slo_args; pipeline = pipeline st }
+  | Lexer.KW_SUBCHAIN ->
+      advance st;
+      let name = ident st in
+      expect st Lexer.EQUALS "'=' in subchain definition";
+      Ast.Subchain { name; pipeline = pipeline st }
+  | Lexer.IDENT _ ->
+      let name = ident st in
+      expect st Lexer.EQUALS "'=' in declaration";
+      (match peek st with
+      | Lexer.IDENT _ -> Ast.Decl (name, atom st)
+      | _ -> Ast.Macro (name, value st))
+  | t ->
+      fail st
+        (Format.asprintf
+           "expected 'chain', 'subchain' or an instance declaration, found %a"
+           Lexer.pp_token t)
+
+let parse source =
+  let st = { tokens = Array.of_list (Lexer.tokenize source); pos = 0 } in
+  let statements = ref [] in
+  while peek st <> Lexer.EOF do
+    statements := statement st :: !statements;
+    while peek st = Lexer.SEMI do
+      advance st
+    done
+  done;
+  List.rev !statements
+
+let parse_pipeline source =
+  let st = { tokens = Array.of_list (Lexer.tokenize source); pos = 0 } in
+  let p = pipeline st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t ->
+      fail st (Format.asprintf "trailing input after pipeline: %a" Lexer.pp_token t));
+  p

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the chain-specification language.
+
+    Grammar (see {!Ast} for examples):
+    {v
+    program   := statement*
+    statement := 'chain' IDENT ['slo' '(' args ')'] '=' pipeline
+               | IDENT '=' atom
+    pipeline  := element ('->' element)*
+    element   := atom | '[' arm (',' arm)* ']'
+    atom      := IDENT ['(' args ')']
+    arm       := '{' [item (',' item)*] '}'
+    item      := STRING ':' value        (condition; 'weight' is special)
+               | pipeline                (arm body; at most one per arm)
+    value     := INT | FLOAT | STRING | BOOL
+               | '[' values ']' | '{' STRING ':' value, ... '}'
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.t
+(** @raise Error on syntax errors, with a 1-based line number.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_pipeline : string -> Ast.pipeline
+(** Parse a bare pipeline expression such as ["ACL -> Encrypt"]. *)

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Format Lemur_platform List Ofswitch Option Pisa Printf Server Smartnic String

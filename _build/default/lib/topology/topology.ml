@@ -1,0 +1,55 @@
+open Lemur_platform
+
+type t = {
+  tor : Pisa.t;
+  servers : Server.t list;
+  smartnics : Smartnic.t list;
+  ofswitch : Ofswitch.t option;
+  bounce_latency : float;
+}
+
+(* Wire + switch queueing + DPDK poll-mode RX/TX and batching per
+   ToR->device->ToR round trip. *)
+let default_bounce_latency = 4000.0 (* ns *)
+
+let testbed ?(num_servers = 1) ?(cores_per_socket = 8) ?(smartnic = false)
+    ?(ofswitch = false) ?(pisa = Pisa.tofino_32x100g) () =
+  let servers =
+    List.init num_servers (fun i ->
+        Server.xeon_bronze ~name:(Printf.sprintf "server%d" i) ~cores_per_socket ())
+  in
+  {
+    tor = pisa;
+    servers;
+    smartnics = (if smartnic then [ Smartnic.agilio_cx ~host:"server0" ] else []);
+    ofswitch = (if ofswitch then Some Ofswitch.edgecore_as5712 else None);
+    bounce_latency = default_bounce_latency;
+  }
+
+let no_pisa_testbed ?(ofswitch = true) () =
+  let dumb_tor = { Pisa.tofino_32x100g with Pisa.name = "dumb-tor"; stages = 0 } in
+  testbed ~ofswitch ~pisa:dumb_tor ()
+
+let find_server t name =
+  List.find (fun s -> String.equal s.Server.name name) t.servers
+
+let smartnic_of_server t name =
+  List.find_opt (fun n -> String.equal n.Smartnic.host name) t.smartnics
+
+let server_names t = List.map (fun s -> s.Server.name) t.servers
+
+let total_nf_cores t = List.fold_left (fun acc s -> acc + Server.nf_cores s) 0 t.servers
+
+let link_capacity t name =
+  match List.find_opt (fun s -> String.equal s.Server.name name) t.servers with
+  | Some s -> Server.nic_capacity s
+  | None -> (
+      match t.ofswitch with
+      | Some ofs when String.equal ofs.Ofswitch.name name -> ofs.Ofswitch.capacity
+      | _ -> raise Not_found)
+
+let pp ppf t =
+  Format.fprintf ppf "ToR %a@." Pisa.pp t.tor;
+  List.iter (fun s -> Format.fprintf ppf "  %a@." Server.pp s) t.servers;
+  List.iter (fun n -> Format.fprintf ppf "  %a@." Smartnic.pp n) t.smartnics;
+  Option.iter (fun o -> Format.fprintf ppf "  %a@." Ofswitch.pp o) t.ofswitch

@@ -1,0 +1,50 @@
+(** Rack topology: a ToR PISA switch connected to NF servers (each with
+    NICs, optionally a SmartNIC) and optionally an OpenFlow switch on
+    the path (§3.1).
+
+    Links are ToR<->device, full duplex, with the device NIC's capacity
+    per direction. Every chain enters and exits at the ToR; each visit
+    to a server ("bounce") loads that server's link once per direction.
+    The per-bounce latency bundles wire, switch queueing, and DPDK RX/TX
+    costs (§5.3 footnote: "Sources of latency include DPDK and switch
+    queueing, and encap/decap overheads"). *)
+
+open Lemur_platform
+
+type t = {
+  tor : Pisa.t;
+  servers : Server.t list;
+  smartnics : Smartnic.t list;
+  ofswitch : Ofswitch.t option;
+  bounce_latency : float;
+      (** ns per ToR->device->ToR round trip, excluding NF execution *)
+}
+
+val testbed :
+  ?num_servers:int ->
+  ?cores_per_socket:int ->
+  ?smartnic:bool ->
+  ?ofswitch:bool ->
+  ?pisa:Pisa.t ->
+  unit ->
+  t
+(** The paper's testbed: a Tofino ToR and [num_servers] (default 1)
+    Xeon Bronze servers named [server0], [server1], ... A SmartNIC, when
+    present, attaches to [server0]. *)
+
+val no_pisa_testbed : ?ofswitch:bool -> unit -> t
+(** Fig 3c setting: commodity deployment where the "ToR" is a dumb
+    switch modeled as a PISA device with zero usable stages, so no NF
+    can be placed on it. *)
+
+val find_server : t -> string -> Server.t
+(** @raise Not_found *)
+
+val smartnic_of_server : t -> string -> Smartnic.t option
+val server_names : t -> string list
+val total_nf_cores : t -> int
+val link_capacity : t -> string -> float
+(** Per-direction ToR<->[server] capacity (sum of that server's NICs).
+    Also accepts the OpenFlow switch name. @raise Not_found *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_seed t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+(* splitmix64 finalizer *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t = mix (next_seed t)
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let float53 t =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let float t bound = float53 t *. bound
+
+let uniform t ~lo ~hi = lo +. (float53 t *. (hi -. lo))
+
+let gaussian t ~mu ~sigma =
+  (* Box–Muller; avoid log 0 by shifting u1 away from zero. *)
+  let u1 = 1.0 -. float53 t and u2 = float53 t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let truncated_gaussian t ~mu ~sigma ~lo ~hi =
+  let rec loop n =
+    if n >= 64 then Float.min hi (Float.max lo mu)
+    else
+      let x = gaussian t ~mu ~sigma in
+      if x >= lo && x <= hi then x else loop (n + 1)
+  in
+  loop 0
+
+let exponential t ~rate =
+  assert (rate > 0.0);
+  -.log (1.0 -. float53 t) /. rate
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

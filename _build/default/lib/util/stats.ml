@@ -1,0 +1,56 @@
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | xs ->
+      let n = List.length xs in
+      let mu = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs
+        /. float_of_int n
+      in
+      {
+        n;
+        mean = mu;
+        min = List.fold_left Float.min infinity xs;
+        max = List.fold_left Float.max neg_infinity xs;
+        stddev = sqrt var;
+      }
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+let linear_fit points =
+  match points with
+  | [] | [ _ ] -> invalid_arg "Stats.linear_fit: need >= 2 points"
+  | _ ->
+      let n = float_of_int (List.length points) in
+      let sx = Listx.sum_by fst points in
+      let sy = Listx.sum_by snd points in
+      let sxx = Listx.sum_by (fun (x, _) -> x *. x) points in
+      let sxy = Listx.sum_by (fun (x, y) -> x *. y) points in
+      let denom = (n *. sxx) -. (sx *. sx) in
+      if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x"
+      else
+        let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+        let intercept = (sy -. (slope *. sx)) /. n in
+        (slope, intercept)
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) |> max 1 |> min n
+      in
+      List.nth sorted (rank - 1)

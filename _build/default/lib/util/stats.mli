@@ -1,0 +1,24 @@
+(** Small descriptive-statistics helpers used by the profiler and the
+    benchmark harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val mean : float list -> float
+val clamp : lo:float -> hi:float -> float -> float
+
+val linear_fit : (float * float) list -> float * float
+(** Least-squares line [(slope, intercept)] through the points. Requires
+    at least two points with distinct x. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in \[0,100\] (nearest-rank on the sorted
+    data). Raises [Invalid_argument] on an empty list. *)

@@ -1,0 +1,39 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render t =
+  let ncols = List.length t.headers in
+  let rows = List.rev t.rows in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then Listx.take ncols row
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let render_row row =
+    let cells = List.map2 pad widths row in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  String.concat "\n" (render_row t.headers :: rule :: List.map render_row rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,13 @@
+(** ASCII table rendering for the benchmark harness and examples. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val render : t -> string
+(** Render with a header rule and column alignment. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Array Graph Lemur_placer Lemur_slo Lemur_spec Lemur_topology Lemur_util List Loader Plan Printf Ratelp String

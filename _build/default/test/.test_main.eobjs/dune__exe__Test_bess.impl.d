@@ -1,0 +1,1 @@
+test/test_bess.ml: Alcotest Cost Lemur_bess Lemur_nf Lemur_util List Module_graph Scheduler

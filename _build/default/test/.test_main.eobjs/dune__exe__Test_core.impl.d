@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Lemur Lemur_codegen Lemur_nf Lemur_placer Lemur_slo Lemur_spec Lemur_topology List Plan Printf Strategy

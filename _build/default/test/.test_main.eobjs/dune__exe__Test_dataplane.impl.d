@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Heap Lemur Lemur_dataplane Lemur_placer Lemur_slo Lemur_spec Lemur_topology Lemur_util List Plan Printf Sim Strategy

@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Array Lemur Lemur_placer Lemur_slo Lemur_spec Lemur_topology Lemur_util List Option Plan Strategy

@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Datasheet Ebpf Ebpf_nf Kind Lemur_ebpf Lemur_nf Lemur_platform List Printf

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Gen Lemur_lp List Lp QCheck QCheck_alcotest Simplex Test

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Lemur_placer Lemur_slo Lemur_spec Lemur_topology Lemur_util List Milp Plan Printf Strategy String

@@ -1,0 +1,1 @@
+test/test_nf.ml: Alcotest Datasheet Format Instance Kind Lemur_nf List Params Printf Target

@@ -1,0 +1,1 @@
+test/test_nsh.ml: Alcotest Bytes Lemur_nsh List Nsh QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Format Kind Lemur_nf Lemur_nsh Lemur_openflow Lemur_platform List Openflow Printf String

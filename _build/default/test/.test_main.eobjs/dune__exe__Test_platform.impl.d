@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Lemur_nf Lemur_platform Lemur_topology Ofswitch Pisa Server Smartnic

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Datasheet Float Kind Lemur_nf Lemur_profiler Lemur_util List Option Params Printf Profiler

@@ -1,0 +1,1 @@
+test/test_slo.ml: Alcotest Lemur_nf Lemur_slo Lemur_util Slo

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Ast Float Format Gen Graph Instance Kind Lemur_nf Lemur_spec Lemur_util Lexer List Loader Params Parser QCheck QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Gen Lemur_util List Listx Prng QCheck QCheck_alcotest Stats String Test Texttable Units

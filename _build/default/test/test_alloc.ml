@@ -1,0 +1,140 @@
+(* Direct tests for core allocation and server assignment (§3.2). *)
+open Lemur_placer
+open Lemur_spec
+
+let config ?(num_servers = 1) ?(cores_per_socket = 8) () =
+  Plan.default_config
+    (Lemur_topology.Topology.testbed ~num_servers ~cores_per_socket ())
+
+let input ?(id = "c") ?(t_min = 0.0) text =
+  {
+    Plan.id;
+    graph = Loader.chain_of_string ~name:id text;
+    slo = Lemur_slo.Slo.make ~t_min ~t_max:(Lemur_util.Units.gbps 100.0) ();
+  }
+
+let server_plan c i =
+  (* everything that can go on the server goes there; the rest on the switch *)
+  let g = i.Plan.graph in
+  let locs =
+    Array.init (Graph.size g) (fun id ->
+        let allowed =
+          Plan.allowed_locations c (Graph.node g id).Graph.instance
+        in
+        if List.mem Plan.Server allowed then Plan.Server else List.hd allowed)
+  in
+  Plan.elaborate c i locs
+
+let test_min_allocation () =
+  let c = config () in
+  let plan = server_plan c (input "Encrypt -> Decrypt") in
+  match Alloc.allocate c Alloc.No_extra [ plan ] with
+  | None -> Alcotest.fail "fits easily"
+  | Some [ a ] ->
+      Alcotest.(check int) "one subgroup, one core" 1 (Alloc.cores_used a);
+      Alcotest.(check int) "one segment pinned" 1 (List.length a.Alloc.seg_server)
+  | Some _ -> Alcotest.fail "one chain in, one alloc out"
+
+let test_allocation_respects_budget () =
+  (* 16 single-NF chains on a 15-core server cannot all get a core. *)
+  let c = config () in
+  let plans =
+    List.init 16 (fun k ->
+        server_plan c (input ~id:(Printf.sprintf "c%d" k) "Encrypt"))
+  in
+  Alcotest.(check bool) "16 subgroups do not fit 15 cores" true
+    (Alloc.allocate c Alloc.No_extra plans = None);
+  let plans15 = Lemur_util.Listx.take 15 plans in
+  Alcotest.(check bool) "15 fit exactly" true
+    (Alloc.allocate c Alloc.No_extra plans15 <> None)
+
+let test_slo_driven_meets_tmin_first () =
+  let c = config () in
+  (* two chains: one needs 2 Encrypt cores for its t_min, the other is
+     best-effort; the needy chain must be served first *)
+  let needy = server_plan c (input ~id:"needy" ~t_min:4e9 "Encrypt") in
+  let bulk = server_plan c (input ~id:"bulk" "Decrypt") in
+  match Alloc.allocate c Alloc.Slo_driven [ needy; bulk ] with
+  | None -> Alcotest.fail "feasible"
+  | Some allocs ->
+      let a = List.find (fun a -> a.Alloc.plan.Plan.input.Plan.id = "needy") allocs in
+      Alcotest.(check bool) "needy got enough cores" true
+        (Alloc.capacity_of c a >= 4e9)
+
+let test_non_replicable_never_grows () =
+  let c = config () in
+  let plan = server_plan c (input ~id:"lim" ~t_min:50e9 "Limiter") in
+  match Alloc.allocate c Alloc.Slo_driven [ plan ] with
+  | None -> Alcotest.fail "min allocation fits"
+  | Some [ a ] ->
+      Alcotest.(check int) "limiter stays on one core" 1 a.Alloc.sg_cores.(0)
+  | Some _ -> Alcotest.fail "one alloc"
+
+let test_link_loads () =
+  let c = config () in
+  (* Encrypt(server) -> ACL(switch) -> Decrypt(server): two bounces *)
+  let i = input "Encrypt -> ACL -> Decrypt" in
+  let locs = [| Plan.Server; Plan.Switch; Plan.Server |] in
+  let plan = Plan.elaborate c i locs in
+  match Alloc.allocate c Alloc.No_extra [ plan ] with
+  | None -> Alcotest.fail "fits"
+  | Some [ a ] ->
+      let loads = Alloc.link_loads c a in
+      Alcotest.(check (float 1e-9)) "two link traversals" 2.0
+        (List.assoc "server0" loads)
+  | Some _ -> Alcotest.fail "one alloc"
+
+let test_assign_only_multi_server () =
+  let c = config ~num_servers:2 ~cores_per_socket:4 () in
+  (* two chains, each wanting 6 cores: they must land on different
+     servers (7 NF cores each) *)
+  let mk id = server_plan c (input ~id "Encrypt") in
+  let p1 = mk "a" and p2 = mk "b" in
+  match Alloc.assign_only c [ (p1, [| 6 |]); (p2, [| 6 |]) ] with
+  | None -> Alcotest.fail "12 cores fit 14"
+  | Some allocs ->
+      let servers =
+        List.map (fun a -> snd (List.hd a.Alloc.seg_server)) allocs
+      in
+      Alcotest.(check int) "distinct servers" 2
+        (List.length (Lemur_util.Listx.uniq String.equal servers))
+
+let test_segments_share_server () =
+  let c = config ~num_servers:2 ~cores_per_socket:4 () in
+  (* consecutive server NFs form one segment and must be co-located *)
+  let plan = server_plan c (input "Encrypt -> Decrypt -> UrlFilter") in
+  match Alloc.allocate c Alloc.Slo_driven [ plan ] with
+  | None -> Alcotest.fail "fits"
+  | Some [ a ] ->
+      Alcotest.(check int) "one segment" 1 (List.length a.Alloc.seg_server)
+  | Some _ -> Alcotest.fail "one alloc"
+
+let test_evaluate_respects_link () =
+  let c = config () in
+  (* A cheap NF bouncing twice: chain capacity far exceeds the link, so
+     the LP must cap the rate at link/2 = 20G. *)
+  let i = input ~t_min:1e9 "Tunnel -> ACL -> Detunnel" in
+  let locs = [| Plan.Server; Plan.Switch; Plan.Server |] in
+  let plan = Plan.elaborate c i locs in
+  match Alloc.allocate c Alloc.Slo_driven [ plan ] with
+  | None -> Alcotest.fail "fits"
+  | Some allocs -> (
+      match Alloc.evaluate c allocs with
+      | None -> Alcotest.fail "LP feasible"
+      | Some lp ->
+          Alcotest.(check bool)
+            (Printf.sprintf "rate %.1fG capped by link" (lp.Ratelp.total_rate /. 1e9))
+            true
+            (lp.Ratelp.total_rate <= 20.1e9))
+
+let suite =
+  [
+    Alcotest.test_case "minimum allocation" `Quick test_min_allocation;
+    Alcotest.test_case "core budget respected" `Quick test_allocation_respects_budget;
+    Alcotest.test_case "SLO-driven meets tmin" `Quick test_slo_driven_meets_tmin_first;
+    Alcotest.test_case "non-replicable never grows" `Quick test_non_replicable_never_grows;
+    Alcotest.test_case "link loads" `Quick test_link_loads;
+    Alcotest.test_case "assign_only multi-server" `Quick test_assign_only_multi_server;
+    Alcotest.test_case "segments share a server" `Quick test_segments_share_server;
+    Alcotest.test_case "LP respects link caps" `Quick test_evaluate_respects_link;
+  ]

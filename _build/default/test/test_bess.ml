@@ -1,0 +1,96 @@
+open Lemur_bess
+
+let test_cost_model () =
+  (* §5.3 overheads: ~220 cycles NSH, ~180 cycles multi-core LB. *)
+  Alcotest.(check (float 1.0)) "nsh" 220.0 Cost.nsh_overhead_cycles;
+  Alcotest.(check (float 1.0)) "lb" 180.0 Cost.multicore_lb_cycles;
+  let single = Cost.subgroup_cycles ~nf_cycles:[ 1000.0; 500.0 ] ~multi_core:false () in
+  Alcotest.(check (float 1e-9)) "single core" 1720.0 single;
+  let multi = Cost.subgroup_cycles ~nf_cycles:[ 1000.0; 500.0 ] ~multi_core:true () in
+  Alcotest.(check (float 1e-9)) "multi core" 1900.0 multi
+
+let test_subgroup_rate () =
+  (* 1.7 GHz, 8280 cycles (8000 + 220 + 180 with 2 cores... check both) *)
+  let r1 = Cost.subgroup_rate ~clock_hz:1.7e9 ~cores:1 ~pkt_bytes:1500 ~nf_cycles:[ 8000.0 ] () in
+  Alcotest.(check (float 1e7)) "1 core" (1.7e9 /. 8220.0 *. 12000.0) r1;
+  let r2 = Cost.subgroup_rate ~clock_hz:1.7e9 ~cores:2 ~pkt_bytes:1500 ~nf_cycles:[ 8000.0 ] () in
+  Alcotest.(check (float 1e7)) "2 cores pay LB" (2.0 *. 1.7e9 /. 8400.0 *. 12000.0) r2;
+  (* §3.2's B/C example at equal total cores: coalescing {B,C} on two
+     cores beats one core per pipelined subgroup because the per-hop
+     NSH overhead exceeds the replication LB cost. *)
+  let coalesced_2cores =
+    Cost.subgroup_rate ~clock_hz:1.7e9 ~cores:2 ~pkt_bytes:1500
+      ~nf_cycles:[ 1000.0; 1000.0 ] ()
+  in
+  let pipelined_1each =
+    Cost.subgroup_rate ~clock_hz:1.7e9 ~cores:1 ~pkt_bytes:1500 ~nf_cycles:[ 1000.0 ] ()
+  in
+  Alcotest.(check bool) "coalescing wins at equal cores" true
+    (coalesced_2cores > pipelined_1each)
+
+let mk_simple_graph () =
+  let g = Module_graph.create ~server:"server0" in
+  Module_graph.add g { Module_graph.module_id = "inc"; kind = Module_graph.Port_inc };
+  Module_graph.add g { Module_graph.module_id = "demux"; kind = Module_graph.Nsh_decap };
+  Module_graph.add g
+    {
+      Module_graph.module_id = "nf";
+      kind = Module_graph.Nf { instance = Lemur_nf.Instance.make Lemur_nf.Kind.Encrypt };
+    };
+  Module_graph.add g
+    { Module_graph.module_id = "encap"; kind = Module_graph.Nsh_encap };
+  Module_graph.add g { Module_graph.module_id = "out"; kind = Module_graph.Port_out };
+  Module_graph.connect g ~src:"inc" ~dst:"demux";
+  Module_graph.connect g ~src:"demux" ~dst:"nf";
+  Module_graph.connect g ~src:"nf" ~dst:"encap";
+  Module_graph.connect g ~src:"encap" ~dst:"out";
+  g
+
+let test_module_graph_validate () =
+  let g = mk_simple_graph () in
+  (match Module_graph.validate g with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" e);
+  (* a dangling module fails validation *)
+  Module_graph.add g
+    {
+      Module_graph.module_id = "orphan";
+      kind = Module_graph.Queue { size = 64 };
+    };
+  match Module_graph.validate g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected validation error"
+
+let test_module_graph_errors () =
+  let g = mk_simple_graph () in
+  (match
+     Module_graph.add g { Module_graph.module_id = "inc"; kind = Module_graph.Port_inc }
+   with
+  | _ -> Alcotest.fail "duplicate id"
+  | exception Invalid_argument _ -> ());
+  match Module_graph.connect g ~src:"inc" ~dst:"ghost" with
+  | _ -> Alcotest.fail "unknown dst"
+  | exception Invalid_argument _ -> ()
+
+let test_scheduler () =
+  let s = Scheduler.create ~server:"server0" in
+  let s = Scheduler.assign s ~core:1 ~socket:0 ~task:"sg0" ~chain_id:"c1" () in
+  let s = Scheduler.assign s ~core:1 ~socket:0 ~task:"sg1" ~chain_id:"c2" () in
+  let s =
+    Scheduler.assign s ~core:2 ~socket:0 ~task:"sg2" ~chain_id:"c1"
+      ~rate_limit:(Lemur_util.Units.gbps 10.0) ()
+  in
+  Alcotest.(check int) "2 cores" 2 (Scheduler.cores_used s);
+  Alcotest.(check (list string)) "round robin on core 1" [ "sg0"; "sg1" ]
+    (Scheduler.tasks_on_core s 1);
+  Alcotest.(check (list string)) "core 2" [ "sg2" ] (Scheduler.tasks_on_core s 2);
+  Alcotest.(check int) "3 leaves" 3 (List.length (Scheduler.leaves s))
+
+let suite =
+  [
+    Alcotest.test_case "cost model (220/180 cycles)" `Quick test_cost_model;
+    Alcotest.test_case "subgroup rate" `Quick test_subgroup_rate;
+    Alcotest.test_case "module graph validation" `Quick test_module_graph_validate;
+    Alcotest.test_case "module graph errors" `Quick test_module_graph_errors;
+    Alcotest.test_case "scheduler tree" `Quick test_scheduler;
+  ]

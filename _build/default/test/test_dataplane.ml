@@ -1,0 +1,202 @@
+open Lemur_placer
+open Lemur_dataplane
+
+let config () = Plan.default_config (Lemur_topology.Topology.testbed ())
+
+let place c inputs =
+  match Strategy.place Strategy.Lemur c inputs with
+  | Strategy.Placed p -> p
+  | Strategy.Infeasible { reason } -> Alcotest.failf "infeasible: %s" reason
+
+let simple_placement ?(t_min = 4e9) c =
+  let g = Lemur_spec.Loader.chain_of_string ~name:"c" "Encrypt -> IPv4Fwd" in
+  place c [ { Plan.id = "c"; graph = g; slo = Lemur_slo.Slo.make ~t_min ~t_max:100e9 () } ]
+
+let test_heap () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (fun (k, v) -> Heap.push h k v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  Alcotest.(check int) "size" 3 (Heap.size h);
+  Alcotest.(check (option (pair (float 0.0) string))) "min first" (Some (1.0, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "then b" (Some (2.0, "b")) (Heap.pop h);
+  Heap.push h 0.5 "z";
+  Alcotest.(check (option (pair (float 0.0) string))) "reorders" (Some (0.5, "z")) (Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) string))) "last" (Some (3.0, "c")) (Heap.pop h);
+  Alcotest.(check bool) "drained" true (Heap.pop h = None)
+
+let test_heap_property () =
+  let prng = Lemur_util.Prng.create ~seed:11 in
+  let h = Heap.create () in
+  for _ = 1 to 500 do
+    Heap.push h (Lemur_util.Prng.float prng 1000.0) ()
+  done;
+  let prev = ref neg_infinity in
+  let sorted = ref true in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (k, ()) ->
+        if k < !prev then sorted := false;
+        prev := k;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "pops in order" true !sorted
+
+let test_determinism () =
+  let c = config () in
+  let p = simple_placement c in
+  let r1 = Sim.run ~seed:5 ~config:c ~placement:p () in
+  let r2 = Sim.run ~seed:5 ~config:c ~placement:p () in
+  Alcotest.(check (float 1e-6)) "same aggregate" r1.Sim.aggregate_throughput
+    r2.Sim.aggregate_throughput
+
+let test_measured_tracks_predicted () =
+  (* §5.2: predicted throughput closely matches measured, and
+     predictions are conservative (measured >= ~predicted). *)
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 1; 2; 3; 4 ] in
+  let p = place c inputs in
+  let r = Sim.run ~config:c ~placement:p () in
+  let predicted = p.Strategy.total_rate in
+  let measured = r.Sim.aggregate_throughput in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.2fG within [0.95, 1.15] of predicted %.2fG"
+       (measured /. 1e9) (predicted /. 1e9))
+    true
+    (measured > 0.95 *. predicted && measured < 1.15 *. predicted)
+
+let test_slo_satisfied () =
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:1.0 [ 1; 2; 3 ] in
+  let p = place c inputs in
+  let r = Sim.run ~config:c ~placement:p () in
+  List.iter
+    (fun cr ->
+      let report =
+        List.find
+          (fun rep -> rep.Strategy.plan.Plan.input.Plan.id = cr.Sim.chain_id)
+          p.Strategy.chain_reports
+      in
+      let t_min = report.Strategy.plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_min in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s delivers >= t_min" cr.Sim.chain_id)
+        true
+        (cr.Sim.delivered >= t_min *. 0.97))
+    r.Sim.chains
+
+let test_delivered_bounded_by_offered () =
+  let c = config () in
+  let p = simple_placement c in
+  let r = Sim.run ~config:c ~placement:p () in
+  List.iter
+    (fun cr ->
+      Alcotest.(check bool) "delivered <= offered (within batching noise)" true
+        (cr.Sim.delivered <= cr.Sim.offered *. 1.02))
+    r.Sim.chains
+
+let test_overload_drops () =
+  (* Overdriving far past capacity must drop, not inflate throughput. *)
+  let c = config () in
+  let p = simple_placement c in
+  let r = Sim.run ~overdrive:2.0 ~config:c ~placement:p () in
+  let cr = List.hd r.Sim.chains in
+  Alcotest.(check bool) "drops occurred" true (cr.Sim.batches_dropped > 0);
+  let capacity = (List.hd p.Strategy.chain_reports).Strategy.capacity in
+  Alcotest.(check bool) "delivered near capacity, not offered" true
+    (cr.Sim.delivered < capacity *. 1.1)
+
+let test_latency_scales_with_bounces () =
+  (* A chain bouncing more measures higher latency (at low load). *)
+  let c = config () in
+  let mk text =
+    let g = Lemur_spec.Loader.chain_of_string ~name:"c" text in
+    place c [ { Plan.id = "c"; graph = g; slo = Lemur_slo.Slo.make ~t_min:1e8 ~t_max:100e9 () } ]
+  in
+  let measure p = Sim.run ~overdrive:0.5 ~config:c ~placement:p () in
+  let one_bounce = measure (mk "Encrypt -> IPv4Fwd") in
+  let two_bounce = measure (mk "Encrypt -> NAT -> Decrypt -> IPv4Fwd") in
+  let lat r = (List.hd r.Sim.chains).Sim.mean_latency in
+  Alcotest.(check bool) "two bounces slower" true
+    (lat two_bounce > lat one_bounce)
+
+let test_token_bucket_enforces_tmax () =
+  let c = config () in
+  let g = Lemur_spec.Loader.chain_of_string ~name:"c" "Tunnel -> IPv4Fwd" in
+  (* all-hardware chain (line rate), capped at 5 Gbps *)
+  let slo = Lemur_slo.Slo.make ~t_min:1e9 ~t_max:5e9 () in
+  let p = place c [ { Plan.id = "c"; graph = g; slo } ] in
+  let r = Sim.run ~overdrive:3.0 ~config:c ~placement:p () in
+  let cr = List.hd r.Sim.chains in
+  Alcotest.(check bool)
+    (Printf.sprintf "tmax enforced (%.2fG <= 5G)" (cr.Sim.delivered /. 1e9))
+    true
+    (cr.Sim.delivered <= 5.2e9)
+
+let test_traffic_modes () =
+  (* Flow churn makes stateful NFs (Dedup) slower, so an overdriven
+     chain delivers strictly less under Short_flows. *)
+  let c = config () in
+  let g = Lemur_spec.Loader.chain_of_string ~name:"c" "Dedup -> IPv4Fwd" in
+  let p =
+    place c
+      [ { Plan.id = "c"; graph = g; slo = Lemur_slo.Slo.make ~t_min:5e8 ~t_max:100e9 () } ]
+  in
+  let measure traffic =
+    (List.hd
+       (Sim.run ~overdrive:2.0 ~traffic ~config:c ~placement:p ()).Sim.chains)
+      .Sim.delivered
+  in
+  let long = measure Sim.Long_lived and churn = measure Sim.Short_flows in
+  Alcotest.(check bool)
+    (Printf.sprintf "churn slower (%.3fG < %.3fG)" (churn /. 1e9) (long /. 1e9))
+    true (churn < long)
+
+let test_ofswitch_contention () =
+  (* The shared OpenFlow link is a real resource: a chain through the OF
+     switch cannot exceed its capacity even when overdriven. *)
+  let topo = Lemur_topology.Topology.no_pisa_testbed ~ofswitch:true () in
+  let c = { (Plan.default_config topo) with Plan.eval_capabilities = false } in
+  let g = Lemur_spec.Loader.chain_of_string ~name:"c" "ACL -> Monitor -> IPv4Fwd" in
+  let p =
+    place c
+      [ { Plan.id = "c"; graph = g; slo = Lemur_slo.Slo.make ~t_min:1e9 ~t_max:100e9 () } ]
+  in
+  let uses_of =
+    List.exists
+      (fun r -> r.Strategy.plan.Plan.ofswitch_nodes <> [])
+      p.Strategy.chain_reports
+  in
+  if uses_of then begin
+    let r = Sim.run ~overdrive:3.0 ~config:c ~placement:p () in
+    let cr = List.hd r.Sim.chains in
+    Alcotest.(check bool)
+      (Printf.sprintf "capped near the OF capacity (%.1fG)" (cr.Sim.delivered /. 1e9))
+      true
+      (cr.Sim.delivered <= 41e9)
+  end
+
+let test_smartnic_path () =
+  let topo = Lemur_topology.Topology.testbed ~smartnic:true () in
+  let c = Plan.default_config topo in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 5 ] in
+  let p = place c inputs in
+  let r = Sim.run ~config:c ~placement:p () in
+  let cr = List.hd r.Sim.chains in
+  Alcotest.(check bool) "delivers through the NIC" true (cr.Sim.delivered > 1e9)
+
+let suite =
+  [
+    Alcotest.test_case "event heap" `Quick test_heap;
+    Alcotest.test_case "heap ordering property" `Quick test_heap_property;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "measured tracks predicted" `Slow test_measured_tracks_predicted;
+    Alcotest.test_case "SLOs hold on the dataplane" `Slow test_slo_satisfied;
+    Alcotest.test_case "delivered <= offered" `Quick test_delivered_bounded_by_offered;
+    Alcotest.test_case "overload drops" `Quick test_overload_drops;
+    Alcotest.test_case "latency scales with bounces" `Quick test_latency_scales_with_bounces;
+    Alcotest.test_case "token bucket enforces t_max" `Quick test_token_bucket_enforces_tmax;
+    Alcotest.test_case "traffic modes" `Quick test_traffic_modes;
+    Alcotest.test_case "ofswitch contention" `Quick test_ofswitch_contention;
+    Alcotest.test_case "smartnic path" `Quick test_smartnic_path;
+  ]

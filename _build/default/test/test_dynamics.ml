@@ -1,0 +1,212 @@
+(* Tests for deployment dynamics and failure handling (§7). *)
+open Lemur_placer
+
+let config () = Plan.default_config (Lemur_topology.Topology.testbed ())
+
+let base_deployment () =
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 2; 3 ] in
+  match Lemur.Deployment.deploy c inputs with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "base deployment failed: %s" e
+
+let rate_of d id =
+  let r =
+    List.find
+      (fun r -> r.Strategy.plan.Plan.input.Plan.id = id)
+      d.Lemur.Deployment.placement.Strategy.chain_reports
+  in
+  r.Strategy.rate
+
+let test_slo_change_replaces () =
+  let d = base_deployment () in
+  let new_slo = Lemur_slo.Slo.make ~t_min:(Lemur_util.Units.gbps 1.2) ~t_max:(Lemur_util.Units.gbps 100.0) () in
+  match
+    Lemur.Dynamics.apply d
+      (Lemur.Dynamics.Slo_changed { chain_id = "chain3"; slo = new_slo })
+  with
+  | Error e -> Alcotest.failf "apply failed: %s" e
+  | Ok d' ->
+      Alcotest.(check bool) "chain3 now gets at least 1.2G" true
+        (rate_of d' "chain3" >= 1.2e9 -. 1e3)
+
+let test_chain_add_remove () =
+  let d = base_deployment () in
+  let extra =
+    {
+      Plan.id = "extra";
+      graph = Lemur_spec.Loader.chain_of_string ~name:"extra" "Tunnel -> IPv4Fwd";
+      slo = Lemur_slo.Slo.best_effort;
+    }
+  in
+  (match Lemur.Dynamics.apply d (Lemur.Dynamics.Chain_added extra) with
+  | Error e -> Alcotest.failf "add failed: %s" e
+  | Ok d' ->
+      Alcotest.(check int) "3 chains" 3
+        (List.length d'.Lemur.Deployment.placement.Strategy.chain_reports);
+      (* removing it returns to 2 *)
+      match Lemur.Dynamics.apply d' (Lemur.Dynamics.Chain_removed "extra") with
+      | Error e -> Alcotest.failf "remove failed: %s" e
+      | Ok d'' ->
+          Alcotest.(check int) "back to 2 chains" 2
+            (List.length d''.Lemur.Deployment.placement.Strategy.chain_reports));
+  (* error paths *)
+  (match Lemur.Dynamics.apply d (Lemur.Dynamics.Chain_added extra) with
+  | Ok d' -> (
+      match Lemur.Dynamics.apply d' (Lemur.Dynamics.Chain_added extra) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "duplicate add must fail")
+  | Error e -> Alcotest.failf "add failed: %s" e);
+  match Lemur.Dynamics.apply d (Lemur.Dynamics.Chain_removed "ghost") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "removing unknown chain must fail"
+
+let test_infeasible_slo_change_reported () =
+  let d = base_deployment () in
+  let impossible =
+    Lemur_slo.Slo.make ~t_min:(Lemur_util.Units.gbps 90.0) ~t_max:(Lemur_util.Units.gbps 100.0) ()
+  in
+  match
+    Lemur.Dynamics.apply d
+      (Lemur.Dynamics.Slo_changed { chain_id = "chain3"; slo = impossible })
+  with
+  | Error _ -> () (* 90G of Dedup does not fit one server *)
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_schedule () =
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 2; 3 ] in
+  let window label factor =
+    {
+      Lemur.Dynamics.Schedule.label;
+      slos =
+        List.map
+          (fun i ->
+            ( i.Plan.id,
+              Lemur_slo.Slo.make
+                ~t_min:(i.Plan.slo.Lemur_slo.Slo.t_min *. factor)
+                ~t_max:i.Plan.slo.Lemur_slo.Slo.t_max () ))
+          inputs;
+    }
+  in
+  match
+    Lemur.Dynamics.Schedule.precompute c inputs [ window "peak" 2.0; window "off-peak" 0.5 ]
+  with
+  | Error e -> Alcotest.failf "precompute failed: %s" e
+  | Ok schedule ->
+      Alcotest.(check (list string)) "labels" [ "peak"; "off-peak" ]
+        (Lemur.Dynamics.Schedule.labels schedule);
+      let peak = Option.get (Lemur.Dynamics.Schedule.deployment schedule "peak") in
+      let off = Option.get (Lemur.Dynamics.Schedule.deployment schedule "off-peak") in
+      (* each window's placement honours its own (scaled) guarantees *)
+      let meets d factor =
+        List.for_all
+          (fun i -> rate_of d i.Plan.id >= (factor *. i.Plan.slo.Lemur_slo.Slo.t_min) -. 1e3)
+          inputs
+      in
+      Alcotest.(check bool) "peak window meets 2x guarantees" true (meets peak 2.0);
+      Alcotest.(check bool) "off-peak meets 0.5x guarantees" true (meets off 0.5);
+      Alcotest.(check bool) "unknown label" true
+        (Lemur.Dynamics.Schedule.deployment schedule "night" = None)
+
+let test_pisa_failure_no_fallback () =
+  (* Under the evaluation capability matrix IPv4Fwd is P4-only, so chain
+     3 has no software fallback when the PISA pipeline dies: the failure
+     must be reported, not silently papered over. *)
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.25 [ 3 ] in
+  match Lemur.Deployment.deploy c inputs with
+  | Error e -> Alcotest.failf "primary failed: %s" e
+  | Ok d -> (
+      match Lemur.Failover.react d Lemur.Failover.Pisa_failed with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "P4-only IPv4Fwd cannot survive a PISA failure")
+
+let test_pisa_failure_with_real_matrix () =
+  let topo = Lemur_topology.Topology.testbed () in
+  let c = { (Plan.default_config topo) with Plan.eval_capabilities = false } in
+  let g = Lemur_spec.Loader.chain_of_string ~name:"c" "ACL -> NAT -> IPv4Fwd" in
+  let inputs =
+    [ { Plan.id = "c"; graph = g; slo = Lemur_slo.Slo.make ~t_min:1e9 ~t_max:100e9 () } ]
+  in
+  match Lemur.Deployment.deploy c inputs with
+  | Error e -> Alcotest.failf "primary failed: %s" e
+  | Ok d -> (
+      let primary_on_switch =
+        List.exists
+          (fun r -> Array.exists (fun l -> l = Plan.Switch) r.Strategy.plan.Plan.locs)
+          d.Lemur.Deployment.placement.Strategy.chain_reports
+      in
+      Alcotest.(check bool) "primary uses the switch" true primary_on_switch;
+      match Lemur.Failover.react d Lemur.Failover.Pisa_failed with
+      | Error e -> Alcotest.failf "failover failed: %s" e
+      | Ok d' ->
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "all NFs off the switch" true
+                (Array.for_all (fun l -> l <> Plan.Switch) r.Strategy.plan.Plan.locs))
+            d'.Lemur.Deployment.placement.Strategy.chain_reports)
+
+let test_server_failure () =
+  let topo = Lemur_topology.Topology.testbed ~num_servers:2 ~cores_per_socket:4 () in
+  let c = Plan.default_config topo in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 2; 3 ] in
+  match Lemur.Deployment.deploy c inputs with
+  | Error e -> Alcotest.failf "primary failed: %s" e
+  | Ok d -> (
+      match Lemur.Failover.react d (Lemur.Failover.Server_failed "server1") with
+      | Error e -> Alcotest.failf "failover failed: %s" e
+      | Ok d' ->
+          List.iter
+            (fun r ->
+              List.iter
+                (fun (_, server) ->
+                  Alcotest.(check string) "everything on server0" "server0" server)
+                r.Strategy.seg_server)
+            d'.Lemur.Deployment.placement.Strategy.chain_reports)
+
+let test_degrade_errors () =
+  let topo = Lemur_topology.Topology.testbed () in
+  (match Lemur.Failover.degrade topo Lemur.Failover.Smartnic_failed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no smartnic to fail");
+  (match Lemur.Failover.degrade topo (Lemur.Failover.Server_failed "server0") with
+  | Error _ -> () (* last server *)
+  | Ok _ -> Alcotest.fail "last server cannot fail");
+  match Lemur.Failover.degrade topo (Lemur.Failover.Server_failed "ghost") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown server"
+
+let test_proactive () =
+  let topo = Lemur_topology.Topology.testbed ~smartnic:true () in
+  let c = Plan.default_config topo in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 5 ] in
+  match Lemur.Failover.proactive c inputs [ Lemur.Failover.Smartnic_failed ] with
+  | Error e -> Alcotest.failf "proactive failed: %s" e
+  | Ok (primary, fallbacks) ->
+      Alcotest.(check int) "one fallback" 1 (List.length fallbacks);
+      let _, fb = List.hd fallbacks in
+      (* primary offloads ChaCha to the NIC; fallback keeps it on cores *)
+      let uses_nic d =
+        List.exists
+          (fun r -> r.Strategy.plan.Plan.smartnic_nodes <> [])
+          d.Lemur.Deployment.placement.Strategy.chain_reports
+      in
+      Alcotest.(check bool) "primary uses the NIC" true (uses_nic primary);
+      Alcotest.(check bool) "fallback avoids the NIC" false (uses_nic fb)
+
+let suite =
+  [
+    Alcotest.test_case "SLO change replaces" `Quick test_slo_change_replaces;
+    Alcotest.test_case "chain add/remove" `Quick test_chain_add_remove;
+    Alcotest.test_case "infeasible SLO change reported" `Quick
+      test_infeasible_slo_change_reported;
+    Alcotest.test_case "time-varying SLO schedule" `Quick test_schedule;
+    Alcotest.test_case "pisa failure without fallback" `Quick
+      test_pisa_failure_no_fallback;
+    Alcotest.test_case "pisa failure falls back to servers" `Quick
+      test_pisa_failure_with_real_matrix;
+    Alcotest.test_case "server failure" `Quick test_server_failure;
+    Alcotest.test_case "degrade error paths" `Quick test_degrade_errors;
+    Alcotest.test_case "proactive fallbacks" `Quick test_proactive;
+  ]

@@ -1,0 +1,107 @@
+open Lemur_ebpf
+open Lemur_nf
+
+let nic = Lemur_platform.Smartnic.agilio_cx ~host:"server0"
+
+let test_unroll () =
+  let p =
+    {
+      Ebpf.name = "t";
+      main = [ Ebpf.Loop { iterations = 3; body = [ Ebpf.Alu "x"; Ebpf.Alu "y" ] }; Ebpf.Exit ];
+      functions = [];
+    }
+  in
+  let u = Ebpf.unroll_loops p in
+  Alcotest.(check int) "3x2 + exit" 7 (Ebpf.instruction_count u);
+  Alcotest.(check bool) "no loops left" true
+    (List.for_all (function Ebpf.Loop _ -> false | _ -> true) u.Ebpf.main)
+
+let test_inline () =
+  let f = { Ebpf.fname = "f"; body = [ Ebpf.Alu "a"; Ebpf.Alu "b" ] } in
+  let p =
+    { Ebpf.name = "t"; main = [ Ebpf.Call "f"; Ebpf.Call "f"; Ebpf.Exit ]; functions = [ f ] }
+  in
+  let i = Ebpf.inline_calls p in
+  Alcotest.(check int) "2x2 + exit" 5 (Ebpf.instruction_count i);
+  Alcotest.(check bool) "no functions left" true (i.Ebpf.functions = [])
+
+let test_inline_rejects_recursion () =
+  let f = { Ebpf.fname = "f"; body = [ Ebpf.Call "f" ] } in
+  let p = { Ebpf.name = "t"; main = [ Ebpf.Call "f" ]; functions = [ f ] } in
+  match Ebpf.inline_calls p with
+  | _ -> Alcotest.fail "expected recursion error"
+  | exception Invalid_argument _ -> ()
+
+let test_verifier_rejects_raw () =
+  (* A program with a loop or call must not load. *)
+  let looped =
+    {
+      Ebpf.name = "t";
+      main = [ Ebpf.Loop { iterations = 2; body = [ Ebpf.Alu "x" ] }; Ebpf.Exit ];
+      functions = [];
+    }
+  in
+  Alcotest.(check bool) "loop rejected" false (Ebpf.Verifier.loads nic looped);
+  let called =
+    { Ebpf.name = "t"; main = [ Ebpf.Call "f"; Ebpf.Exit ]; functions = [ { Ebpf.fname = "f"; body = [] } ] }
+  in
+  Alcotest.(check bool) "call rejected" false (Ebpf.Verifier.loads nic called)
+
+let test_verifier_limits () =
+  let big =
+    { Ebpf.name = "t"; main = List.init 5000 (fun i -> Ebpf.Alu (string_of_int i)); functions = [] }
+  in
+  (match Ebpf.Verifier.check nic big with
+  | [ Ebpf.Verifier.Too_many_instructions { count = 5000; limit = 4096 } ] -> ()
+  | _ -> Alcotest.fail "expected instruction violation");
+  let fat_stack =
+    { Ebpf.name = "t"; main = [ Ebpf.Store { stack_bytes = 600 }; Ebpf.Exit ]; functions = [] }
+  in
+  match Ebpf.Verifier.check nic fat_stack with
+  | [ Ebpf.Verifier.Stack_overflow { bytes = 600; limit = 512 } ] -> ()
+  | _ -> Alcotest.fail "expected stack violation"
+
+let test_all_nf_programs_load () =
+  (* §A.3: after inlining and unrolling, every eBPF NF passes the
+     verifier within the Netronome limits. *)
+  List.iter
+    (fun kind ->
+      if Ebpf_nf.supports kind then begin
+        let raw = Ebpf_nf.source kind in
+        let lowered = Ebpf_nf.lowered kind in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s loads" (Kind.name kind))
+          true
+          (Ebpf.Verifier.loads nic lowered);
+        Alcotest.(check bool) "lowered not smaller than written" true
+          (Ebpf.instruction_count lowered >= Ebpf.instruction_count raw)
+      end)
+    Kind.all
+
+let test_counts_match_datasheet () =
+  List.iter
+    (fun kind ->
+      if Ebpf_nf.supports kind then
+        Alcotest.(check int)
+          (Printf.sprintf "%s insn count in datasheet" (Kind.name kind))
+          (Datasheet.ebpf_instruction_estimate kind)
+          (Ebpf.instruction_count (Ebpf_nf.lowered kind)))
+    Kind.all
+
+let test_chacha_is_big () =
+  let p = Ebpf_nf.lowered Kind.Fast_encrypt in
+  let n = Ebpf.instruction_count p in
+  Alcotest.(check bool) "unrolled ChaCha near the budget" true
+    (n > 3000 && n < 4096)
+
+let suite =
+  [
+    Alcotest.test_case "loop unrolling" `Quick test_unroll;
+    Alcotest.test_case "call inlining" `Quick test_inline;
+    Alcotest.test_case "recursion rejected" `Quick test_inline_rejects_recursion;
+    Alcotest.test_case "verifier rejects loops/calls" `Quick test_verifier_rejects_raw;
+    Alcotest.test_case "verifier limits" `Quick test_verifier_limits;
+    Alcotest.test_case "all NF programs load" `Quick test_all_nf_programs_load;
+    Alcotest.test_case "counts match datasheet" `Quick test_counts_match_datasheet;
+    Alcotest.test_case "ChaCha near budget" `Quick test_chacha_is_big;
+  ]

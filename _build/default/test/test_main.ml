@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "lemur"
+    [
+      ("util", Test_util.suite);
+      ("lp", Test_lp.suite);
+      ("nf", Test_nf.suite);
+      ("spec", Test_spec.suite);
+      ("slo", Test_slo.suite);
+      ("platform", Test_platform.suite);
+      ("profiler", Test_profiler.suite);
+      ("nsh", Test_nsh.suite);
+      ("p4", Test_p4.suite);
+      ("ebpf", Test_ebpf.suite);
+      ("bess", Test_bess.suite);
+      ("openflow", Test_openflow.suite);
+      ("placer", Test_placer.suite);
+      ("alloc", Test_alloc.suite);
+      ("milp", Test_milp.suite);
+      ("dynamics", Test_dynamics.suite);
+      ("codegen", Test_codegen.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("core", Test_core.suite);
+    ]

@@ -1,0 +1,101 @@
+(* Tests for the MILP placement formulation (§3.2), cross-checked
+   against the search-based Optimal strategy. *)
+open Lemur_placer
+
+let config () = Plan.default_config (Lemur_topology.Topology.testbed ())
+
+let mk id text tmin =
+  {
+    Plan.id;
+    graph = Lemur_spec.Loader.chain_of_string ~name:id text;
+    slo = Lemur_slo.Slo.make ~t_min:tmin ~t_max:(Lemur_util.Units.gbps 100.0) ();
+  }
+
+let test_single_chain () =
+  let c = config () in
+  match Milp.solve c [ mk "a" "ACL -> Encrypt -> IPv4Fwd" 2e9 ] with
+  | None -> Alcotest.fail "expected feasible"
+  | Some r ->
+      let rate = List.assoc "a" r.Milp.rates in
+      Alcotest.(check bool) "meets tmin" true (rate >= 2e9 -. 1e3);
+      (* Encrypt has no switch implementation *)
+      Alcotest.(check bool) "encrypt on server" true
+        (List.mem "Encrypt" (List.assoc "a" r.Milp.server_nfs));
+      (* the MILP should keep the cheap ACL on the switch: moving it to
+         the server only adds work *)
+      Alcotest.(check bool) "ACL stays on the switch" false
+        (List.mem "ACL" (List.assoc "a" r.Milp.server_nfs));
+      Alcotest.(check bool) "cores allocated" true (List.assoc "a" r.Milp.cores >= 1)
+
+let test_infeasible_tmin () =
+  let c = config () in
+  (* three Dedups at 50 Gbps minimum cannot fit 15 cores *)
+  match Milp.solve c [ mk "a" "Dedup -> Encrypt" 50e9 ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected infeasible"
+
+let test_matches_optimal_shape () =
+  let c = config () in
+  let inputs =
+    [ mk "a" "ACL -> Encrypt -> IPv4Fwd" 2e9; mk "b" "BPF -> NAT -> Dedup -> IPv4Fwd" 1e9 ]
+  in
+  match (Milp.solve c inputs, Strategy.place Strategy.Optimal c inputs) with
+  | Some m, Strategy.Placed p ->
+      (* The MILP omits the multi-core LB penalty (180 cycles), so it may
+         sit slightly above the search optimum; both must agree within a
+         few percent and rank the same chains as bottlenecked. *)
+      let ratio = m.Milp.objective /. p.Strategy.total_marginal in
+      Alcotest.(check bool)
+        (Printf.sprintf "objectives within 10%% (milp %.2fG vs search %.2fG)"
+           (m.Milp.objective /. 1e9)
+           (p.Strategy.total_marginal /. 1e9))
+        true
+        (ratio > 0.9 && ratio < 1.1)
+  | None, _ -> Alcotest.fail "milp infeasible"
+  | _, Strategy.Infeasible { reason } -> Alcotest.failf "optimal infeasible: %s" reason
+
+let test_bounce_accounting () =
+  let c = config () in
+  (* Encrypt and Decrypt around a switch-capable NAT: the MILP should
+     either bounce through the switch (2 segments) or pull NAT to the
+     server (1 segment); either way the link constraint must hold and
+     the reported placement must be consistent. *)
+  match Milp.solve c [ mk "a" "Encrypt -> NAT -> Decrypt" 1e9 ] with
+  | None -> Alcotest.fail "expected feasible"
+  | Some r ->
+      let server = List.assoc "a" r.Milp.server_nfs in
+      Alcotest.(check bool) "Encrypt on server" true (List.mem "Encrypt" server);
+      Alcotest.(check bool) "Decrypt on server" true (List.mem "Decrypt" server);
+      let rate = List.assoc "a" r.Milp.rates in
+      Alcotest.(check bool) "positive rate" true (rate >= 1e9 -. 1e3)
+
+let test_rejects_unsupported () =
+  let c = config () in
+  (match Milp.solve c [ mk "a" "LB -> [{'x': 1, NAT}, {'x': 2, NAT}] -> Dedup" 1e9 ] with
+  | _ -> Alcotest.fail "expected Unsupported (branch)"
+  | exception Milp.Unsupported _ -> ());
+  match Milp.solve c [ mk "a" "Limiter -> Encrypt" 1e9 ] with
+  | _ -> Alcotest.fail "expected Unsupported (non-replicable)"
+  | exception Milp.Unsupported _ -> ()
+
+let test_stage_budget_forces_eviction () =
+  let c = config () in
+  (* A long all-switch-capable chain exceeding the conservative table
+     budget must put some NFs on the server. Budget is 27 tables; 16
+     NATs = 32 tables. *)
+  let text = String.concat " -> " (List.init 16 (fun _ -> "NAT")) in
+  match Milp.solve c [ mk "a" text 1e7 ] with
+  | None -> Alcotest.fail "expected feasible"
+  | Some r ->
+      Alcotest.(check bool) "some NATs evicted to the server" true
+        (List.length (List.assoc "a" r.Milp.server_nfs) >= 3)
+
+let suite =
+  [
+    Alcotest.test_case "single chain" `Quick test_single_chain;
+    Alcotest.test_case "infeasible tmin" `Quick test_infeasible_tmin;
+    Alcotest.test_case "matches search optimal" `Slow test_matches_optimal_shape;
+    Alcotest.test_case "bounce accounting" `Quick test_bounce_accounting;
+    Alcotest.test_case "rejects unsupported chains" `Quick test_rejects_unsupported;
+    Alcotest.test_case "stage budget forces eviction" `Quick test_stage_budget_forces_eviction;
+  ]

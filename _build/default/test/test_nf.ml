@@ -1,0 +1,139 @@
+open Lemur_nf
+
+let test_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      match Kind.of_name (Kind.name kind) with
+      | Some k -> Alcotest.(check bool) "roundtrip" true (Kind.equal k kind)
+      | None -> Alcotest.failf "no roundtrip for %s" (Kind.name kind))
+    Kind.all
+
+let test_aliases () =
+  Alcotest.(check bool) "Match is BPF" true (Kind.of_name "Match" = Some Kind.Bpf);
+  Alcotest.(check bool) "Encryption alias" true
+    (Kind.of_name "Encryption" = Some Kind.Encrypt);
+  Alcotest.(check bool) "unknown" true (Kind.of_name "Frobnicate" = None)
+
+let test_capability_matrix () =
+  (* Spot checks against Table 3. *)
+  let has kind target = List.mem target (Kind.targets kind) in
+  Alcotest.(check bool) "Encrypt C++ only" true
+    (Kind.targets Kind.Encrypt = [ Target.Cpp ]);
+  Alcotest.(check bool) "Dedup C++ only" true (Kind.targets Kind.Dedup = [ Target.Cpp ]);
+  Alcotest.(check bool) "FastEncrypt has eBPF" true (has Kind.Fast_encrypt Target.Ebpf);
+  Alcotest.(check bool) "FastEncrypt no P4" false (has Kind.Fast_encrypt Target.P4);
+  Alcotest.(check bool) "ACL everywhere" true
+    (List.for_all (has Kind.Acl) Target.all);
+  Alcotest.(check bool) "NAT has P4" true (has Kind.Nat Target.P4);
+  Alcotest.(check bool) "NAT no OpenFlow" false (has Kind.Nat Target.Openflow);
+  Alcotest.(check bool) "Monitor has OpenFlow" true (has Kind.Monitor Target.Openflow);
+  (* Eval restriction: IPv4Fwd P4-only. *)
+  Alcotest.(check bool) "IPv4Fwd eval P4-only" true
+    (Kind.targets_eval Kind.Ipv4_fwd = [ Target.P4 ]);
+  Alcotest.(check bool) "IPv4Fwd real matrix is full" true
+    (List.length (Kind.targets Kind.Ipv4_fwd) = 4)
+
+let test_replicability () =
+  Alcotest.(check bool) "Limiter not replicable" false (Kind.replicable Kind.Limiter);
+  Alcotest.(check bool) "Monitor not replicable" false (Kind.replicable Kind.Monitor);
+  (* §5.3: Lemur "replicates Dedup on two cores" — Dedup must be replicable. *)
+  Alcotest.(check bool) "Dedup replicable" true (Kind.replicable Kind.Dedup);
+  Alcotest.(check int) "exactly two non-replicable NFs" 2
+    (List.length (List.filter (fun k -> not (Kind.replicable k)) Kind.all))
+
+let test_datasheet_table4 () =
+  let check_cost kind numa expected_mean =
+    let c = Datasheet.cycle_cost kind numa in
+    Alcotest.(check (float 0.5)) "mean" expected_mean c.Datasheet.mean;
+    Alcotest.(check bool) "min <= mean <= max" true
+      (c.Datasheet.min <= c.Datasheet.mean && c.Datasheet.mean <= c.Datasheet.max)
+  in
+  check_cost Kind.Encrypt Datasheet.Same 8593.;
+  check_cost Kind.Encrypt Datasheet.Diff 8950.;
+  check_cost Kind.Dedup Datasheet.Same 30182.;
+  check_cost Kind.Nat Datasheet.Diff 496.;
+  check_cost Kind.Acl Datasheet.Same 3841.
+
+let test_datasheet_numa_penalty () =
+  List.iter
+    (fun kind ->
+      let same = Datasheet.cycle_cost kind Datasheet.Same in
+      let diff = Datasheet.cycle_cost kind Datasheet.Diff in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s diff-NUMA costs more" (Kind.name kind))
+        true
+        (diff.Datasheet.mean > same.Datasheet.mean))
+    Kind.all
+
+let test_datasheet_sized () =
+  (* Larger ACL tables cost more; reference size reproduces Table 4. *)
+  let ref_cost = Datasheet.cycle_cost Kind.Acl Datasheet.Same in
+  let at n = Datasheet.cycle_cost_sized Kind.Acl Datasheet.Same ~size:n in
+  Alcotest.(check (float 1e-9)) "reference size" ref_cost.Datasheet.mean
+    (at 1024).Datasheet.mean;
+  Alcotest.(check bool) "bigger table costs more" true
+    ((at 4096).Datasheet.mean > ref_cost.Datasheet.mean);
+  Alcotest.(check bool) "smaller table costs less" true
+    ((at 16).Datasheet.mean < ref_cost.Datasheet.mean);
+  (* Size-independent NF ignores the size. *)
+  let e = Datasheet.cycle_cost Kind.Encrypt Datasheet.Same in
+  Alcotest.(check (float 1e-9)) "encrypt unaffected" e.Datasheet.mean
+    (Datasheet.cycle_cost_sized Kind.Encrypt Datasheet.Same ~size:5).Datasheet.mean
+
+let test_ebpf_data () =
+  Alcotest.(check bool) "ChaCha speedup > 10x" true
+    (Datasheet.ebpf_speedup Kind.Fast_encrypt > 10.0);
+  Alcotest.(check int) "Encrypt has no eBPF" 0
+    (Datasheet.ebpf_instruction_estimate Kind.Encrypt);
+  Alcotest.(check bool) "ChaCha fits the 4096-insn budget era" true
+    (Datasheet.ebpf_instruction_estimate Kind.Fast_encrypt < 4096)
+
+let test_p4_tables () =
+  Alcotest.(check int) "NAT uses 2 tables" 2 (Datasheet.p4_table_count Kind.Nat);
+  Alcotest.(check int) "ACL uses 1 table" 1 (Datasheet.p4_table_count Kind.Acl);
+  Alcotest.(check int) "Dedup has no P4 impl" 0 (Datasheet.p4_table_count Kind.Dedup)
+
+let test_instance_params () =
+  let acl =
+    Instance.make ~name:"acl0"
+      ~params:
+        [
+          ( "rules",
+            Params.List
+              [
+                Params.Dict
+                  [ ("dst_ip", Params.Str "10.0.0.0/8"); ("drop", Params.Bool false) ];
+                Params.Dict [ ("dst_ip", Params.Str "0.0.0.0/0"); ("drop", Params.Bool true) ];
+              ] );
+        ]
+      Kind.Acl
+  in
+  Alcotest.(check (option int)) "table size from rules list" (Some 2)
+    (Instance.state_size acl);
+  let nat = Instance.make ~params:[ ("entries", Params.Int 12000) ] Kind.Nat in
+  Alcotest.(check (option int)) "NAT entries" (Some 12000) (Instance.state_size nat);
+  let enc = Instance.make Kind.Encrypt in
+  Alcotest.(check (option int)) "no size param" None (Instance.state_size enc);
+  Alcotest.(check string) "default name" "Encrypt" enc.Instance.name
+
+let test_params_pp () =
+  let v =
+    Params.Dict [ ("dst_ip", Params.Str "10.0.0.0/8"); ("drop", Params.Bool false) ]
+  in
+  Alcotest.(check string) "python-style" "{'dst_ip': '10.0.0.0/8', 'drop': False}"
+    (Format.asprintf "%a" Params.pp_value v)
+
+let suite =
+  [
+    Alcotest.test_case "kind name roundtrip" `Quick test_names_roundtrip;
+    Alcotest.test_case "kind aliases" `Quick test_aliases;
+    Alcotest.test_case "capability matrix (Table 3)" `Quick test_capability_matrix;
+    Alcotest.test_case "replicability" `Quick test_replicability;
+    Alcotest.test_case "datasheet Table 4 values" `Quick test_datasheet_table4;
+    Alcotest.test_case "datasheet NUMA penalty" `Quick test_datasheet_numa_penalty;
+    Alcotest.test_case "datasheet size model" `Quick test_datasheet_sized;
+    Alcotest.test_case "eBPF data" `Quick test_ebpf_data;
+    Alcotest.test_case "P4 table counts" `Quick test_p4_tables;
+    Alcotest.test_case "instance params" `Quick test_instance_params;
+    Alcotest.test_case "params pretty-printing" `Quick test_params_pp;
+  ]

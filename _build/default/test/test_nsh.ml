@@ -1,0 +1,80 @@
+open Lemur_nsh
+
+let test_roundtrip () =
+  let h = { Nsh.spi = 0x0A0B0C; si = 7 } in
+  let decoded = Nsh.decode (Nsh.encode h) in
+  Alcotest.(check int) "spi" h.Nsh.spi decoded.Nsh.spi;
+  Alcotest.(check int) "si" h.Nsh.si decoded.Nsh.si
+
+let test_encap_decap () =
+  let payload = Bytes.of_string "hello packet" in
+  let packet = Nsh.encap { Nsh.spi = 3; si = 255 } payload in
+  Alcotest.(check int) "length" (Nsh.base_length + Bytes.length payload)
+    (Bytes.length packet);
+  let header, rest = Nsh.decap packet in
+  Alcotest.(check int) "spi" 3 header.Nsh.spi;
+  Alcotest.(check int) "si" 255 header.Nsh.si;
+  Alcotest.(check string) "payload preserved" "hello packet" (Bytes.to_string rest)
+
+let test_bounds () =
+  (match Nsh.encode { Nsh.spi = 1 lsl 24; si = 0 } with
+  | _ -> Alcotest.fail "spi too large"
+  | exception Invalid_argument _ -> ());
+  (match Nsh.encode { Nsh.spi = 0; si = 256 } with
+  | _ -> Alcotest.fail "si too large"
+  | exception Invalid_argument _ -> ())
+
+let test_malformed () =
+  (match Nsh.decode (Bytes.create 4) with
+  | _ -> Alcotest.fail "short header"
+  | exception Nsh.Malformed _ -> ());
+  let bad = Nsh.encode { Nsh.spi = 1; si = 1 } in
+  Bytes.set_uint8 bad 0 0xC0 (* version bits *);
+  match Nsh.decode bad with
+  | _ -> Alcotest.fail "bad version"
+  | exception Nsh.Malformed _ -> ()
+
+let test_decrement () =
+  let h = { Nsh.spi = 1; si = 1 } in
+  let h' = Nsh.decrement_si h in
+  Alcotest.(check int) "decremented" 0 h'.Nsh.si;
+  match Nsh.decrement_si h' with
+  | _ -> Alcotest.fail "underflow"
+  | exception Nsh.Malformed _ -> ()
+
+let test_vlan_encoding () =
+  let h = { Nsh.spi = 200; si = 9 } in
+  let vid = Nsh.Vlan.encode h in
+  Alcotest.(check bool) "12 bits" true (vid >= 0 && vid < 4096);
+  let d = Nsh.Vlan.decode vid in
+  Alcotest.(check int) "spi" 200 d.Nsh.spi;
+  Alcotest.(check int) "si" 9 d.Nsh.si;
+  match Nsh.Vlan.encode { Nsh.spi = Nsh.Vlan.max_spi + 1; si = 0 } with
+  | _ -> Alcotest.fail "spi budget"
+  | exception Invalid_argument _ -> ()
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"nsh roundtrip" ~count:200
+      (pair (int_range 0 0xFFFFFF) (int_range 0 255))
+      (fun (spi, si) ->
+        let d = Nsh.decode (Nsh.encode { Nsh.spi = spi; si }) in
+        d.Nsh.spi = spi && d.Nsh.si = si);
+    Test.make ~name:"vlan roundtrip" ~count:200
+      (pair (int_range 0 Nsh.Vlan.max_spi) (int_range 0 Nsh.Vlan.max_si))
+      (fun (spi, si) ->
+        let d = Nsh.Vlan.decode (Nsh.Vlan.encode { Nsh.spi = spi; si }) in
+        d.Nsh.spi = spi && d.Nsh.si = si);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "header roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "encap/decap" `Quick test_encap_decap;
+    Alcotest.test_case "field bounds" `Quick test_bounds;
+    Alcotest.test_case "malformed input" `Quick test_malformed;
+    Alcotest.test_case "SI decrement" `Quick test_decrement;
+    Alcotest.test_case "VLAN vid encoding" `Quick test_vlan_encoding;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases

@@ -1,0 +1,54 @@
+open Lemur_openflow
+open Lemur_nf
+
+let sw = Lemur_platform.Ofswitch.edgecore_as5712
+
+let test_check_placeable () =
+  Openflow.check_placeable sw [ Kind.Acl; Kind.Ipv4_fwd ];
+  (match Openflow.check_placeable sw [ Kind.Nat ] with
+  | _ -> Alcotest.fail "NAT has no OF table"
+  | exception Openflow.Unplaceable _ -> ());
+  match Openflow.check_placeable sw [ Kind.Ipv4_fwd; Kind.Acl ] with
+  | _ -> Alcotest.fail "order violation"
+  | exception Openflow.Unplaceable _ -> ()
+
+let test_steering_rules () =
+  let rules = Openflow.steering_rules ~spi:5 ~entry_si:10 [ Kind.Acl; Kind.Ipv4_fwd ] in
+  Alcotest.(check int) "one rule per NF" 2 (List.length rules);
+  let first = List.hd rules in
+  let expected_vid = Lemur_nsh.Nsh.Vlan.encode { Lemur_nsh.Nsh.spi = 5; si = 10 } in
+  Alcotest.(check (option int)) "vid match" (Some expected_vid) first.Openflow.match_vid;
+  (* each rule rewrites the vid for the next hop *)
+  List.iteri
+    (fun i rule ->
+      let next =
+        Lemur_nsh.Nsh.Vlan.encode { Lemur_nsh.Nsh.spi = 5; si = 10 - i - 1 }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "rule %d sets next vid" i)
+        true
+        (List.exists
+           (function Openflow.Set_vid { vid } -> vid = next | _ -> false)
+           rule.Openflow.actions))
+    rules
+
+let test_compile () =
+  let program =
+    Openflow.compile sw [ (1, 5, [ Kind.Acl ]); (2, 5, [ Kind.Monitor; Kind.Ipv4_fwd ]) ]
+  in
+  Alcotest.(check int) "3 rules" 3 (Openflow.rule_count program);
+  let text = Format.asprintf "%a" Openflow.pp program in
+  Alcotest.(check bool) "renders" true (String.length text > 50)
+
+let test_compile_order_violation () =
+  match Openflow.compile sw [ (1, 5, [ Kind.Detunnel; Kind.Acl ]) ] with
+  | _ -> Alcotest.fail "order violation"
+  | exception Openflow.Unplaceable _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "placeability" `Quick test_check_placeable;
+    Alcotest.test_case "steering rules" `Quick test_steering_rules;
+    Alcotest.test_case "compile program" `Quick test_compile;
+    Alcotest.test_case "compile rejects bad order" `Quick test_compile_order_violation;
+  ]

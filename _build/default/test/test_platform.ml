@@ -1,0 +1,76 @@
+open Lemur_platform
+
+let test_pisa () =
+  let t = Pisa.tofino_32x100g in
+  Alcotest.(check int) "stages" 12 t.Pisa.stages;
+  Alcotest.(check (float 1.0)) "3.2 Tbps" 3.2e12 (Pisa.line_rate t)
+
+let test_server () =
+  let s = Server.xeon_bronze () in
+  Alcotest.(check int) "16 cores" 16 (Server.total_cores s);
+  Alcotest.(check int) "15 NF cores (demux reserved)" 15 (Server.nf_cores s);
+  Alcotest.(check (float 1.0)) "40G NIC" 40e9 (Server.nic_capacity s);
+  (* One 1.7 GHz core at 8500 cycles/packet and 1500 B: 200 kpps = 2.4 Gbps *)
+  let r = Server.rate_of_cycles s ~cycles:8500.0 ~cores:1 ~pkt_bytes:1500 in
+  Alcotest.(check (float 1e7)) "rate model" 2.4e9 r;
+  Alcotest.(check (float 1e7)) "scales with cores" (3.0 *. r)
+    (Server.rate_of_cycles s ~cycles:8500.0 ~cores:3 ~pkt_bytes:1500)
+
+let test_smartnic () =
+  let nic = Smartnic.agilio_cx ~host:"server0" in
+  Alcotest.(check int) "insn budget" 4096 nic.Smartnic.max_instructions;
+  Alcotest.(check bool) "no back edges" false nic.Smartnic.allows_back_edges;
+  (* ChaCha at 5000 cycles on a 1.7 GHz core ~ 4.1 Gbps; on the NIC
+     >10x faster but capped at 40 G line rate. *)
+  let r =
+    Smartnic.rate nic ~clock_hz:1.7e9 ~kind:Lemur_nf.Kind.Fast_encrypt
+      ~cycles:5000.0 ~pkt_bytes:1500
+  in
+  Alcotest.(check bool) "near line rate" true (r > 35e9 && r <= 40e9);
+  let slow =
+    Smartnic.rate nic ~clock_hz:1.7e9 ~kind:Lemur_nf.Kind.Acl ~cycles:4000.0
+      ~pkt_bytes:1500
+  in
+  Alcotest.(check bool) "acl speedup but below line rate" true
+    (slow > 5e9 && slow < 40e9)
+
+let test_ofswitch_order () =
+  let sw = Ofswitch.edgecore_as5712 in
+  let open Lemur_nf.Kind in
+  Alcotest.(check bool) "ACL then fwd ok" true
+    (Ofswitch.order_compatible sw [ Acl; Ipv4_fwd ]);
+  Alcotest.(check bool) "fwd then ACL violates order" false
+    (Ofswitch.order_compatible sw [ Ipv4_fwd; Acl ]);
+  Alcotest.(check bool) "duplicate table" false
+    (Ofswitch.order_compatible sw [ Acl; Acl ]);
+  Alcotest.(check bool) "full pipeline" true
+    (Ofswitch.order_compatible sw [ Acl; Monitor; Tunnel; Detunnel; Ipv4_fwd ]);
+  Alcotest.(check bool) "NAT unsupported" false (Ofswitch.supports sw Nat);
+  Alcotest.(check int) "vid budget" 4094 (Ofswitch.max_steering_entries sw)
+
+let test_topology () =
+  let t = Lemur_topology.Topology.testbed ~num_servers:2 ~smartnic:true ~ofswitch:true () in
+  Alcotest.(check int) "30 NF cores" 30 (Lemur_topology.Topology.total_nf_cores t);
+  Alcotest.(check (list string)) "server names" [ "server0"; "server1" ]
+    (Lemur_topology.Topology.server_names t);
+  Alcotest.(check bool) "smartnic on server0" true
+    (Lemur_topology.Topology.smartnic_of_server t "server0" <> None);
+  Alcotest.(check bool) "none on server1" true
+    (Lemur_topology.Topology.smartnic_of_server t "server1" = None);
+  Alcotest.(check (float 1.0)) "server link" 40e9
+    (Lemur_topology.Topology.link_capacity t "server0");
+  (match Lemur_topology.Topology.link_capacity t "nonesuch" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ());
+  let np = Lemur_topology.Topology.no_pisa_testbed () in
+  Alcotest.(check int) "dumb ToR has 0 stages" 0
+    np.Lemur_topology.Topology.tor.Pisa.stages
+
+let suite =
+  [
+    Alcotest.test_case "pisa model" `Quick test_pisa;
+    Alcotest.test_case "server model" `Quick test_server;
+    Alcotest.test_case "smartnic model" `Quick test_smartnic;
+    Alcotest.test_case "openflow table order" `Quick test_ofswitch_order;
+    Alcotest.test_case "topology" `Quick test_topology;
+  ]

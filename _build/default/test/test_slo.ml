@@ -1,0 +1,66 @@
+open Lemur_slo
+
+let test_classification () =
+  (* Table 1 *)
+  let check name expected slo =
+    Alcotest.(check string) name expected (Slo.use_case_name (Slo.classify slo))
+  in
+  check "bulk" "Bulk" (Slo.make ());
+  check "metered bulk" "Metered bulk" (Slo.make ~t_max:(Lemur_util.Units.gbps 1.0) ());
+  check "virtual pipe" "Virtual pipe"
+    (Slo.make ~t_min:(Lemur_util.Units.gbps 2.0) ~t_max:(Lemur_util.Units.gbps 2.0) ());
+  check "elastic pipe" "Elastic pipe"
+    (Slo.make ~t_min:(Lemur_util.Units.gbps 2.0) ~t_max:(Lemur_util.Units.gbps 8.0) ());
+  check "infinite pipe" "Infinite pipe" (Slo.make ~t_min:(Lemur_util.Units.gbps 2.0) ())
+
+let test_marginal () =
+  let slo = Slo.make ~t_min:(Lemur_util.Units.gbps 2.0) () in
+  Alcotest.(check (float 1.0)) "above tmin" 1e9 (Slo.marginal slo 3e9);
+  Alcotest.(check (float 1e-9)) "below tmin" 0.0 (Slo.marginal slo 1e9)
+
+let test_rate_parsing () =
+  Alcotest.(check (float 1.0)) "gbps" 2.5e9 (Slo.rate_of_string "2.5Gbps");
+  Alcotest.(check (float 1.0)) "mbps" 800e6 (Slo.rate_of_string "800Mbps");
+  Alcotest.(check (float 1.0)) "case" 1e3 (Slo.rate_of_string "1KBPS");
+  Alcotest.(check (float 1.0)) "raw" 42.0 (Slo.rate_of_string "42");
+  (match Slo.rate_of_string "fast" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Slo.Invalid _ -> ())
+
+let test_duration_parsing () =
+  Alcotest.(check (float 1e-9)) "us" 45_000.0 (Slo.duration_of_string "45us");
+  Alcotest.(check (float 1e-9)) "ms" 1e6 (Slo.duration_of_string "1ms");
+  Alcotest.(check (float 1e-9)) "ns" 100.0 (Slo.duration_of_string "100ns");
+  Alcotest.(check (float 1e-9)) "s" 2e9 (Slo.duration_of_string "2s")
+
+let test_of_params () =
+  let slo =
+    Slo.of_params
+      [
+        ("tmin", Lemur_nf.Params.Str "1Gbps");
+        ("tmax", Lemur_nf.Params.Str "100Gbps");
+        ("dmax", Lemur_nf.Params.Str "45us");
+      ]
+  in
+  Alcotest.(check (float 1.0)) "tmin" 1e9 slo.Slo.t_min;
+  Alcotest.(check (float 1.0)) "tmax" 100e9 slo.Slo.t_max;
+  Alcotest.(check (float 1e-9)) "dmax" 45_000.0 slo.Slo.d_max;
+  (match Slo.of_params [ ("bogus", Lemur_nf.Params.Int 1) ] with
+  | _ -> Alcotest.fail "expected invalid key"
+  | exception Slo.Invalid _ -> ())
+
+let test_validate () =
+  (match Slo.validate (Slo.make ~t_min:2e9 ~t_max:1e9 ()) with
+  | () -> Alcotest.fail "expected invalid"
+  | exception Slo.Invalid _ -> ());
+  Slo.validate (Slo.make ~t_min:1e9 ~t_max:1e9 ())
+
+let suite =
+  [
+    Alcotest.test_case "Table 1 classification" `Quick test_classification;
+    Alcotest.test_case "marginal throughput" `Quick test_marginal;
+    Alcotest.test_case "rate parsing" `Quick test_rate_parsing;
+    Alcotest.test_case "duration parsing" `Quick test_duration_parsing;
+    Alcotest.test_case "of_params" `Quick test_of_params;
+    Alcotest.test_case "validation" `Quick test_validate;
+  ]

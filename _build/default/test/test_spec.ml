@@ -1,0 +1,273 @@
+open Lemur_spec
+open Lemur_nf
+
+let kind_of_node g id = (Graph.node g id).Graph.instance.Instance.kind
+
+let test_lexer_basics () =
+  let toks = List.map fst (Lexer.tokenize "ACL -> Encrypt # comment\n x=0x1f") in
+  Alcotest.(check int) "token count" 7 (List.length toks);
+  Alcotest.(check bool) "hex literal" true (List.mem (Lexer.INT 31) toks);
+  Alcotest.(check bool) "arrow" true (List.mem Lexer.ARROW toks)
+
+let test_lexer_strings () =
+  let toks = List.map fst (Lexer.tokenize "'single' \"double\"") in
+  Alcotest.(check bool) "single" true (List.mem (Lexer.STRING "single") toks);
+  Alcotest.(check bool) "double" true (List.mem (Lexer.STRING "double") toks)
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated string"
+    (Lexer.Error { line = 1; col = 1; message = "unterminated string" })
+    (fun () -> ignore (Lexer.tokenize "'oops"));
+  (match Lexer.tokenize "a ? b" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error _ -> ())
+
+let test_parse_linear () =
+  let g = Loader.chain_of_string "ACL -> Encrypt -> IPv4Fwd" in
+  Alcotest.(check int) "3 nodes" 3 (Graph.size g);
+  Alcotest.(check int) "2 edges" 2 (List.length (Graph.edges g));
+  Alcotest.(check int) "single exit" 1 (List.length (Graph.exits g));
+  Alcotest.(check bool) "entry is ACL" true (kind_of_node g (Graph.entry g) = Kind.Acl)
+
+let test_parse_params () =
+  let g =
+    Loader.chain_of_string
+      "ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}]) -> IPv4Fwd"
+  in
+  let acl = Graph.node g (Graph.entry g) in
+  Alcotest.(check (option int)) "one rule" (Some 1)
+    (Instance.state_size acl.Graph.instance)
+
+let test_parse_branch_merge () =
+  (* The paper's example: ACL -> [{'vlan_tag': 0x1, Encrypt}] -> IPv4Fwd,
+     extended with an explicit pass-through arm. *)
+  let g =
+    Loader.chain_of_string
+      "ACL -> [{'vlan_tag': 0x1, Encrypt}, {'weight': 0.5}] -> IPv4Fwd"
+  in
+  Alcotest.(check int) "3 nodes" 3 (Graph.size g);
+  let entry = Graph.entry g in
+  Alcotest.(check int) "branch fan-out 2" 2 (List.length (Graph.successors g entry));
+  let fwd =
+    List.find (fun n -> kind_of_node g n.Graph.id = Kind.Ipv4_fwd) (Graph.nodes g)
+  in
+  Alcotest.(check bool) "IPv4Fwd is a merge" true (Graph.is_merge g fwd.Graph.id);
+  (* Weights: pass-through arm got 0.5, Encrypt arm the remaining 0.5. *)
+  let paths = Graph.linearize g in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "half" 0.5 p.Graph.fraction)
+    paths
+
+let test_parse_terminal_branch () =
+  (* Branch with no merge: both arms exit. *)
+  let g = Loader.chain_of_string "BPF -> [{Encrypt -> IPv4Fwd}, {Tunnel}]" in
+  Alcotest.(check int) "4 nodes" 4 (Graph.size g);
+  Alcotest.(check int) "two exits" 2 (List.length (Graph.exits g));
+  let paths = Graph.linearize g in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1.0
+    (Lemur_util.Listx.sum_by (fun p -> p.Graph.fraction) paths)
+
+let test_parse_passthrough_exit () =
+  (* A pass-through arm that ends the pipeline: BPF itself is an exit. *)
+  let g = Loader.chain_of_string "BPF -> [{Encrypt}, {'weight': 0.25}]" in
+  Alcotest.(check int) "2 nodes" 2 (Graph.size g);
+  let paths = Graph.linearize g in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  let short = List.find (fun p -> List.length p.Graph.path_nodes = 1) paths in
+  Alcotest.(check (float 1e-9)) "short path carries 0.25" 0.25 short.Graph.fraction
+
+let test_decls_and_chains () =
+  let chains =
+    Loader.load
+      {|
+# instance declarations
+acl0 = ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}])
+chain c1 slo(tmin='1Gbps', tmax='100Gbps') = acl0 -> Encrypt -> IPv4Fwd
+chain c2 = BPF -> IPv4Fwd
+|}
+  in
+  Alcotest.(check int) "two chains" 2 (List.length chains);
+  let c1 = List.find (fun c -> c.Loader.chain_name = "c1") chains in
+  Alcotest.(check bool) "c1 has SLO args" true (c1.Loader.slo_args <> None);
+  Alcotest.(check int) "c1 size" 3 (Graph.size c1.Loader.graph);
+  let entry_inst =
+    (Graph.node c1.Loader.graph (Graph.entry c1.Loader.graph)).Graph.instance
+  in
+  Alcotest.(check string) "decl name kept" "acl0" entry_inst.Instance.name;
+  let c2 = List.find (fun c -> c.Loader.chain_name = "c2") chains in
+  Alcotest.(check bool) "c2 has no SLO" true (c2.Loader.slo_args = None)
+
+let test_subchains () =
+  let chains =
+    Loader.load
+      {|
+subchain crypto = Encrypt -> Decrypt
+subchain exit = crypto -> IPv4Fwd   # subchains may reference earlier ones
+chain c1 = ACL -> exit
+chain c2 = BPF -> [{'tc': 1, crypto}, {'weight': 0.5}] -> IPv4Fwd
+|}
+  in
+  let c1 = List.find (fun c -> c.Loader.chain_name = "c1") chains in
+  Alcotest.(check int) "c1 splices to 4 NFs" 4 (Graph.size c1.Loader.graph);
+  let c2 = List.find (fun c -> c.Loader.chain_name = "c2") chains in
+  Alcotest.(check int) "c2 splices inside an arm" 4 (Graph.size c2.Loader.graph);
+  (* the spliced copies are independent instances *)
+  let kinds g =
+    List.map (fun n -> n.Graph.instance.Instance.kind) (Graph.nodes g)
+  in
+  Alcotest.(check bool) "c1 has Encrypt" true
+    (List.mem Kind.Encrypt (kinds c1.Loader.graph));
+  Alcotest.(check bool) "c2 has Decrypt" true
+    (List.mem Kind.Decrypt (kinds c2.Loader.graph))
+
+let test_subchain_errors () =
+  (match Loader.load "subchain s = ACL\nsubchain s = BPF\nchain c = s" with
+  | _ -> Alcotest.fail "duplicate subchain"
+  | exception Graph.Invalid _ -> ());
+  match Loader.load "subchain s = ACL\nchain c = s(rules=[])" with
+  | _ -> Alcotest.fail "subchain with arguments"
+  | exception Graph.Invalid _ -> ()
+
+let test_macros () =
+  let chains =
+    Loader.load
+      {|
+edge_rules = [{'dst_ip': '10.0.0.0/8', 'drop': False}, {'dst_ip': '0.0.0.0/0', 'drop': True}]
+default_slo = '2Gbps'
+acl0 = ACL(rules=edge_rules)
+chain c1 slo(tmin=default_slo) = acl0 -> IPv4Fwd
+chain c2 = ACL(rules=edge_rules) -> Encrypt -> IPv4Fwd
+|}
+  in
+  let c1 = List.find (fun c -> c.Loader.chain_name = "c1") chains in
+  let acl = Graph.node c1.Loader.graph (Graph.entry c1.Loader.graph) in
+  Alcotest.(check (option int)) "macro expands to 2 rules" (Some 2)
+    (Instance.state_size acl.Graph.instance);
+  (* the slo macro resolved to the rate string *)
+  (match c1.Loader.slo_args with
+  | Some args ->
+      Alcotest.(check (option string)) "tmin" (Some "2Gbps")
+        (Params.find_str args "tmin")
+  | None -> Alcotest.fail "slo expected");
+  let c2 = List.find (fun c -> c.Loader.chain_name = "c2") chains in
+  let acl2 = Graph.node c2.Loader.graph (Graph.entry c2.Loader.graph) in
+  Alcotest.(check (option int)) "macro reused inline" (Some 2)
+    (Instance.state_size acl2.Graph.instance)
+
+let test_macro_errors () =
+  (match Loader.load "chain c = ACL(rules=ghost)" with
+  | _ -> Alcotest.fail "unknown macro"
+  | exception Graph.Invalid _ -> ());
+  match Loader.load "m = 1\nm = 2\nchain c = ACL" with
+  | _ -> Alcotest.fail "duplicate macro"
+  | exception Graph.Invalid _ -> ()
+
+let test_aggregate_clause () =
+  let chains =
+    Loader.load
+      "chain c aggregate(dst_ip='10.0.0.0/8', dst_port=443) \
+       slo(tmin='1Gbps') = ACL -> IPv4Fwd"
+  in
+  let c = List.hd chains in
+  (match c.Loader.aggregate with
+  | Some args ->
+      Alcotest.(check (option string)) "dst_ip" (Some "10.0.0.0/8")
+        (Lemur_nf.Params.find_str args "dst_ip");
+      Alcotest.(check (option int)) "dst_port" (Some 443)
+        (Lemur_nf.Params.find_int args "dst_port")
+  | None -> Alcotest.fail "expected aggregate");
+  Alcotest.(check bool) "slo also parsed" true (c.Loader.slo_args <> None)
+
+let test_duplicate_names_unique () =
+  let g = Loader.chain_of_string "NAT -> NAT -> NAT" in
+  let names =
+    List.map (fun n -> n.Graph.instance.Instance.name) (Graph.nodes g)
+  in
+  Alcotest.(check int) "3 distinct names" 3
+    (List.length (Lemur_util.Listx.uniq String.equal names))
+
+let test_errors () =
+  (match Loader.chain_of_string "ACL -> Bogus" with
+  | _ -> Alcotest.fail "expected unknown NF error"
+  | exception Graph.Invalid _ -> ());
+  (match Loader.chain_of_string "ACL ->" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Parser.Error _ -> ());
+  (match
+     Loader.chain_of_string "ACL -> [{'weight': 0.9, Encrypt}, {'weight': 0.6}]"
+   with
+  | _ -> Alcotest.fail "expected weight error"
+  | exception Graph.Invalid _ -> ());
+  match Loader.load "chain a = ACL\nchain a = ACL" with
+  | _ -> Alcotest.fail "expected duplicate chain error"
+  | exception Graph.Invalid _ -> ()
+
+let test_pp_roundtrip () =
+  let source = "ACL -> [{'vlan_tag': 1, Encrypt}, {'weight': 0.5}] -> IPv4Fwd" in
+  let p = Parser.parse_pipeline source in
+  let printed = Format.asprintf "%a" Ast.pp_pipeline p in
+  let p2 = Parser.parse_pipeline printed in
+  Alcotest.(check int) "same element count" (List.length p) (List.length p2);
+  let g1 = Graph.of_pipeline p and g2 = Graph.of_pipeline p2 in
+  Alcotest.(check int) "same node count" (Graph.size g1) (Graph.size g2);
+  Alcotest.(check int) "same edge count"
+    (List.length (Graph.edges g1))
+    (List.length (Graph.edges g2))
+
+(* qcheck: random linear pipelines always produce path fractions summing
+   to 1 and node count equal to pipeline length. *)
+let qcheck_cases =
+  let open QCheck in
+  let kind_names = List.map Kind.name Kind.all in
+  (* Robustness: arbitrary input may be rejected, but only through the
+     documented exceptions — never a crash or stack overflow. *)
+  let fuzz_total =
+    Test.make ~name:"loader total on arbitrary input" ~count:300
+      (string_gen_of_size (Gen.int_range 0 80) Gen.printable)
+      (fun source ->
+        match Loader.load source with
+        | _ -> true
+        | exception (Lexer.Error _ | Parser.Error _ | Graph.Invalid _) -> true)
+  in
+  let gen_linear =
+    Gen.(list_size (int_range 1 10) (oneofl kind_names))
+  in
+  let arb = make ~print:(String.concat " -> ") gen_linear in
+  [
+    Test.make ~name:"linear pipeline: nodes = length, one path" ~count:100 arb
+      (fun names ->
+        let src = String.concat " -> " names in
+        let g = Loader.chain_of_string src in
+        Graph.size g = List.length names
+        && List.length (Graph.linearize g) = 1
+        && Float.abs
+             (Lemur_util.Listx.sum_by
+                (fun p -> p.Graph.fraction)
+                (Graph.linearize g)
+             -. 1.0)
+           < 1e-9);
+    fuzz_total;
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer strings" `Quick test_lexer_strings;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse linear chain" `Quick test_parse_linear;
+    Alcotest.test_case "parse params" `Quick test_parse_params;
+    Alcotest.test_case "parse branch with merge" `Quick test_parse_branch_merge;
+    Alcotest.test_case "parse terminal branch" `Quick test_parse_terminal_branch;
+    Alcotest.test_case "pass-through exit" `Quick test_parse_passthrough_exit;
+    Alcotest.test_case "declarations and chains" `Quick test_decls_and_chains;
+    Alcotest.test_case "subchains" `Quick test_subchains;
+    Alcotest.test_case "subchain errors" `Quick test_subchain_errors;
+    Alcotest.test_case "macros" `Quick test_macros;
+    Alcotest.test_case "macro errors" `Quick test_macro_errors;
+    Alcotest.test_case "aggregate clause" `Quick test_aggregate_clause;
+    Alcotest.test_case "duplicate instance names" `Quick test_duplicate_names_unique;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "pretty-print roundtrip" `Quick test_pp_roundtrip;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases

@@ -1,0 +1,139 @@
+open Lemur_util
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_bounds () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Prng.float t 3.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 3.0)
+  done
+
+let test_prng_truncated_gaussian () =
+  let t = Prng.create ~seed:3 in
+  for _ = 1 to 500 do
+    let x = Prng.truncated_gaussian t ~mu:10.0 ~sigma:5.0 ~lo:8.0 ~hi:12.0 in
+    Alcotest.(check bool) "in [lo, hi]" true (x >= 8.0 && x <= 12.0)
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:1 in
+  let child = Prng.split parent in
+  Alcotest.(check bool) "child differs from parent" true
+    (Prng.bits64 child <> Prng.bits64 parent)
+
+let test_units () =
+  Alcotest.(check (float 1e-6)) "gbps" 1e9 (Units.gbps 1.0);
+  Alcotest.(check (float 1e-6)) "roundtrip" 42.0 (Units.to_gbps (Units.gbps 42.0));
+  Alcotest.(check (float 1e-6)) "us" 45_000.0 (Units.us 45.0);
+  (* 1 Gbps of 1500-byte packets is ~83.3 kpps *)
+  let pps = Units.pps_of_bps ~pkt_bytes:1500 (Units.gbps 1.0) in
+  Alcotest.(check (float 1.0)) "pps" 83333.3 pps;
+  Alcotest.(check (float 1e-3))
+    "pps inverse" (Units.gbps 1.0)
+    (Units.bps_of_pps ~pkt_bytes:1500 pps)
+
+let test_cartesian () =
+  let got = Listx.cartesian [ [ 1; 2 ]; [ 3 ]; [ 4; 5 ] ] in
+  Alcotest.(check (list (list int)))
+    "product"
+    [ [ 1; 3; 4 ]; [ 1; 3; 5 ]; [ 2; 3; 4 ]; [ 2; 3; 5 ] ]
+    (List.sort compare got);
+  Alcotest.(check (list (list int))) "empty product" [ [] ] (Listx.cartesian [])
+
+let test_compositions () =
+  Alcotest.(check (list (list int)))
+    "3 into 2" [ [ 1; 2 ]; [ 2; 1 ] ] (Listx.compositions 3 2);
+  Alcotest.(check int) "5 into 3 count" 6 (List.length (Listx.compositions 5 3));
+  Alcotest.(check (list (list int))) "0 into 0" [ [] ] (Listx.compositions 0 0);
+  Alcotest.(check (list (list int))) "too few" [] (Listx.compositions 2 3);
+  (* weak compositions of n into k: C(n+k-1, k-1) *)
+  Alcotest.(check int) "weak 4 into 3" 15 (List.length (Listx.weak_compositions 4 3))
+
+let test_group_consecutive () =
+  let got = Listx.group_consecutive (fun a b -> a = b) [ 1; 1; 2; 3; 3; 3; 1 ] in
+  Alcotest.(check (list (list int)))
+    "runs" [ [ 1; 1 ]; [ 2 ]; [ 3; 3; 3 ]; [ 1 ] ] got;
+  Alcotest.(check (list (list int))) "empty" [] (Listx.group_consecutive ( = ) [])
+
+let test_max_by () =
+  Alcotest.(check (option int)) "max" (Some 9)
+    (Listx.max_by float_of_int [ 3; 9; 1 ]);
+  Alcotest.(check (option int)) "empty" None (Listx.max_by float_of_int []);
+  Alcotest.(check (option int)) "min" (Some 1)
+    (Listx.min_by float_of_int [ 3; 9; 1 ])
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check int) "n" 4 s.Stats.n
+
+let test_linear_fit () =
+  let slope, intercept = Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile 100.0 xs)
+
+let test_texttable () =
+  let t = Texttable.create ~headers:[ "a"; "bb" ] in
+  Texttable.add_row t [ "1"; "2" ];
+  Texttable.add_row t [ "333" ];
+  let rendered = Texttable.render t in
+  Alcotest.(check bool) "contains rule" true
+    (String.length rendered > 0 && String.contains rendered '-');
+  Alcotest.(check bool) "pads short rows" true
+    (List.length (String.split_on_char '\n' rendered) = 4)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~name:"compositions sum to n" ~count:100
+      (pair (int_range 1 8) (int_range 1 4))
+      (fun (n, k) ->
+        List.for_all
+          (fun parts ->
+            List.fold_left ( + ) 0 parts = n && List.length parts = k)
+          (Listx.compositions n k));
+    Test.make ~name:"cartesian size is product of sizes" ~count:50
+      (list_of_size (Gen.int_range 0 3) (list_of_size (Gen.int_range 1 4) small_int))
+      (fun lists ->
+        List.length (Listx.cartesian lists)
+        = List.fold_left (fun acc l -> acc * List.length l) 1 lists);
+    Test.make ~name:"percentile within min/max" ~count:100
+      (pair (list_of_size (Gen.int_range 1 20) (float_range 0.0 100.0))
+         (float_range 0.0 100.0))
+      (fun (xs, p) ->
+        let v = Stats.percentile p xs in
+        let s = Stats.summarize xs in
+        v >= s.Stats.min && v <= s.Stats.max);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng truncated gaussian" `Quick test_prng_truncated_gaussian;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "units" `Quick test_units;
+    Alcotest.test_case "cartesian" `Quick test_cartesian;
+    Alcotest.test_case "compositions" `Quick test_compositions;
+    Alcotest.test_case "group_consecutive" `Quick test_group_consecutive;
+    Alcotest.test_case "max_by/min_by" `Quick test_max_by;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "linear fit" `Quick test_linear_fit;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "texttable" `Quick test_texttable;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases
