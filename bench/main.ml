@@ -791,11 +791,34 @@ let experiments =
     ("placer_scaling", run_placer_scaling);
   ]
 
+(* When [--telemetry-dir DIR] precedes the experiment names, each
+   experiment runs against a fresh telemetry registry and dumps it to
+   DIR/<experiment>.json afterwards (see docs/OBSERVABILITY.md). *)
+let with_experiment_telemetry dir name f =
+  match dir with
+  | None -> f ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let t = Lemur_telemetry.Telemetry.create () in
+      Lemur_telemetry.Telemetry.set_current t;
+      Fun.protect
+        ~finally:(fun () ->
+          Lemur_telemetry.Telemetry.set_current Lemur_telemetry.Telemetry.disabled;
+          let path = Filename.concat dir (name ^ ".json") in
+          try Lemur_telemetry.Telemetry.write_json t path
+          with Sys_error msg ->
+            Printf.eprintf "bench: cannot write telemetry dump: %s\n" msg)
+        f
+
 let () =
-  let requested =
+  let telemetry_dir, argv_rest =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    | _ :: "--telemetry-dir" :: dir :: rest -> (Some dir, rest)
+    | _ :: rest -> (None, rest)
+    | [] -> (None, [])
+  in
+  let requested =
+    match argv_rest with [] -> List.map fst experiments | names -> names
   in
   Printf.printf "Lemur evaluation harness (see EXPERIMENTS.md for paper-vs-measured)\n";
   List.iter
@@ -804,7 +827,7 @@ let () =
       | "list", _ ->
           Printf.printf "experiments: %s\n"
             (String.concat ", " (List.map fst experiments))
-      | _, Some f -> f ()
+      | _, Some f -> with_experiment_telemetry telemetry_dir name f
       | _, None ->
           Printf.printf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments)))

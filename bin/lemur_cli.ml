@@ -46,6 +46,33 @@ let metron =
           "Enable Metron-style core tagging: the ToR steers packets directly \
            to subgroup replica cores, bypassing the software demultiplexer.")
 
+let telemetry =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry (spans, counters, latency histograms) across the \
+           placer and the simulated dataplane, and write the JSON dump to \
+           $(docv) on exit. See docs/OBSERVABILITY.md for the schema.")
+
+(* Route the instrumented libraries' telemetry to a fresh registry for
+   the duration of [f], then dump it — even when [f] fails, so aborted
+   runs still leave their diagnostics behind. *)
+let with_telemetry file f =
+  match file with
+  | None -> f ()
+  | Some path ->
+      let t = Lemur_telemetry.Telemetry.create () in
+      Lemur_telemetry.Telemetry.set_current t;
+      Fun.protect
+        ~finally:(fun () ->
+          Lemur_telemetry.Telemetry.set_current Lemur_telemetry.Telemetry.disabled;
+          try Lemur_telemetry.Telemetry.write_json t path
+          with Sys_error msg ->
+            Printf.eprintf "lemur: cannot write telemetry dump: %s\n" msg)
+        f
+
 let strategy =
   let strategies =
     List.map
@@ -72,7 +99,8 @@ let deploy strategy topo metron file =
 (* ------------------------------------------------------------------ *)
 
 let place_cmd =
-  let run strategy servers cps smartnic ofswitch no_pisa metron file =
+  let run strategy servers cps smartnic ofswitch no_pisa metron tfile file =
+    with_telemetry tfile @@ fun () ->
     let topo = topology servers cps smartnic ofswitch no_pisa in
     match deploy strategy topo metron file with
     | Error e ->
@@ -95,13 +123,14 @@ let place_cmd =
     (Cmd.info "place" ~doc:"Compute an SLO-satisfying placement for a chain specification.")
     Term.(
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
-      $ no_pisa $ metron $ spec_file)
+      $ no_pisa $ metron $ telemetry $ spec_file)
 
 let compile_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Print the complete generated sources.")
   in
-  let run strategy servers cps smartnic ofswitch no_pisa metron full file =
+  let run strategy servers cps smartnic ofswitch no_pisa metron full tfile file =
+    with_telemetry tfile @@ fun () ->
     let topo = topology servers cps smartnic ofswitch no_pisa in
     match deploy strategy topo metron file with
     | Error e ->
@@ -130,7 +159,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Generate the cross-platform coordination code.")
     Term.(
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
-      $ no_pisa $ metron $ full $ spec_file)
+      $ no_pisa $ metron $ full $ telemetry $ spec_file)
 
 let run_cmd =
   let duration =
@@ -138,7 +167,8 @@ let run_cmd =
       value & opt float 50.0
       & info [ "duration" ] ~docv:"MS" ~doc:"Simulated measurement window (ms).")
   in
-  let run strategy servers cps smartnic ofswitch no_pisa metron duration file =
+  let run strategy servers cps smartnic ofswitch no_pisa metron duration tfile file =
+    with_telemetry tfile @@ fun () ->
     let topo = topology servers cps smartnic ofswitch no_pisa in
     match deploy strategy topo metron file with
     | Error e ->
@@ -161,7 +191,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Place, compile, and execute on the packet-level simulator.")
     Term.(
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
-      $ no_pisa $ metron $ duration $ spec_file)
+      $ no_pisa $ metron $ duration $ telemetry $ spec_file)
 
 let failover_cmd =
   let fail_arg =
@@ -181,7 +211,8 @@ let failover_cmd =
       & info [ "fail" ] ~docv:"ELEMENT"
           ~doc:"Element to fail: pisa, smartnic, ofswitch, or serverN. Repeatable.")
   in
-  let run strategy servers cps smartnic ofswitch no_pisa metron failures file =
+  let run strategy servers cps smartnic ofswitch no_pisa metron failures tfile file =
+    with_telemetry tfile @@ fun () ->
     let topo = topology servers cps smartnic ofswitch no_pisa in
     match deploy strategy topo metron file with
     | Error e ->
@@ -212,7 +243,7 @@ let failover_cmd =
        ~doc:"Show the fallback placement after hardware failures (reactive mode).")
     Term.(
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
-      $ no_pisa $ metron $ fail_arg $ spec_file)
+      $ no_pisa $ metron $ fail_arg $ telemetry $ spec_file)
 
 let nfs_cmd =
   let run () =

@@ -30,7 +30,13 @@ type visit =
     }
   | Of_visit
 
-type route = { fraction : float; visits : visit list }
+type route = {
+  fraction : float;
+  visits : visit list;
+  sw_nodes : int list;
+      (** PISA-resident NFs on this path: they run at ToR line rate and
+          never appear as events, so batches credit them at ingress. *)
+}
 
 type chain_rt = {
   report : Strategy.chain_report;
@@ -47,6 +53,10 @@ type chain_rt = {
   mutable latency_sum : float;
   mutable latency_max : float;
   mutable latency_samples : float list;
+  (* telemetry instruments, pre-resolved off the hot path *)
+  tm_drops : Lemur_telemetry.Counter.t;
+  tm_latency : Lemur_telemetry.Histogram.t;
+  tm_nf_pkts : Lemur_telemetry.Counter.t array;  (** indexed by graph node id *)
 }
 
 (* Mutable busy-until resources. *)
@@ -126,7 +136,12 @@ let build_routes report =
                 Some (Server_visit { server; nic_nodes; subgroups }))
           groups
       in
-      { fraction = path.Lemur_spec.Graph.fraction; visits })
+      let sw_nodes =
+        List.filter
+          (fun id -> hop_class id = `Sw)
+          path.Lemur_spec.Graph.path_nodes
+      in
+      { fraction = path.Lemur_spec.Graph.fraction; visits; sw_nodes })
     (Lemur_spec.Graph.linearize graph)
 
 (* ------------------------------------------------------------------ *)
@@ -152,6 +167,8 @@ type traffic = Long_lived | Short_flows
 let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
     ?(batch_pkts = 32) ?(overdrive = 1.08) ?(traffic = Long_lived) ~config
     ~placement () =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  Lemur_telemetry.Telemetry.with_span tm "dataplane.sim.run" @@ fun () ->
   let prng = Prng.create ~seed in
   let topo = config.Plan.topology in
   let tor_latency = topo.Lemur_topology.Topology.tor.Lemur_platform.Pisa.latency in
@@ -203,6 +220,8 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
     Array.of_list
       (List.map
          (fun report ->
+           let chain_id = report.Strategy.plan.Plan.input.Plan.id in
+           let graph = report.Strategy.plan.Plan.input.Plan.graph in
            let slo = report.Strategy.plan.Plan.input.Plan.slo in
            (* offered load cannot exceed the chain's ToR ingress port *)
            let port_cap =
@@ -227,6 +246,26 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
              latency_sum = 0.0;
              latency_max = 0.0;
              latency_samples = [];
+             tm_drops =
+               Lemur_telemetry.Telemetry.counter tm
+                 (Printf.sprintf "dataplane.chain.%s.dropped_batches" chain_id);
+             tm_latency =
+               Lemur_telemetry.Telemetry.histogram tm
+                 (Printf.sprintf "dataplane.chain.%s.latency_ns" chain_id);
+             tm_nf_pkts =
+               (let arr =
+                  Array.init (Lemur_spec.Graph.size graph) (fun _ ->
+                      Lemur_telemetry.Counter.make "unplaced")
+                in
+                List.iter
+                  (fun node ->
+                    arr.(node.Lemur_spec.Graph.id) <-
+                      Lemur_telemetry.Telemetry.counter tm
+                        (Printf.sprintf "dataplane.nf.%s.%d.%s.pkts" chain_id
+                           node.Lemur_spec.Graph.id
+                           node.Lemur_spec.Graph.instance.Lemur_nf.Instance.name))
+                  (Lemur_spec.Graph.nodes graph);
+                arr);
            })
          placement.Strategy.chain_reports)
   in
@@ -284,11 +323,15 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
       let lat = now -. batch.t_ingress in
       c.latency_sum <- c.latency_sum +. lat;
       c.latency_samples <- lat :: c.latency_samples;
+      Lemur_telemetry.Histogram.record c.tm_latency lat;
       if lat > c.latency_max then c.latency_max <- lat
     end
   in
 
-  let drop c = c.dropped <- c.dropped + 1 in
+  let drop c =
+    c.dropped <- c.dropped + 1;
+    Lemur_telemetry.Counter.incr c.tm_drops
+  in
   let rec step batch now =
     let c = chains.(batch.chain) in
     match batch.remaining with
@@ -329,6 +372,7 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
                       node_id
                   in
                   let kind = node.Lemur_spec.Graph.instance.Lemur_nf.Instance.kind in
+                  Lemur_telemetry.Counter.incr ~by:batch.pkts c.tm_nf_pkts.(node_id);
                   let cy = sample_cycles node srv.nic_socket srv.nic_socket in
                   let speed = Lemur_nf.Datasheet.ebpf_speedup kind in
                   t
@@ -389,6 +433,11 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
                           match claim core.res !t core_queue_limit with
                           | None -> ok := false
                           | Some cstart ->
+                              List.iter
+                                (fun nid ->
+                                  Lemur_telemetry.Counter.incr ~by:batch.pkts
+                                    c.tm_nf_pkts.(nid))
+                                sg.Plan.sg_nodes;
                               core.res.busy_until <- cstart +. service;
                               t := cstart +. service
                         end)
@@ -428,6 +477,9 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
         | [] -> assert false
       in
       let route = pick 0.0 c.routes in
+      List.iter
+        (fun nid -> Lemur_telemetry.Counter.incr ~by:batch_pkts c.tm_nf_pkts.(nid))
+        route.sw_nodes;
       (* a few dozen concurrent flows per chain (footnote 6) *)
       let batch =
         {
@@ -480,6 +532,25 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
            })
          chains)
   in
+  (* Post-run SLO conformance tallies: delivered rate vs t_min (same
+     0.98 tolerance as Deployment.slo_report) and p99 latency vs d_max. *)
+  List.iter2
+    (fun c r ->
+      let slo = c.report.Strategy.plan.Plan.input.Plan.slo in
+      let tally suffix =
+        Lemur_telemetry.Counter.incr
+          (Lemur_telemetry.Telemetry.counter tm ("dataplane.slo." ^ suffix))
+      in
+      tally
+        (if r.delivered >= slo.Lemur_slo.Slo.t_min *. 0.98 then "throughput_ok"
+         else "throughput_violations");
+      let d_max = slo.Lemur_slo.Slo.d_max in
+      if d_max < infinity then
+        tally
+          (if Lemur_telemetry.Histogram.percentile c.tm_latency 99.0 <= d_max then
+             "latency_ok"
+           else "latency_violations"))
+    (Array.to_list chains) chain_results;
   {
     chains = chain_results;
     aggregate_throughput = Listx.sum_by (fun r -> r.delivered) chain_results;

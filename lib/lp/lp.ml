@@ -37,6 +37,7 @@ let set_objective t ~maximize terms =
   t.maximize <- maximize
 
 let num_vars t = List.length t.vars
+let num_constraints t = List.length t.rows
 
 let var_name t v =
   let vars = Array.of_list (List.rev t.vars) in
@@ -100,6 +101,11 @@ let solve_milp ?(max_nodes = 100_000) t =
   let ints = integer_vars t in
   if ints = [] then solve t
   else begin
+    let tm = Lemur_telemetry.Telemetry.current () in
+    let c_nodes = Lemur_telemetry.Telemetry.counter tm "lp.milp.nodes" in
+    let c_pruned = Lemur_telemetry.Telemetry.counter tm "lp.milp.bounds_pruned" in
+    let c_infeasible = Lemur_telemetry.Telemetry.counter tm "lp.milp.infeasible_nodes" in
+    let c_incumbents = Lemur_telemetry.Telemetry.counter tm "lp.milp.incumbents" in
     let best : (float * float array) option ref = ref None in
     let nodes = ref 0 in
     let better obj =
@@ -110,15 +116,17 @@ let solve_milp ?(max_nodes = 100_000) t =
     (* Extra bounds pushed during branching: (var, `Le|`Ge, bound). *)
     let rec branch extra =
       incr nodes;
+      Lemur_telemetry.Counter.incr c_nodes;
       if !nodes > max_nodes then failwith "Lp.solve_milp: node limit exceeded";
       let sub = { t with rows = t.rows } in
       (* Copy rows so sibling branches do not see our bounds. *)
       let sub = { sub with rows = extra @ t.rows } in
       match solve sub with
-      | Infeasible -> ()
+      | Infeasible -> Lemur_telemetry.Counter.incr c_infeasible
       | Unbounded -> failwith "Lp.solve_milp: unbounded relaxation"
       | Optimal { objective; values } ->
-          if better objective then begin
+          if not (better objective) then Lemur_telemetry.Counter.incr c_pruned
+          else begin
             let fractional =
               List.filter (fun v -> not (is_integral values.(v))) ints
             in
@@ -135,7 +143,10 @@ let solve_milp ?(max_nodes = 100_000) t =
                     (fun i x -> if List.mem i ints then Float.round x else x)
                     values
                 in
-                if better objective then best := Some (objective, rounded)
+                if better objective then begin
+                  Lemur_telemetry.Counter.incr c_incumbents;
+                  best := Some (objective, rounded)
+                end
             | Some v ->
                 let x = values.(v) in
                 let lo = Float.of_int (int_of_float (floor x)) in

@@ -36,6 +36,10 @@ val add_constraint : t -> (float * var) list -> sense -> float -> unit
 val set_objective : t -> maximize:bool -> (float * var) list -> unit
 
 val num_vars : t -> int
+
+val num_constraints : t -> int
+(** Rows added so far (bound constraints not included). *)
+
 val var_name : t -> var -> string
 
 val solve : t -> outcome

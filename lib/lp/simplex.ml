@@ -36,7 +36,7 @@ let pivot tab cost basis ~row ~col =
     done;
   basis.(row) <- col
 
-let minimize tab cost basis allowed =
+let minimize ~pivots tab cost basis allowed =
   let m = Array.length tab in
   let ncols = Array.length cost - 1 in
   let rec iterate () =
@@ -69,6 +69,7 @@ let minimize tab cost basis allowed =
       if !leave < 0 then `Unbounded
       else begin
         pivot tab cost basis ~row:!leave ~col;
+        Lemur_telemetry.Counter.incr pivots;
         iterate ()
       end
     end
@@ -76,6 +77,10 @@ let minimize tab cost basis allowed =
   iterate ()
 
 let solve ~c ~a ~b =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  Lemur_telemetry.Counter.incr (Lemur_telemetry.Telemetry.counter tm "lp.simplex.solves");
+  let phase1_pivots = Lemur_telemetry.Telemetry.counter tm "lp.simplex.phase1_pivots" in
+  let phase2_pivots = Lemur_telemetry.Telemetry.counter tm "lp.simplex.phase2_pivots" in
   let m = Array.length b in
   let n = Array.length c in
   assert (Array.length a = m);
@@ -109,7 +114,10 @@ let solve ~c ~a ~b =
   (* Phase 1: minimize the sum of artificials. *)
   let outcome_phase1 =
     if nart = 0 then `Optimal
-    else begin
+    else
+      Lemur_telemetry.Telemetry.time tm
+        (Lemur_telemetry.Telemetry.histogram tm "lp.simplex.phase1_ns")
+      @@ fun () ->
       let cost1 = Array.make (ncols + 1) 0.0 in
       Hashtbl.iter (fun _ acol -> cost1.(acol) <- 1.0) art_of_row;
       (* Make reduced costs of basic artificials zero. *)
@@ -119,7 +127,7 @@ let solve ~c ~a ~b =
             cost1.(j) <- cost1.(j) -. tab.(i).(j)
           done
       done;
-      match minimize tab cost1 basis allowed with
+      match minimize ~pivots:phase1_pivots tab cost1 basis allowed with
       | `Unbounded -> `Unbounded (* cannot happen: phase-1 objective >= 0 *)
       | `Optimal ->
           (* Tolerance relative to the problem's magnitude: with rhs
@@ -152,12 +160,14 @@ let solve ~c ~a ~b =
             done;
             `Optimal
           end
-    end
   in
   match outcome_phase1 with
   | `Infeasible -> Infeasible
   | `Unbounded -> Unbounded
   | `Optimal -> (
+      Lemur_telemetry.Telemetry.time tm
+        (Lemur_telemetry.Telemetry.histogram tm "lp.simplex.phase2_ns")
+      @@ fun () ->
       (* Phase 2: minimize -c (i.e., maximize c). *)
       let cost2 = Array.make (ncols + 1) 0.0 in
       for j = 0 to n - 1 do
@@ -172,7 +182,7 @@ let solve ~c ~a ~b =
           done
         end
       done;
-      match minimize tab cost2 basis allowed with
+      match minimize ~pivots:phase2_pivots tab cost2 basis allowed with
       | `Unbounded -> Unbounded
       | `Optimal ->
           let solution = Array.make n 0.0 in

@@ -41,6 +41,8 @@ let add_le lp a b =
     `Le (b.const -. a.const)
 
 let solve ?(max_nodes = 200_000) config inputs =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  Lemur_telemetry.Telemetry.with_span tm "placer.milp.solve" @@ fun () ->
   let lp = Lemur_lp.Lp.create () in
   let topo = config.Plan.topology in
   let clock =
@@ -246,6 +248,12 @@ let solve ?(max_nodes = 200_000) config inputs =
   (* objective *)
   Lemur_lp.Lp.set_objective lp ~maximize:true
     (List.map (fun (_, _, r, _, _) -> (1.0, r)) u_sums);
+  Lemur_telemetry.Counter.incr
+    ~by:(Lemur_lp.Lp.num_vars lp)
+    (Lemur_telemetry.Telemetry.counter tm "placer.milp.vars");
+  Lemur_telemetry.Counter.incr
+    ~by:(Lemur_lp.Lp.num_constraints lp)
+    (Lemur_telemetry.Telemetry.counter tm "placer.milp.constraints");
   match Lemur_lp.Lp.solve_milp ~max_nodes lp with
   | Lemur_lp.Lp.Infeasible | Lemur_lp.Lp.Unbounded -> None
   | Lemur_lp.Lp.Optimal { values; _ } ->

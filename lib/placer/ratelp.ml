@@ -54,7 +54,13 @@ let solve ~link_caps entries =
       link_caps;
     Lemur_lp.Lp.set_objective lp ~maximize:true
       (List.map (fun (e, v) -> (e.weight, v)) vars);
-    match Lemur_lp.Lp.solve lp with
+    let tm = Lemur_telemetry.Telemetry.current () in
+    Lemur_telemetry.Counter.incr
+      (Lemur_telemetry.Telemetry.counter tm "placer.ratelp.solves");
+    match
+      Lemur_telemetry.Telemetry.with_span tm "placer.ratelp.solve" (fun () ->
+          Lemur_lp.Lp.solve lp)
+    with
     | Lemur_lp.Lp.Infeasible | Lemur_lp.Lp.Unbounded -> None
     | Lemur_lp.Lp.Optimal { values; _ } ->
         let rates =

@@ -184,6 +184,10 @@ let check_latency config plans =
 
 (* Allocate + LP + stage check for a fixed set of plans. *)
 let finalize strategy config policy plans ~elapsed_start =
+  Lemur_telemetry.Telemetry.with_span
+    (Lemur_telemetry.Telemetry.current ())
+    "placer.finalize"
+  @@ fun () ->
   match check_latency config plans with
   | Error reason -> Infeasible { reason }
   | Ok () -> (
@@ -210,6 +214,9 @@ let finalize strategy config policy plans ~elapsed_start =
 (* Step 1: greedy switch placement, evicting the cheapest movable NF
    until the unified pipeline compiles. *)
 let evict_to_fit config plans =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  Lemur_telemetry.Telemetry.with_span tm "placer.evict_to_fit" @@ fun () ->
+  let evictions = Lemur_telemetry.Telemetry.counter tm "placer.evict.evictions" in
   let rec go plans =
     match Stagecheck.check config plans with
     | Stagecheck.Fits _ -> Some plans
@@ -225,6 +232,7 @@ let evict_to_fit config plans =
         match Lemur_util.Listx.min_by (fun (_, _, c) -> c) candidates with
         | None -> None
         | Some (victim_plan, id, _) ->
+            Lemur_telemetry.Counter.incr evictions;
             let plans =
               List.map
                 (fun plan ->
@@ -632,6 +640,10 @@ let reevaluate_with_truth strategy config placement start =
 (* ------------------------------------------------------------------ *)
 
 let place strategy config inputs =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  Lemur_telemetry.Telemetry.with_span tm ("placer.place." ^ name strategy)
+  @@ fun () ->
+  Lemur_telemetry.Counter.incr (Lemur_telemetry.Telemetry.counter tm "placer.places");
   let start = Unix.gettimeofday () in
   try
     match strategy with

@@ -1,0 +1,12 @@
+type t = { name : string; mutable value : int }
+
+let make name = { name; value = 0 }
+let name t = t.name
+
+let incr ?(by = 1) t =
+  if by < 0 then invalid_arg "Counter.incr: negative increment";
+  t.value <- t.value + by
+
+let value t = t.value
+
+let to_json t = Json.Obj [ ("name", Json.String t.name); ("value", Json.Int t.value) ]

@@ -1,0 +1,23 @@
+(** Named monotonic counters.
+
+    A counter only moves forward: [incr] rejects negative increments, so
+    a dump's counter values can always be read as totals (events seen,
+    pivots performed, batches dropped) rather than gauges. Counters are
+    created through {!Telemetry.counter}, which interns them by name in
+    a registry; [make] builds an unregistered counter (the disabled
+    sink hands these out so instrumented code never branches). *)
+
+type t
+
+val make : string -> t
+(** A fresh counter at zero, not attached to any registry. *)
+
+val name : t -> string
+
+val incr : ?by:int -> t -> unit
+(** Add [by] (default 1). @raise Invalid_argument if [by < 0]. *)
+
+val value : t -> int
+
+val to_json : t -> Json.t
+(** [{"name": ..., "value": ...}] *)

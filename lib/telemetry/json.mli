@@ -1,0 +1,35 @@
+(** A minimal, dependency-free JSON tree with a printer and parser.
+
+    The telemetry registry renders its dump through this module so the
+    library stays zero-dependency (the sealed environment has no yojson).
+    The printer always emits valid JSON: non-finite floats become
+    [null], integral floats keep a [.0] suffix so they survive a
+    round-trip as [Float], and strings are escaped per RFC 8259. The
+    parser accepts exactly the subset the printer emits plus arbitrary
+    whitespace — enough for tests and downstream tooling to re-read a
+    dump. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] (default [true]) inserts newlines and two-space
+    indentation; compact output otherwise. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document. [Error msg] carries the byte offset
+    of the first offending character. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] is the value bound to [key], if any; [None]
+    on non-objects. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] and [Float] both convert; anything else is
+    [None]. *)

@@ -1,0 +1,201 @@
+type span = {
+  span_name : string;
+  span_start : float;
+  span_duration : float;
+  span_children : span list;
+}
+
+(* An open span: children accumulate reversed until it closes. *)
+type frame = { f_name : string; f_start : float; mutable f_children : span list }
+
+type t = {
+  on : bool;
+  clock : unit -> float;
+  epoch : float;
+  counters_tbl : (string, Counter.t) Hashtbl.t;
+  histograms_tbl : (string, Histogram.t) Hashtbl.t;
+  mutable stack : frame list;
+  mutable roots : span list; (* reversed *)
+}
+
+let make ~on ~clock =
+  {
+    on;
+    clock;
+    epoch = (if on then clock () else 0.0);
+    counters_tbl = Hashtbl.create 32;
+    histograms_tbl = Hashtbl.create 32;
+    stack = [];
+    roots = [];
+  }
+
+let create ?(clock = Unix.gettimeofday) () = make ~on:true ~clock
+let disabled = make ~on:false ~clock:(fun () -> 0.0)
+let enabled t = t.on
+
+let current_sink = ref disabled
+let current () = !current_sink
+let set_current t = current_sink := t
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+let counter t name =
+  if not t.on then Counter.make name
+  else
+    match Hashtbl.find_opt t.counters_tbl name with
+    | Some c -> c
+    | None ->
+        let c = Counter.make name in
+        Hashtbl.add t.counters_tbl name c;
+        c
+
+let histogram t ?bounds name =
+  if not t.on then Histogram.make ?bounds name
+  else
+    match Hashtbl.find_opt t.histograms_tbl name with
+    | Some h -> h
+    | None ->
+        let h = Histogram.make ?bounds name in
+        Hashtbl.add t.histograms_tbl name h;
+        h
+
+let with_span t name f =
+  if not t.on then f ()
+  else begin
+    let frame = { f_name = name; f_start = t.clock (); f_children = [] } in
+    t.stack <- frame :: t.stack;
+    let close () =
+      let now = t.clock () in
+      (match t.stack with
+      | top :: rest when top == frame -> t.stack <- rest
+      | _ ->
+          (* A child raised through its own close: drop frames down to
+             ours so the stack cannot leak open spans. *)
+          let rec unwind = function
+            | top :: rest when top == frame -> rest
+            | _ :: rest -> unwind rest
+            | [] -> []
+          in
+          t.stack <- unwind t.stack);
+      let span =
+        {
+          span_name = name;
+          span_start = frame.f_start -. t.epoch;
+          span_duration = now -. frame.f_start;
+          span_children = List.rev frame.f_children;
+        }
+      in
+      match t.stack with
+      | parent :: _ -> parent.f_children <- span :: parent.f_children
+      | [] -> t.roots <- span :: t.roots
+    in
+    Fun.protect ~finally:close f
+  end
+
+let time t h f =
+  if not t.on then f ()
+  else begin
+    let t0 = t.clock () in
+    Fun.protect ~finally:(fun () -> Histogram.record h ((t.clock () -. t0) *. 1e9)) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let sorted_values tbl name_of =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> String.compare (name_of a) (name_of b))
+
+let counters t = sorted_values t.counters_tbl Counter.name
+let histograms t = sorted_values t.histograms_tbl Histogram.name
+let spans t = List.rev t.roots
+
+(* ------------------------------------------------------------------ *)
+(* Output *)
+
+let rec span_to_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.span_name);
+      ("start_s", Json.Float s.span_start);
+      ("duration_s", Json.Float s.span_duration);
+      ("children", Json.List (List.map span_to_json s.span_children));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "lemur.telemetry/1");
+      ("spans", Json.List (List.map span_to_json (spans t)));
+      ("counters", Json.List (List.map Counter.to_json (counters t)));
+      ("histograms", Json.List (List.map Histogram.to_json (histograms t)));
+    ]
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let section title table =
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Lemur_util.Texttable.render table);
+    Buffer.add_char buf '\n'
+  in
+  (match spans t with
+  | [] -> ()
+  | roots ->
+      let table =
+        Lemur_util.Texttable.create ~headers:[ "span"; "start (s)"; "duration (ms)" ]
+      in
+      let rec add depth s =
+        Lemur_util.Texttable.add_row table
+          [
+            String.make (2 * depth) ' ' ^ s.span_name;
+            Printf.sprintf "%.6f" s.span_start;
+            Printf.sprintf "%.3f" (s.span_duration *. 1e3);
+          ];
+        List.iter (add (depth + 1)) s.span_children
+      in
+      List.iter (add 0) roots;
+      section "spans:" table);
+  (match counters t with
+  | [] -> ()
+  | cs ->
+      let table = Lemur_util.Texttable.create ~headers:[ "counter"; "value" ] in
+      List.iter
+        (fun c ->
+          Lemur_util.Texttable.add_row table
+            [ Counter.name c; string_of_int (Counter.value c) ])
+        cs;
+      section "counters:" table);
+  (match histograms t with
+  | [] -> ()
+  | hs ->
+      let table =
+        Lemur_util.Texttable.create
+          ~headers:[ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "p999"; "max" ]
+      in
+      List.iter
+        (fun h ->
+          let f x = Printf.sprintf "%.0f" x in
+          Lemur_util.Texttable.add_row table
+            [
+              Histogram.name h;
+              string_of_int (Histogram.count h);
+              f (Histogram.mean h);
+              f (Histogram.percentile h 50.0);
+              f (Histogram.percentile h 90.0);
+              f (Histogram.percentile h 99.0);
+              f (Histogram.percentile h 99.9);
+              f (Histogram.max_value h);
+            ])
+        hs;
+      section "histograms (ns):" table);
+  Buffer.contents buf
+
+let write_json t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')

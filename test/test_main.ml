@@ -19,5 +19,6 @@ let () =
       ("dynamics", Test_dynamics.suite);
       ("codegen", Test_codegen.suite);
       ("dataplane", Test_dataplane.suite);
+      ("telemetry", Test_telemetry.suite);
       ("core", Test_core.suite);
     ]
