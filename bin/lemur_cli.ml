@@ -245,6 +245,69 @@ let failover_cmd =
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
       $ no_pisa $ metron $ fail_arg $ telemetry $ spec_file)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "First scenario seed. Scenarios are generated deterministically \
+             from consecutive seeds, so any reported failure replays with \
+             $(b,--seed) $(i,N) $(b,--count) $(i,1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"N" ~doc:"Number of scenarios to run.")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Minimize each failing scenario before reporting it (re-runs the \
+             differential on each shrinking step).")
+  in
+  let thorough =
+    Arg.(
+      value & flag
+      & info [ "thorough" ]
+          ~doc:
+            "Larger scenarios, longer simulated windows, and simulator checks \
+             on the Optimal placement too (the default quick mode bounds \
+             instance sizes so the brute-force strategy stays fast).")
+  in
+  let no_sim =
+    Arg.(
+      value & flag
+      & info [ "no-sim" ] ~doc:"Skip the packet-level simulator stage.")
+  in
+  let max_failures =
+    Arg.(
+      value & opt int 5
+      & info [ "max-failures" ] ~docv:"N"
+          ~doc:"Stop after this many failing scenarios.")
+  in
+  let run seed count shrink thorough no_sim max_failures tfile =
+    with_telemetry tfile @@ fun () ->
+    let summary =
+      Lemur_check.Fuzz.run ~quick:(not thorough) ~sim:(not no_sim) ~shrink
+        ~max_failures ~seed ~count ()
+    in
+    Format.printf "%a" Lemur_check.Fuzz.pp_summary summary;
+    if Lemur_check.Fuzz.ok summary then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially check placement strategies on generated scenarios: \
+          every feasible placement must pass the independent constraint \
+          oracle, no strategy may beat the brute-force Optimal search, and \
+          the simulator must deliver each accepted SLO floor.")
+    Term.(
+      const run $ seed $ count $ shrink $ thorough $ no_sim $ max_failures
+      $ telemetry)
+
 let nfs_cmd =
   let run () =
     let t = Lemur_util.Texttable.create ~headers:[ "NF"; "Spec"; "Targets"; "Stateful"; "Replicable" ] in
@@ -272,4 +335,7 @@ let () =
     Cmd.info "lemur" ~version:"1.0.0"
       ~doc:"Meeting SLOs in cross-platform NFV (CoNEXT '20 reproduction)."
   in
-  exit (Cmd.eval' (Cmd.group info [ place_cmd; compile_cmd; run_cmd; failover_cmd; nfs_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ place_cmd; compile_cmd; run_cmd; failover_cmd; fuzz_cmd; nfs_cmd ]))

@@ -1,0 +1,61 @@
+(** Differential strategy checking: run one scenario through every
+    placement strategy, the MILP and the packet-level simulator, and
+    cross-check the results against the {!Oracle} and against each
+    other.
+
+    What a correct Lemur must satisfy on every scenario:
+
+    - no strategy crashes, and every artifact compiles for every
+      feasible placement (the meta-compiler must accept whatever the
+      Placer produces);
+    - every feasible placement passes the {!Oracle}, including the
+      generated-artifact routing check;
+    - the brute-force [Optimal] strategy is never beaten on the LP
+      objective by any other strategy (it searches a superset), and
+      never reports infeasible when another strategy placed;
+    - the Lemur heuristic is not materially worse than the four classic
+      baselines (HW Preferred, SW Preferred, Min Bounce, Greedy);
+    - on MILP-scoped instances, the MILP objective does not materially
+      exceed the search optimum (the MILP is the optimistic model: it
+      omits the multi-core LB penalty and uses a conservative static
+      stage bound, so it may fall below but should not soar above);
+    - executing the accepted Lemur placement on {!Lemur_dataplane.Sim}
+      delivers at least [0.98 x t_min] per chain — the §5.2
+      "predictions are conservative" property, with the same 2%
+      tolerance the SLO report uses. Chains with [t_min] under
+      {!sim_floor_threshold} are exempt: at 32-packet batch granularity
+      the simulated measurement window is too coarse to resolve them
+      (documented in docs/TESTING.md), and the exemption is explicit
+      here rather than silent in the data. *)
+
+type failure =
+  | Crash of { strategy : string; exn : string }
+  | Compile_failed of { strategy : string; reason : string }
+  | Oracle_rejected of { strategy : string; violations : Oracle.violation list }
+  | Optimality_inversion of { strategy : string; optimal : float; other : float }
+  | Feasibility_inversion of { strategy : string }
+  | Baseline_gap of { baseline : string; lemur : float; baseline_obj : float }
+  | Milp_divergence of { milp : float; search : float }
+  | Sim_shortfall of { chain : string; delivered : float; floor : float }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type report = {
+  scenario : Scenario.t;
+  placed : (string * float) list;
+      (** feasible strategies with their LP objective (total marginal) *)
+  infeasible : string list;
+  milp_checked : bool;
+  sim_checked : bool;
+  failures : failure list;
+}
+
+val sim_floor_threshold : float
+(** Minimum [t_min] (bit/s) for the simulator-delivery check. *)
+
+val run : ?quick:bool -> ?sim:bool -> Scenario.t -> report
+(** [quick] (default [true]) shortens the simulated window and executes
+    only the Lemur placement; [sim] (default [true]) gates the
+    simulator stage entirely. *)
+
+val failed : report -> bool

@@ -1,0 +1,103 @@
+module Telemetry = Lemur_telemetry.Telemetry
+module Counter = Lemur_telemetry.Counter
+
+type failure_report = {
+  fr_seed : int;
+  fr_report : Differential.report;
+  fr_shrunk : Scenario.t option;
+}
+
+type summary = {
+  scenarios : int;
+  placements_checked : int;
+  all_infeasible : int;
+  milp_checked : int;
+  sim_checked : int;
+  failures : failure_report list;
+}
+
+let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
+    ~seed ~count () =
+  let tm = Telemetry.current () in
+  let c_scen = Telemetry.counter tm "fuzz.scenarios" in
+  let c_placed = Telemetry.counter tm "fuzz.placements_checked" in
+  let c_infeasible = Telemetry.counter tm "fuzz.all_infeasible" in
+  let c_failures = Telemetry.counter tm "fuzz.failures" in
+  let summary =
+    ref
+      {
+        scenarios = 0;
+        placements_checked = 0;
+        all_infeasible = 0;
+        milp_checked = 0;
+        sim_checked = 0;
+        failures = [];
+      }
+  in
+  (try
+     for s = seed to seed + count - 1 do
+       let scenario = Scenario.generate ~quick ~seed:s () in
+       let report =
+         Telemetry.with_span tm "fuzz.scenario" (fun () ->
+             Differential.run ~quick ~sim scenario)
+       in
+       Counter.incr c_scen;
+       Counter.incr ~by:(List.length report.Differential.placed) c_placed;
+       if report.Differential.placed = [] then Counter.incr c_infeasible;
+       let acc = !summary in
+       let failures =
+         if Differential.failed report then begin
+           Counter.incr c_failures;
+           let fr_shrunk =
+             if shrink then
+               Some
+                 (Scenario.shrink
+                    ~fails:(fun sc ->
+                      Differential.failed (Differential.run ~quick ~sim sc))
+                    scenario)
+             else None
+           in
+           { fr_seed = s; fr_report = report; fr_shrunk } :: acc.failures
+         end
+         else acc.failures
+       in
+       summary :=
+         {
+           scenarios = acc.scenarios + 1;
+           placements_checked =
+             acc.placements_checked + List.length report.Differential.placed;
+           all_infeasible =
+             (acc.all_infeasible
+             + if report.Differential.placed = [] then 1 else 0);
+           milp_checked =
+             (acc.milp_checked + if report.Differential.milp_checked then 1 else 0);
+           sim_checked =
+             (acc.sim_checked + if report.Differential.sim_checked then 1 else 0);
+           failures;
+         };
+       if List.length failures >= max_failures then raise Exit
+     done
+   with Exit -> ());
+  let acc = !summary in
+  { acc with failures = List.rev acc.failures }
+
+let ok s = s.failures = []
+
+let pp_summary ppf s =
+  List.iter
+    (fun fr ->
+      Fmt.pf ppf "@[<v>FAIL seed %d:@,%a@,%a@," fr.fr_seed Scenario.pp
+        fr.fr_report.Differential.scenario
+        (Fmt.list ~sep:Fmt.cut Differential.pp_failure)
+        fr.fr_report.Differential.failures;
+      (match fr.fr_shrunk with
+      | Some small when small <> fr.fr_report.Differential.scenario ->
+          Fmt.pf ppf "shrunk to:@,%a@," Scenario.pp small
+      | _ -> ());
+      Fmt.pf ppf "@]")
+    s.failures;
+  Fmt.pf ppf
+    "%d scenario(s): %d placements checked, %d fully infeasible, %d MILP \
+     cross-checks, %d sim runs, %d failure(s)@."
+    s.scenarios s.placements_checked s.all_infeasible s.milp_checked
+    s.sim_checked (List.length s.failures)

@@ -1,0 +1,46 @@
+(** The fuzzing loop: generate scenarios from consecutive seeds, run
+    the {!Differential} checks on each, shrink any failure to a minimal
+    reproducer, and summarize.
+
+    Failures are reported with the scenario's seed, so
+    [lemur fuzz --seed N --count 1] replays any of them exactly;
+    progress and outcome counts go to the current
+    {!Lemur_telemetry.Telemetry} registry under [fuzz.*]. *)
+
+type failure_report = {
+  fr_seed : int;
+  fr_report : Differential.report;
+  fr_shrunk : Scenario.t option;
+      (** minimal still-failing scenario, when shrinking was on *)
+}
+
+type summary = {
+  scenarios : int;
+  placements_checked : int;  (** feasible (strategy, scenario) pairs *)
+  all_infeasible : int;  (** scenarios no strategy could place *)
+  milp_checked : int;
+  sim_checked : int;
+  failures : failure_report list;
+}
+
+val run :
+  ?quick:bool ->
+  ?sim:bool ->
+  ?shrink:bool ->
+  ?max_failures:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Scenarios are generated from seeds [seed .. seed+count-1]. The loop
+    stops early once [max_failures] (default 5) scenarios have failed.
+    [quick] and [sim] are passed to {!Differential.run}; [shrink]
+    (default [false]) minimizes each failing scenario with
+    {!Scenario.shrink} (re-running the differential, so it costs many
+    extra placements). *)
+
+val ok : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable outcome: per-failure seed, findings and (when
+    shrunk) the minimal scenario, then the aggregate counts. *)

@@ -1,0 +1,308 @@
+module Prng = Lemur_util.Prng
+module Kind = Lemur_nf.Kind
+module Units = Lemur_util.Units
+module Plan = Lemur_placer.Plan
+
+type shape =
+  | Linear of string list
+  | Branched of {
+      pre : string list;
+      arms : (float * string list) list;
+      post : string list;
+    }
+
+type chain_scenario = {
+  cs_id : string;
+  cs_shape : shape;
+  cs_tmin_frac : float;
+  cs_tmax : float;
+  cs_dmax : float option;
+  cs_weight : float;
+}
+
+type t = {
+  sc_seed : int;
+  sc_servers : int;
+  sc_cores_per_socket : int;
+  sc_smartnic : bool;
+  sc_ofswitch : bool;
+  sc_no_pisa : bool;
+  sc_metron : bool;
+  sc_pkt_bytes : int;
+  sc_chains : chain_scenario list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+
+let nf_pool = Array.map Kind.name (Array.of_list Kind.all)
+
+let chance rng percent = Prng.int rng 100 < percent
+
+let gen_nfs rng ~len =
+  List.init len (fun _ -> Prng.choose rng nf_pool)
+
+(* Dyadic arm weights only, so they sum to exactly 1.0 in floating
+   point and the parser's >1 check can never trip on rounding. *)
+let gen_shape rng ~max_nfs =
+  let branched = max_nfs >= 4 && chance rng 25 in
+  if not branched then Linear (gen_nfs rng ~len:(2 + Prng.int rng (max_nfs - 1)))
+  else
+    let arms =
+      if chance rng 60 then [ (0.5, 1); (0.5, 1) ]
+      else [ (0.5, 1); (0.25, 1); (0.25, 1) ]
+    in
+    let budget = max_nfs - List.length arms - 1 in
+    let pre_len = 1 + Prng.int rng (max 1 budget) in
+    let post_len = Prng.int rng (max 1 (budget - pre_len + 1)) in
+    Branched
+      {
+        pre = gen_nfs rng ~len:pre_len;
+        arms = List.map (fun (w, n) -> (w, gen_nfs rng ~len:n)) arms;
+        post = gen_nfs rng ~len:post_len;
+      }
+
+let tmin_fracs = [| 0.0; 0.1; 0.25; 0.5; 0.75; 1.0; 1.25 |]
+let tmaxes = [| 2e9; 5e9; 10e9; 40e9; 100e9; 100e9 |]
+let dmaxes = [| Units.us 25.0; Units.us 100.0; Units.us 1000.0 |]
+
+let gen_chain rng ~quick i =
+  {
+    cs_id = Printf.sprintf "c%d" i;
+    cs_shape = gen_shape rng ~max_nfs:(if quick then 4 else 6);
+    cs_tmin_frac = Prng.choose rng tmin_fracs;
+    cs_tmax = Prng.choose rng tmaxes;
+    cs_dmax = (if chance rng 30 then Some (Prng.choose rng dmaxes) else None);
+    cs_weight = (if chance rng 20 then 2.0 else 1.0);
+  }
+
+let generate ?(quick = false) ~seed () =
+  let rng = Prng.create ~seed in
+  let no_pisa = chance rng 10 in
+  let n_chains = 1 + Prng.int rng (if quick then 2 else 3) in
+  {
+    sc_seed = seed;
+    sc_servers = 1 + Prng.int rng 2;
+    sc_cores_per_socket = (if Prng.bool rng then 8 else 4);
+    sc_smartnic = (not no_pisa) && chance rng 30;
+    sc_ofswitch = chance rng 25;
+    sc_no_pisa = no_pisa;
+    sc_metron = chance rng 15;
+    sc_pkt_bytes = Prng.choose rng [| 256; 512; 1500 |];
+    sc_chains = List.init n_chains (gen_chain rng ~quick);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Realization                                                         *)
+
+let pipeline_text = function
+  | Linear nfs -> String.concat " -> " nfs
+  | Branched { pre; arms; post } ->
+      let arm (w, nfs) =
+        Printf.sprintf "{'weight': %g, %s}" w (String.concat " -> " nfs)
+      in
+      String.concat " -> " pre
+      ^ " -> ["
+      ^ String.concat ", " (List.map arm arms)
+      ^ "]"
+      ^ (match post with [] -> "" | _ -> " -> " ^ String.concat " -> " post)
+
+let config sc =
+  let topo =
+    if sc.sc_no_pisa then
+      Lemur_topology.Topology.no_pisa_testbed ~ofswitch:sc.sc_ofswitch ()
+    else
+      Lemur_topology.Topology.testbed ~num_servers:sc.sc_servers
+        ~cores_per_socket:sc.sc_cores_per_socket ~smartnic:sc.sc_smartnic
+        ~ofswitch:sc.sc_ofswitch ()
+  in
+  {
+    (Plan.default_config topo) with
+    Plan.pkt_bytes = sc.sc_pkt_bytes;
+    metron_steering = sc.sc_metron;
+  }
+
+(* All-hardware chains have an infinite base rate; SLO floors for them
+   scale off 20 Gbps — between the NIC and the ToR port rate, so both
+   feasible and infeasible floors get generated. *)
+let hw_chain_scale = 20e9
+
+let inputs sc =
+  let cfg = config sc in
+  List.map
+    (fun c ->
+      let graph =
+        Lemur_spec.Loader.chain_of_string ~name:c.cs_id (pipeline_text c.cs_shape)
+      in
+      let base = Lemur.Chains.base_rate cfg graph in
+      let scale = if Float.is_finite base then base else hw_chain_scale in
+      let t_min = Float.min (c.cs_tmin_frac *. scale) c.cs_tmax in
+      let slo =
+        Lemur_slo.Slo.make ~t_min ~t_max:c.cs_tmax
+          ?d_max:c.cs_dmax ~weight:c.cs_weight ()
+      in
+      { Plan.id = c.cs_id; graph; slo })
+    sc.sc_chains
+
+let shape_size = function
+  | Linear nfs -> List.length nfs
+  | Branched { pre; arms; post } ->
+      List.length pre + List.length post
+      + List.fold_left (fun acc (_, a) -> acc + List.length a) 0 arms
+
+let size sc =
+  List.fold_left (fun acc c -> acc + shape_size c.cs_shape) 0 sc.sc_chains
+
+let pp ppf sc =
+  Fmt.pf ppf
+    "@[<v>scenario seed=%d: %d server(s) x %d cores/socket%s%s%s%s, %dB packets@,"
+    sc.sc_seed sc.sc_servers sc.sc_cores_per_socket
+    (if sc.sc_no_pisa then ", no PISA ToR" else "")
+    (if sc.sc_smartnic then ", SmartNIC" else "")
+    (if sc.sc_ofswitch then ", OF switch" else "")
+    (if sc.sc_metron then ", metron steering" else "")
+    sc.sc_pkt_bytes;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "  %s: %s@,    slo tmin_frac=%g tmax=%a%a weight=%g@," c.cs_id
+        (pipeline_text c.cs_shape) c.cs_tmin_frac Units.pp_rate c.cs_tmax
+        (fun ppf -> function
+          | None -> ()
+          | Some d -> Fmt.pf ppf " dmax=%.0fus" (d /. 1e3))
+        c.cs_dmax c.cs_weight)
+    sc.sc_chains;
+  Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+(* Structurally smaller variants of one chain shape. *)
+let shrink_shape = function
+  | Linear nfs when List.length nfs > 1 ->
+      List.init (List.length nfs) (fun i -> Linear (drop_nth nfs i))
+  | Linear _ -> []
+  | Branched { pre; arms; post } ->
+      (* Collapse the branch into one of its arms... *)
+      List.map (fun (_, arm) -> Linear (pre @ arm @ post)) arms
+      (* ...or drop a whole arm (weights then sum below 1; the parser
+         only rejects sums above 1)... *)
+      @ (if List.length arms > 2 then
+           List.init (List.length arms) (fun i ->
+               Branched { pre; arms = drop_nth arms i; post })
+         else [])
+      (* ...or drop a single NF somewhere. *)
+      @ (if List.length pre > 1 then
+           List.init (List.length pre) (fun i ->
+               Branched { pre = drop_nth pre i; arms; post })
+         else [])
+      @ List.init (List.length post) (fun i ->
+            Branched { pre; arms; post = drop_nth post i })
+
+let replace_chain sc i c =
+  { sc with sc_chains = List.mapi (fun j c' -> if i = j then c else c') sc.sc_chains }
+
+let candidates sc =
+  let chain_drops =
+    if List.length sc.sc_chains > 1 then
+      List.init (List.length sc.sc_chains) (fun i ->
+          { sc with sc_chains = drop_nth sc.sc_chains i })
+    else []
+  in
+  let shape_shrinks =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           List.map
+             (fun shape -> replace_chain sc i { c with cs_shape = shape })
+             (shrink_shape c.cs_shape))
+         sc.sc_chains)
+  in
+  let slo_relaxations =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           (if c.cs_dmax <> None then [ replace_chain sc i { c with cs_dmax = None } ]
+            else [])
+           @ (if c.cs_weight <> 1.0 then
+                [ replace_chain sc i { c with cs_weight = 1.0 } ]
+              else [])
+           @ (if c.cs_tmax < 100e9 then
+                [ replace_chain sc i { c with cs_tmax = 100e9 } ]
+              else [])
+           @
+           if c.cs_tmin_frac > 0.0 then
+             [
+               replace_chain sc i
+                 {
+                   c with
+                   cs_tmin_frac =
+                     (if c.cs_tmin_frac <= 0.05 then 0.0
+                      else c.cs_tmin_frac /. 2.0);
+                 };
+             ]
+           else [])
+         sc.sc_chains)
+  in
+  let topo_simplifications =
+    (if sc.sc_servers > 1 then [ { sc with sc_servers = 1 } ] else [])
+    @ (if sc.sc_smartnic then [ { sc with sc_smartnic = false } ] else [])
+    @ (if sc.sc_ofswitch then [ { sc with sc_ofswitch = false } ] else [])
+    @ (if sc.sc_no_pisa then [ { sc with sc_no_pisa = false } ] else [])
+    @ (if sc.sc_metron then [ { sc with sc_metron = false } ] else [])
+    @
+    if sc.sc_pkt_bytes <> 1500 then [ { sc with sc_pkt_bytes = 1500 } ] else []
+  in
+  chain_drops @ shape_shrinks @ topo_simplifications @ slo_relaxations
+
+let shrink ~fails sc =
+  (* Greedy descent, bounded: each accepted candidate strictly reduces
+     (size, candidate count), and the predicate runs at most [budget]
+     times — shrinking re-places every strategy, which is not cheap. *)
+  let budget = ref 150 in
+  let rec go sc =
+    let next =
+      List.find_opt
+        (fun c ->
+          if !budget <= 0 then false
+          else begin
+            decr budget;
+            fails c
+          end)
+        (candidates sc)
+    in
+    match next with Some c -> go c | None -> sc
+  in
+  go sc
+
+(* ------------------------------------------------------------------ *)
+(* MILP-scoped instances                                               *)
+
+(* Linear chains of replicable NFs only (no Limiter/Monitor, no
+   branches), on the plain testbed — the formulation's scope. *)
+let milp_pool =
+  Array.of_list
+    (List.filter_map
+       (fun k -> if Kind.replicable k then Some (Kind.name k) else None)
+       Kind.all)
+
+let milp_instance ~seed =
+  let rng = Prng.create ~seed in
+  let cfg = Plan.default_config (Lemur_topology.Topology.testbed ()) in
+  let n_chains = 1 + Prng.int rng 2 in
+  let inputs =
+    List.init n_chains (fun i ->
+        let id = Printf.sprintf "m%d" i in
+        let len = 2 + Prng.int rng 2 in
+        let nfs = List.init len (fun _ -> Prng.choose rng milp_pool) in
+        let graph =
+          Lemur_spec.Loader.chain_of_string ~name:id (String.concat " -> " nfs)
+        in
+        let base = Lemur.Chains.base_rate cfg graph in
+        let scale = if Float.is_finite base then base else hw_chain_scale in
+        let frac = Prng.choose rng [| 0.0; 0.1; 0.25; 0.5 |] in
+        let slo = Lemur_slo.Slo.make ~t_min:(frac *. scale) ~t_max:100e9 () in
+        { Plan.id = id; graph; slo })
+  in
+  (cfg, inputs)

@@ -75,7 +75,7 @@ type server_rt = {
   sg_cores : (string * int, core list) Hashtbl.t;
 }
 
-let build_routes report =
+let build_routes ?nic_host report =
   let plan = report.Strategy.plan in
   let graph = plan.Plan.input.Plan.graph in
   let sg_index_of_node =
@@ -89,38 +89,37 @@ let build_routes report =
     let sg = List.nth plan.Plan.subgroups i in
     List.assoc sg.Plan.sg_segment report.Strategy.seg_server
   in
+  let nic_host = Option.value nic_host ~default:"server0" in
+  (* Each hop resolves to a physical site: SmartNIC work happens on the
+     NIC's host, server work on the segment's assigned server. Adjacent
+     hops fuse into one visit only when they share a site — segments of
+     the same chain placed on different servers must traverse the ToR
+     between them, never borrow each other's cores. *)
+  let site id =
+    match plan.Plan.locs.(id) with
+    | Plan.Switch -> `Sw
+    | Plan.Ofswitch -> `Of
+    | Plan.Smartnic -> `Host nic_host
+    | Plan.Server ->
+        `Host
+          (match Hashtbl.find_opt sg_index_of_node id with
+          | Some i -> server_of_sg i
+          | None -> nic_host)
+  in
   List.map
     (fun path ->
-      let hop_class id =
-        match plan.Plan.locs.(id) with
-        | Plan.Switch -> `Sw
-        | Plan.Server | Plan.Smartnic -> `Srv
-        | Plan.Ofswitch -> `Of
-      in
       let groups =
         Listx.group_consecutive
-          (fun a b -> hop_class a = hop_class b)
+          (fun a b -> site a = site b)
           path.Lemur_spec.Graph.path_nodes
       in
-      (* merge adjacent Srv-class groups (Server next to Smartnic) *)
-      let rec merge = function
-        | a :: b :: rest
-          when hop_class (List.hd a) <> `Sw
-               && hop_class (List.hd b) <> `Sw
-               && hop_class (List.hd a) <> `Of
-               && hop_class (List.hd b) <> `Of ->
-            merge ((a @ b) :: rest)
-        | g :: rest -> g :: merge rest
-        | [] -> []
-      in
-      let groups = merge groups in
       let visits =
         List.filter_map
           (fun group ->
-            match hop_class (List.hd group) with
+            match site (List.hd group) with
             | `Sw -> None
             | `Of -> Some Of_visit
-            | `Srv ->
+            | `Host server ->
                 let nic_nodes =
                   List.filter (fun id -> plan.Plan.locs.(id) = Plan.Smartnic) group
                 in
@@ -128,17 +127,12 @@ let build_routes report =
                   List.filter_map (Hashtbl.find_opt sg_index_of_node) group
                   |> Listx.uniq ( = )
                 in
-                let server =
-                  match subgroups with
-                  | i :: _ -> server_of_sg i
-                  | [] -> "server0" (* NIC-only visit: the NIC's host *)
-                in
                 Some (Server_visit { server; nic_nodes; subgroups }))
           groups
       in
       let sw_nodes =
         List.filter
-          (fun id -> hop_class id = `Sw)
+          (fun id -> site id = `Sw)
           path.Lemur_spec.Graph.path_nodes
       in
       { fraction = path.Lemur_spec.Graph.fraction; visits; sw_nodes })
@@ -234,7 +228,13 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
            in
            {
              report;
-             routes = build_routes report;
+             routes =
+               build_routes
+                 ?nic_host:
+                   (match topo.Lemur_topology.Topology.smartnics with
+                   | nic :: _ -> Some nic.Lemur_platform.Smartnic.host
+                   | [] -> None)
+                 report;
              offered_rate = offered;
              batch_interval =
                (if offered <= 0.0 then infinity else batch_bits /. offered *. 1e9);

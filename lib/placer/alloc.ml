@@ -270,38 +270,52 @@ let allocate config policy plans =
 
 let assign_only config chains =
   let ledger = make_ledger config in
-  let assignments =
-    List.map
-      (fun (plan, sg_cores) ->
-        let segs =
-          Lemur_util.Listx.uniq ( = )
-            (List.map (fun sg -> sg.Plan.sg_segment) plan.Plan.subgroups)
-        in
-        let seg_need seg =
-          List.fold_left
-            (fun acc (i, sg) -> if sg.Plan.sg_segment = seg then acc + sg_cores.(i) else acc)
-            0
-            (List.mapi (fun i sg -> (i, sg)) plan.Plan.subgroups)
-        in
-        let seg_server =
-          List.map
-            (fun seg ->
-              let need = seg_need seg in
-              match freest ledger need with
-              | Some (name, _) ->
-                  take ledger name need;
-                  Some (seg, name)
-              | None -> None)
-            (List.sort (fun a b -> compare (seg_need b) (seg_need a)) segs)
-        in
-        if List.exists Option.is_none seg_server then None
-        else
-          Some
-            { plan; sg_cores; seg_server = List.filter_map Fun.id seg_server })
-      chains
+  (* Assign segments in descending core need across ALL chains — a
+     chain-at-a-time greedy lets one chain's small segments spread over
+     the rack (freest is worst-fit) and strand a later chain's big
+     segment with no server that still fits it. *)
+  let needs =
+    List.concat
+      (List.mapi
+         (fun ci (plan, sg_cores) ->
+           let segs =
+             Lemur_util.Listx.uniq ( = )
+               (List.map (fun sg -> sg.Plan.sg_segment) plan.Plan.subgroups)
+           in
+           let seg_need seg =
+             List.fold_left
+               (fun acc (i, sg) ->
+                 if sg.Plan.sg_segment = seg then acc + sg_cores.(i) else acc)
+               0
+               (List.mapi (fun i sg -> (i, sg)) plan.Plan.subgroups)
+           in
+           List.map (fun seg -> (ci, seg, seg_need seg)) segs)
+         chains)
   in
-  if List.exists Option.is_none assignments then None
-  else Some (List.filter_map Fun.id assignments)
+  let placed =
+    List.map
+      (fun (ci, seg, need) ->
+        match freest ledger need with
+        | Some (name, _) ->
+            take ledger name need;
+            Some (ci, seg, name)
+        | None -> None)
+      (List.sort (fun (_, _, a) (_, _, b) -> compare b a) needs)
+  in
+  if List.exists Option.is_none placed then None
+  else
+    let placed = List.filter_map Fun.id placed in
+    Some
+      (List.mapi
+         (fun ci (plan, sg_cores) ->
+           let seg_server =
+             List.filter_map
+               (fun (ci', seg, name) ->
+                 if ci' = ci then Some (seg, name) else None)
+               placed
+           in
+           { plan; sg_cores; seg_server })
+         chains)
 
 let link_loads config a =
   let loads = Hashtbl.create 4 in

@@ -271,6 +271,28 @@ let coalesce_candidates plan =
         else None)
     (Graph.nodes graph)
 
+(* A switch NF sandwiched between SmartNIC neighbours splits what could
+   be a single NIC stint into two host-link visits; folding it onto the
+   NIC halves the chain's load on the shared host link. *)
+let nic_coalesce_candidates plan =
+  let graph = plan.Plan.input.Plan.graph in
+  List.filter_map
+    (fun node ->
+      let id = node.Graph.id in
+      if plan.Plan.locs.(id) <> Plan.Switch then None
+      else
+        let preds = Graph.predecessors graph id in
+        let succs = Graph.successors graph id in
+        let nic_side edges pick =
+          List.exists (fun e -> plan.Plan.locs.(pick e) = Plan.Smartnic) edges
+        in
+        if
+          nic_side preds (fun e -> e.Graph.src)
+          && nic_side succs (fun e -> e.Graph.dst)
+        then Some id
+        else None)
+    (Graph.nodes graph)
+
 let merged_subgroup_index plan_after id =
   Lemur_util.Listx.index_of
     (fun sg -> List.mem id sg.Plan.sg_nodes)
@@ -302,14 +324,25 @@ let apply_coalescing config variant plan =
   match variant with
   | Baseline -> plan
   | Aggressive | Conservative ->
+      let allowed_at loc plan id =
+        List.mem loc
+          (Plan.allowed_locations config
+             (Graph.node plan.Plan.input.Plan.graph id).Graph.instance)
+      in
+      let fire plan after_cap before_cap =
+        let strict = after_cap > before_cap +. 1.0 in
+        let conservative = after_cap >= before_cap -. 1.0 in
+        match variant with
+        | Baseline -> false
+        | Aggressive ->
+            strict
+            || max_capacity config plan
+               >= plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_min
+        | Conservative -> strict || conservative
+      in
       let rec go plan =
         let movable_ids =
-          List.filter
-            (fun id ->
-              List.mem Plan.Server
-                (Plan.allowed_locations config
-                   (Graph.node plan.Plan.input.Plan.graph id).Graph.instance))
-            (coalesce_candidates plan)
+          List.filter (allowed_at Plan.Server plan) (coalesce_candidates plan)
         in
         let try_move id =
           let locs = Array.copy plan.Plan.locs in
@@ -320,25 +353,52 @@ let apply_coalescing config variant plan =
           | None -> None
           | Some sg_index ->
               let after_cap = chain_capacity_two_on config after sg_index in
-              let strict = after_cap > before_cap +. 1.0 in
-              let conservative = after_cap >= before_cap -. 1.0 in
-              let aggressive =
-                max_capacity config after
-                >= plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_min
-              in
-              let fire =
-                match variant with
-                | Baseline -> false
-                | Aggressive -> strict || aggressive
-                | Conservative -> strict || conservative
-              in
-              if fire then Some after else None
+              if fire after after_cap before_cap then Some after else None
         in
-        match List.find_map try_move movable_ids with
+        let nic_movable_ids =
+          List.filter (allowed_at Plan.Smartnic plan)
+            (nic_coalesce_candidates plan)
+        in
+        let try_nic_move id =
+          let locs = Array.copy plan.Plan.locs in
+          locs.(id) <- Plan.Smartnic;
+          let after = Plan.elaborate config plan.Plan.input locs in
+          let before_cap = chain_capacity_ones config plan in
+          let after_cap = chain_capacity_ones config after in
+          if fire after after_cap before_cap then Some after else None
+        in
+        match
+          match List.find_map try_move movable_ids with
+          | Some after -> Some after
+          | None -> List.find_map try_nic_move nic_movable_ids
+        with
         | Some after -> go after
         | None -> plan
       in
       go plan
+
+(* Fewest ToR bounces, hardware-richest on ties — the Min Bounce
+   baseline's pattern rule, also used to seed one of Lemur's variants. *)
+let min_bounce_pattern config input =
+  let patterns = all_patterns config input ~limit:4096 in
+  let plans =
+    List.filter_map
+      (fun locs ->
+        match Plan.elaborate config input locs with
+        | plan -> Some plan
+        | exception Plan.Invalid_pattern _ -> None)
+      patterns
+  in
+  let hw_count plan =
+    Array.fold_left
+      (fun acc loc -> if loc <> Plan.Server then acc + 1 else acc)
+      0 plan.Plan.locs
+  in
+  Lemur_util.Listx.min_by
+    (fun plan ->
+      (float_of_int plan.Plan.max_path_bounces *. 1000.0)
+      -. float_of_int (hw_count plan))
+    plans
 
 let lemur_variants config inputs =
   let base_plans =
@@ -350,12 +410,39 @@ let lemur_variants config inputs =
   match evict_to_fit config base_plans with
   | None -> None
   | Some baseline ->
+      (* The hardware-greedy basin is not always the right one: when
+         accelerators are slow for the workload (small packets, shared
+         NIC) an all-software placement can dominate every coalescing of
+         the hardware corner, so seed a software-preferred variant too
+         and let the LP objective arbitrate. *)
+      let seeded mk =
+        match List.map mk inputs with
+        | plans -> (
+            match evict_to_fit config plans with
+            | Some plans -> [ plans ]
+            | None -> [])
+        | exception Plan.Invalid_pattern _ -> []
+      in
+      let sw_variant =
+        seeded (fun input ->
+            Plan.elaborate config input (pattern_by_preference config input `Sw))
+      in
+      (* Bounce-light patterns sit in yet another basin: capacity-driven
+         coalescing never trades switch capacity for fewer traversals of
+         the shared server links, but the rate LP often should. *)
+      let bounce_variant =
+        seeded (fun input ->
+            match min_bounce_pattern config input with
+            | Some plan -> plan
+            | None -> raise (Plan.Invalid_pattern "no bounce-light pattern"))
+      in
       Some
-        [
-          List.map (apply_coalescing config Baseline) baseline;
-          List.map (apply_coalescing config Aggressive) baseline;
-          List.map (apply_coalescing config Conservative) baseline;
-        ]
+        ([
+           List.map (apply_coalescing config Baseline) baseline;
+           List.map (apply_coalescing config Aggressive) baseline;
+           List.map (apply_coalescing config Conservative) baseline;
+         ]
+        @ sw_variant @ bounce_variant)
 
 let lemur_placement ?policy strategy config inputs start =
   match lemur_variants config inputs with
@@ -367,7 +454,7 @@ let lemur_placement ?policy strategy config inputs start =
       let policies =
         match policy with
         | Some p -> [ p ]
-        | None -> [ Alloc.Slo_driven; Alloc.By_index ]
+        | None -> [ Alloc.Slo_driven; Alloc.By_index; Alloc.Even ]
       in
       let outcomes =
         List.concat_map
@@ -402,6 +489,7 @@ type opt_config = {
   oc_capacity : float;
   oc_tables : int;
   oc_visits : float;
+  oc_of_visits : float;
 }
 
 let switch_table_count plan =
@@ -418,11 +506,29 @@ let switch_table_count plan =
    binding subgroup cannot replicate (more cores would be wasted). *)
 let water_fill config plan k =
   let n = List.length plan.Plan.subgroups in
+  let sgs = Array.of_list plan.Plan.subgroups in
   let cores = Array.make n 1 in
   let clock =
     match config.Plan.topology.Lemur_topology.Topology.servers with
     | s :: _ -> s.Lemur_platform.Server.clock_hz
     | [] -> Lemur_util.Units.ghz 1.7
+  in
+  (* A segment (and every subgroup in it) must land on a single server,
+     so its total core count can never exceed the largest server. Without
+     this bound, phantom configurations — one fat subgroup holding the
+     whole rack's cores — dominate-prune the packable split variants and
+     then fail server assignment. *)
+  let seg_budget =
+    List.fold_left
+      (fun acc s -> max acc (Lemur_platform.Server.nf_cores s))
+      1 config.Plan.topology.Lemur_topology.Topology.servers
+  in
+  let seg_total seg =
+    let t = ref 0 in
+    Array.iteri
+      (fun i sg -> if sg.Plan.sg_segment = seg then t := !t + cores.(i))
+      sgs;
+    !t
   in
   let capacity i sg =
     if sg.Plan.sg_fraction <= 0.0 then infinity
@@ -438,8 +544,13 @@ let water_fill config plan k =
     let scored = List.mapi (fun i sg -> (i, sg, capacity i sg)) plan.Plan.subgroups in
     match Lemur_util.Listx.min_by (fun (_, _, cap) -> cap) scored with
     | None -> continue := false
-    | Some (_, binding_sg, cap) when cap = infinity || not binding_sg.Plan.sg_replicable ->
-        (* all-hardware, or pinned bottleneck: extra cores are useless *)
+    | Some (i, binding_sg, cap)
+      when cap = infinity
+           || (not binding_sg.Plan.sg_replicable)
+           || seg_total binding_sg.Plan.sg_segment >= seg_budget ->
+        (* all-hardware, pinned, or server-bound bottleneck: extra cores
+           anywhere else cannot lift the binding capacity *)
+        ignore i;
         continue := false
     | Some (i, _, _) ->
         cores.(i) <- cores.(i) + 1;
@@ -487,6 +598,7 @@ let chain_configs config input ~pattern_limit ~core_budget =
                     oc_capacity = cap;
                     oc_tables = tables;
                     oc_visits = plan.Plan.link_visits;
+                    oc_of_visits = plan.Plan.of_visits;
                   })
           ks)
       plans
@@ -497,6 +609,11 @@ let chain_configs config input ~pattern_limit ~core_budget =
     a.oc_k <= b.oc_k && a.oc_tables <= b.oc_tables
     && a.oc_capacity >= b.oc_capacity -. 1.0
     && a.oc_visits <= b.oc_visits +. 1e-9
+    (* OF-switch link traversals are a shared resource too: a config
+       that saves switch tables by moving NFs onto the OpenFlow switch
+       is NOT a free win — it loads the shared OF link — so it must not
+       prune configurations that are lighter there. *)
+    && a.oc_of_visits <= b.oc_of_visits +. 1e-9
     && (a.oc_k < b.oc_k || a.oc_tables < b.oc_tables
        || a.oc_capacity > b.oc_capacity +. 1.0)
   in
@@ -505,13 +622,22 @@ let chain_configs config input ~pattern_limit ~core_budget =
       (fun c -> not (List.exists (fun d -> d != c && dominates d c) configs))
       configs
   in
-  (* Bound the joint product while keeping core-count diversity: for
-     each distinct core count, retain the few best configurations. *)
+  (* Bound the joint product while keeping diversity along the shared
+     resources: for each distinct (core count, server-link traversal,
+     OF-link traversal) bucket, retain the few best configurations —
+     collapsing across link usage would let high-capacity SmartNIC- or
+     OF-heavy placements crowd out the link-light variants the joint LP
+     needs when a shared link is contended. *)
   let by_k = Hashtbl.create 16 in
   List.iter
     (fun c ->
-      let existing = Option.value (Hashtbl.find_opt by_k c.oc_k) ~default:[] in
-      Hashtbl.replace by_k c.oc_k (c :: existing))
+      let key =
+        ( c.oc_k,
+          int_of_float (Float.round (c.oc_visits *. 4.0)),
+          int_of_float (Float.round (c.oc_of_visits *. 4.0)) )
+      in
+      let existing = Option.value (Hashtbl.find_opt by_k key) ~default:[] in
+      Hashtbl.replace by_k key (c :: existing))
     front;
   Hashtbl.fold
     (fun _ cs acc ->
@@ -588,28 +714,7 @@ let optimal_placement config inputs start =
 (* Minimum Bounce                                                       *)
 
 let min_bounce_placement config inputs start =
-  let pick_pattern input =
-    let patterns = all_patterns config input ~limit:4096 in
-    let plans =
-      List.filter_map
-        (fun locs ->
-          match Plan.elaborate config input locs with
-          | plan -> Some plan
-          | exception Plan.Invalid_pattern _ -> None)
-        patterns
-    in
-    let hw_count plan =
-      Array.fold_left
-        (fun acc loc -> if loc <> Plan.Server then acc + 1 else acc)
-        0 plan.Plan.locs
-    in
-    Lemur_util.Listx.min_by
-      (fun plan ->
-        (float_of_int plan.Plan.max_path_bounces *. 1000.0)
-        -. float_of_int (hw_count plan))
-      plans
-  in
-  let plans = List.map pick_pattern inputs in
+  let plans = List.map (min_bounce_pattern config) inputs in
   if List.exists Option.is_none plans then
     Infeasible { reason = "a chain has no valid pattern" }
   else
@@ -630,12 +735,23 @@ let reevaluate_with_truth strategy config placement start =
         { Alloc.plan; sg_cores = r.cores; seg_server = r.seg_server })
       placement.chain_reports
   in
-  match Alloc.evaluate config allocs with
-  | None -> Infeasible { reason = "SLOs unsatisfiable under true profiles" }
-  | Some lp ->
-      Placed
-        (build_placement strategy config allocs lp placement.stages_used
-           (Unix.gettimeofday () -. start))
+  if
+    not
+      (List.for_all
+         (fun a -> Plan.meets_latency config a.Alloc.plan)
+         allocs)
+  then
+    (* The ablated model may have underestimated per-NF latency; judged
+       under the truth, a d_max-violating placement is a failure, not a
+       deployment. *)
+    Infeasible { reason = "d_max unsatisfiable under true profiles" }
+  else
+    match Alloc.evaluate config allocs with
+    | None -> Infeasible { reason = "SLOs unsatisfiable under true profiles" }
+    | Some lp ->
+        Placed
+          (build_placement strategy config allocs lp placement.stages_used
+             (Unix.gettimeofday () -. start))
 
 (* ------------------------------------------------------------------ *)
 

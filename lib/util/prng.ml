@@ -22,9 +22,20 @@ let split t = { state = bits64 t }
 
 let int t bound =
   assert (bound > 0);
-  (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)
-  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  r mod bound
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int. The raw
+     draw r spans exactly R = 2^62 = max_int + 1 values, so a bare
+     [r mod bound] over-weights the low residues whenever bound does not
+     divide R (a factor-2 skew for bounds near 2^62). Rejection
+     sampling: discard the ragged tail above the largest multiple of
+     [bound]; R itself is unrepresentable, so the tail length is
+     computed through max_int = R - 1. *)
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - rem in
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    if r <= cutoff then r mod bound else go ()
+  in
+  go ()
 
 let float53 t =
   let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in

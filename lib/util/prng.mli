@@ -21,7 +21,9 @@ val bits64 : t -> int64
 (** Next raw 64 random bits. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in \[0, bound). Requires [bound > 0]. *)
+(** [int t bound] is uniform in \[0, bound) — exactly uniform, via
+    rejection sampling of the 62-bit raw draw, even for bounds near
+    [max_int]. Requires [bound > 0]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in \[0, bound). *)

@@ -6,13 +6,22 @@ type summary = {
   stddev : float;
 }
 
+(* NaN poisons every aggregate and, worse, makes [Float.compare]-based
+   sorting silently order-dependent — so the statistics below reject it
+   loudly instead of propagating it. *)
+let reject_nan name xs =
+  if List.exists Float.is_nan xs then invalid_arg (name ^ ": NaN input")
+
 let mean = function
   | [] -> invalid_arg "Stats.mean: empty"
-  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  | xs ->
+      reject_nan "Stats.mean" xs;
+      List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let summarize = function
   | [] -> invalid_arg "Stats.summarize: empty"
   | xs ->
+      reject_nan "Stats.summarize" xs;
       let n = List.length xs in
       let mu = mean xs in
       let var =
@@ -48,6 +57,9 @@ let linear_fit points =
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty"
   | xs ->
+      reject_nan "Stats.percentile" xs;
+      if Float.is_nan p || p < 0.0 || p > 100.0 then
+        invalid_arg "Stats.percentile: p outside [0, 100]";
       let sorted = List.sort Float.compare xs in
       let n = List.length sorted in
       let rank =

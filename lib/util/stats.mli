@@ -10,9 +10,12 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** Raises [Invalid_argument] on an empty list. *)
+(** Raises [Invalid_argument] on an empty list or any NaN element
+    (NaN would otherwise poison the aggregates silently). *)
 
 val mean : float list -> float
+(** Raises [Invalid_argument] on an empty list or any NaN element. *)
+
 val clamp : lo:float -> hi:float -> float -> float
 
 val linear_fit : (float * float) list -> float * float
@@ -21,4 +24,6 @@ val linear_fit : (float * float) list -> float * float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in \[0,100\] (nearest-rank on the sorted
-    data). Raises [Invalid_argument] on an empty list. *)
+    data). Raises [Invalid_argument] on an empty list, a NaN element
+    (which would make the [Float.compare] sort order-dependent), or
+    [p] outside \[0,100\]. *)

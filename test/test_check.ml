@@ -1,0 +1,325 @@
+(* Tests for lemur_check: the placement oracle, the deterministic
+   scenario generator, and the differential fuzz loop.
+
+   The oracle mutation tests hand-break real placements one constraint
+   at a time and assert that the oracle rejects each with the expected
+   diagnostic — proving the oracle actually discriminates, not just
+   rubber-stamps whatever the placer emits. *)
+open Lemur_placer
+module Oracle = Lemur_check.Oracle
+module Scenario = Lemur_check.Scenario
+module Fuzz = Lemur_check.Fuzz
+
+let cfg () = Plan.default_config (Lemur_topology.Topology.testbed ())
+
+let mk id text slo =
+  {
+    Plan.id;
+    graph = Lemur_spec.Loader.chain_of_string ~name:id text;
+    slo;
+  }
+
+let slo tmin tmax = Lemur_slo.Slo.make ~t_min:tmin ~t_max:tmax ()
+
+let place_lemur c inputs =
+  match Strategy.place Strategy.Lemur c inputs with
+  | Strategy.Placed p -> p
+  | Strategy.Infeasible { reason } ->
+      Alcotest.failf "placement unexpectedly infeasible: %s" reason
+
+let kinds = function
+  | Ok () -> []
+  | Error vs -> List.map Oracle.kind_name vs
+
+let check_has c p kind =
+  let res = Oracle.check c p in
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle rejects with %s (got: %s)" kind
+       (String.concat "," (kinds res)))
+    true
+    (List.mem kind (kinds res))
+
+let check_ok c p =
+  match Oracle.check c p with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "oracle rejected a valid placement: %a"
+        (Fmt.list ~sep:Fmt.comma Oracle.pp_violation)
+        vs
+
+(* Rebuild the aggregate fields after mutating chain reports, so that a
+   mutation test trips exactly its targeted constraint and not the
+   bookkeeping cross-checks. *)
+let with_reports p reports =
+  let total_rate =
+    List.fold_left (fun a r -> a +. r.Strategy.rate) 0.0 reports
+  in
+  let total_marginal =
+    List.fold_left
+      (fun a r ->
+        a
+        +. Float.max 0.0
+             (r.Strategy.rate
+             -. r.Strategy.plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_min))
+      0.0 reports
+  in
+  let cores_used =
+    List.fold_left
+      (fun a r -> a + Array.fold_left ( + ) 0 r.Strategy.cores)
+      0 reports
+  in
+  { p with Strategy.chain_reports = reports; total_rate; total_marginal; cores_used }
+
+let map_report f p = with_reports p (List.map f p.Strategy.chain_reports)
+
+(* ------------------------------------------------------------------ *)
+(* Valid placements are accepted                                        *)
+
+let test_accepts_valid_placements () =
+  List.iter
+    (fun seed ->
+      let sc = Scenario.generate ~quick:true ~seed () in
+      let c = Scenario.config sc in
+      let inputs = Scenario.inputs sc in
+      List.iter
+        (fun s ->
+          match Strategy.place s c inputs with
+          | Strategy.Infeasible _ -> ()
+          | Strategy.Placed p -> check_ok c p)
+        Strategy.all)
+    [ 1; 7; 21; 42; 97 ]
+
+let test_accepts_valid_deployment () =
+  match
+    Lemur.Deployment.of_spec
+      "chain web slo(tmin='1Gbps', tmax='100Gbps') = ACL -> Encrypt -> IPv4Fwd"
+  with
+  | Error e -> Alcotest.failf "deploy failed: %s" e
+  | Ok d -> (
+      match Oracle.check_deployment d with
+      | Ok () -> ()
+      | Error vs ->
+          Alcotest.failf "oracle rejected a real deployment: %a"
+            (Fmt.list ~sep:Fmt.comma Oracle.pp_violation)
+            vs)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-broken placements: one distinct diagnostic per mutation         *)
+
+let test_rejects_stage_overflow () =
+  let c = cfg () in
+  (* 8 NATs at 2 dependent tables each want ~16 stages; the Tofino
+     budget is 12. *)
+  let input =
+    mk "ovf" (String.concat " -> " (List.init 8 (fun _ -> "NAT")))
+      Lemur_slo.Slo.best_effort
+  in
+  let plan = Plan.elaborate c input (Array.make 8 Plan.Switch) in
+  let report =
+    {
+      Strategy.plan;
+      cores = [||];
+      seg_server = [];
+      capacity = infinity;
+      rate = 1e9;
+      latency = 0.0;
+      bounces = 0;
+    }
+  in
+  let p =
+    with_reports
+      {
+        Strategy.strategy = Strategy.Lemur;
+        chain_reports = [];
+        total_rate = 0.0;
+        total_marginal = 0.0;
+        stages_used = 0;
+        cores_used = 0;
+        elapsed = 0.0;
+      }
+      [ report ]
+  in
+  check_has c p "stage_overflow"
+
+let encrypt_placement c tmin =
+  place_lemur c [ mk "e" "Encrypt" (slo tmin (Lemur_util.Units.gbps 100.0)) ]
+
+let test_rejects_core_overallocation () =
+  let c = cfg () in
+  let p = encrypt_placement c 1e9 in
+  let p =
+    map_report
+      (fun r -> { r with Strategy.cores = Array.map (fun _ -> 100) r.Strategy.cores })
+      p
+  in
+  check_has c p "core_overallocation"
+
+let test_rejects_link_oversubscription () =
+  let c = cfg () in
+  let p = encrypt_placement c 1e9 in
+  (* 50 Gbps across a 40 Gbps server NIC; the capacity check fires too
+     (no core allocation reaches 50 Gbps), but the link violation is
+     what this mutation is about. *)
+  let p = map_report (fun r -> { r with Strategy.rate = 50e9 }) p in
+  check_has c p "link_oversubscribed"
+
+let test_rejects_tmin_violation () =
+  let c = cfg () in
+  let p = encrypt_placement c 2e9 in
+  let p = map_report (fun r -> { r with Strategy.rate = 0.5e9 }) p in
+  check_has c p "tmin_violated"
+
+let test_rejects_tmax_violation () =
+  let c = cfg () in
+  (* All-switch chain: capacity is effectively the ToR port, so a rate
+     above t_max violates nothing else. *)
+  let input = mk "sw" "ACL -> NAT" (slo 1e9 10e9) in
+  let plan = Plan.elaborate c input [| Plan.Switch; Plan.Switch |] in
+  let report =
+    {
+      Strategy.plan;
+      cores = [||];
+      seg_server = [];
+      capacity = infinity;
+      rate = 20e9;
+      latency = 0.0;
+      bounces = 0;
+    }
+  in
+  let p =
+    with_reports
+      {
+        Strategy.strategy = Strategy.Lemur;
+        chain_reports = [];
+        total_rate = 0.0;
+        total_marginal = 0.0;
+        stages_used = 0;
+        cores_used = 0;
+        elapsed = 0.0;
+      }
+      [ report ]
+  in
+  (match Stagecheck.check c [ plan ] with
+  | Stagecheck.Fits n ->
+      let p = { p with Strategy.stages_used = n } in
+      check_has c p "tmax_violated"
+  | _ -> Alcotest.fail "ACL -> NAT should fit the switch")
+
+let test_rejects_routing_mismatch () =
+  let c = cfg () in
+  let inputs = [ mk "c" "ACL -> Encrypt" (slo 1e9 100e9) ] in
+  let deploy strategy =
+    match Lemur.Deployment.deploy ~strategy c inputs with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "deploy failed: %s" e
+  in
+  let on_switch = deploy Strategy.Lemur in
+  let on_server = deploy Strategy.Sw_preferred in
+  (* Sanity: the two placements actually route differently. *)
+  let locs d =
+    List.concat_map
+      (fun r -> Array.to_list r.Strategy.plan.Plan.locs)
+      d.Lemur.Deployment.placement.Strategy.chain_reports
+  in
+  Alcotest.(check bool) "placements differ" true (locs on_switch <> locs on_server);
+  (* The artifact compiled for one placement must not verify against the
+     other. *)
+  let res =
+    Oracle.check ~artifact:on_switch.Lemur.Deployment.artifact c
+      on_server.Lemur.Deployment.placement
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "routing mismatch detected (got: %s)"
+       (String.concat "," (kinds res)))
+    true
+    (List.mem "routing_mismatch" (kinds res))
+
+(* ------------------------------------------------------------------ *)
+(* Scenario generator                                                   *)
+
+let scenario_fingerprint sc = Format.asprintf "%a" Scenario.pp sc
+
+let test_scenario_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Scenario.generate ~quick:true ~seed () in
+      let b = Scenario.generate ~quick:true ~seed () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d replays identically" seed)
+        (scenario_fingerprint a) (scenario_fingerprint b))
+    [ 1; 2; 333; 1518 ];
+  Alcotest.(check bool) "different seeds differ" true
+    (scenario_fingerprint (Scenario.generate ~quick:true ~seed:1 ())
+    <> scenario_fingerprint (Scenario.generate ~quick:true ~seed:2 ()))
+
+let test_scenario_inputs_well_formed () =
+  List.iter
+    (fun seed ->
+      let sc = Scenario.generate ~quick:true ~seed () in
+      let inputs = Scenario.inputs sc in
+      Alcotest.(check bool) "at least one chain" true (inputs <> []);
+      List.iter
+        (fun i ->
+          let s = i.Plan.slo in
+          Alcotest.(check bool) "t_min <= t_max" true
+            (s.Lemur_slo.Slo.t_min <= s.Lemur_slo.Slo.t_max);
+          Alcotest.(check bool) "t_min finite" true
+            (Float.is_finite s.Lemur_slo.Slo.t_min))
+        inputs)
+    (List.init 20 (fun i -> i + 1))
+
+let test_shrink_preserves_failure () =
+  (* An artificial predicate stands in for a real differential failure:
+     shrinking must preserve it while never growing the scenario. *)
+  let fails sc = List.length sc.Scenario.sc_chains >= 2 in
+  let seed =
+    let rec find s =
+      if s > 200 then Alcotest.fail "no 2-chain quick scenario in 200 seeds"
+      else if fails (Scenario.generate ~quick:true ~seed:s ()) then s
+      else find (s + 1)
+    in
+    find 1
+  in
+  let sc = Scenario.generate ~quick:true ~seed () in
+  let shrunk = Scenario.shrink ~fails sc in
+  Alcotest.(check bool) "shrunk scenario still fails" true (fails shrunk);
+  Alcotest.(check bool) "shrinking never grows the scenario" true
+    (Scenario.size shrunk <= Scenario.size sc);
+  Alcotest.(check int) "chain count is minimal for this predicate" 2
+    (List.length shrunk.Scenario.sc_chains)
+
+(* ------------------------------------------------------------------ *)
+(* The fuzz loop itself                                                 *)
+
+let test_quick_fuzz_clean () =
+  let summary = Fuzz.run ~quick:true ~sim:true ~seed:1 ~count:25 () in
+  Alcotest.(check int) "25 scenarios" 25 summary.Fuzz.scenarios;
+  Alcotest.(check bool)
+    (Format.asprintf "no failures:@ %a" Fuzz.pp_summary summary)
+    true (Fuzz.ok summary);
+  Alcotest.(check bool) "placements were actually checked" true
+    (summary.Fuzz.placements_checked > 50)
+
+let suite =
+  [
+    Alcotest.test_case "oracle accepts valid placements" `Quick
+      test_accepts_valid_placements;
+    Alcotest.test_case "oracle accepts a real deployment" `Quick
+      test_accepts_valid_deployment;
+    Alcotest.test_case "rejects: stage overflow" `Quick test_rejects_stage_overflow;
+    Alcotest.test_case "rejects: core over-allocation" `Quick
+      test_rejects_core_overallocation;
+    Alcotest.test_case "rejects: link over-subscription" `Quick
+      test_rejects_link_oversubscription;
+    Alcotest.test_case "rejects: t_min violation" `Quick test_rejects_tmin_violation;
+    Alcotest.test_case "rejects: t_max violation" `Quick test_rejects_tmax_violation;
+    Alcotest.test_case "rejects: routing mismatch" `Quick
+      test_rejects_routing_mismatch;
+    Alcotest.test_case "scenarios are deterministic" `Quick
+      test_scenario_deterministic;
+    Alcotest.test_case "scenario inputs are well-formed" `Quick
+      test_scenario_inputs_well_formed;
+    Alcotest.test_case "shrinking preserves the failure" `Quick
+      test_shrink_preserves_failure;
+    Alcotest.test_case "quick fuzz run is clean" `Quick test_quick_fuzz_clean;
+  ]

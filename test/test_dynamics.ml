@@ -195,8 +195,102 @@ let test_proactive () =
       Alcotest.(check bool) "primary uses the NIC" true (uses_nic primary);
       Alcotest.(check bool) "fallback avoids the NIC" false (uses_nic fb)
 
+(* Property tests: whatever dynamics and failover hand back as a
+   *successful* redeployment must itself satisfy the placement oracle —
+   reconfiguration is not allowed to trade one SLO for another. *)
+
+let oracle_ok d =
+  match Lemur_check.Oracle.check_deployment d with
+  | Ok () -> true
+  | Error vs ->
+      Fmt.epr "oracle rejected: %a@."
+        (Fmt.list ~sep:Fmt.comma Lemur_check.Oracle.pp_violation)
+        vs;
+      false
+
+let prop_dynamics_oracle =
+  QCheck.Test.make ~name:"dynamics results pass the oracle" ~count:15
+    QCheck.(make Gen.(int_range 1 10_000))
+    (fun seed ->
+      let d = base_deployment () in
+      let prng = Lemur_util.Prng.create ~seed in
+      let factor = 0.5 +. Lemur_util.Prng.float prng 1.0 in
+      let slo =
+        Lemur_slo.Slo.make
+          ~t_min:(Lemur_util.Units.gbps (1.0 *. factor))
+          ~t_max:(Lemur_util.Units.gbps 100.0) ()
+      in
+      let extra_text =
+        match Lemur_util.Prng.int prng 3 with
+        | 0 -> "Tunnel -> IPv4Fwd"
+        | 1 -> "ACL -> NAT"
+        | _ -> "Encrypt"
+      in
+      let extra =
+        {
+          Plan.id = "extra";
+          graph = Lemur_spec.Loader.chain_of_string ~name:"extra" extra_text;
+          slo = Lemur_slo.Slo.best_effort;
+        }
+      in
+      let events =
+        [
+          Lemur.Dynamics.Slo_changed { chain_id = "chain3"; slo };
+          Lemur.Dynamics.Chain_added extra;
+        ]
+        @ (if Lemur_util.Prng.int prng 2 = 0 then
+             [ Lemur.Dynamics.Chain_removed "extra" ]
+           else [])
+      in
+      match Lemur.Dynamics.apply_all d events with
+      | Error _ -> true (* infeasibility is a legal answer, not a bug *)
+      | Ok d' -> oracle_ok d')
+
+let prop_failover_oracle =
+  QCheck.Test.make ~name:"failover results pass the oracle" ~count:8
+    QCheck.(make Gen.(int_range 1 10_000))
+    (fun seed ->
+      let sc = Lemur_check.Scenario.generate ~quick:true ~seed () in
+      let c = Lemur_check.Scenario.config sc in
+      let inputs = Lemur_check.Scenario.inputs sc in
+      match Lemur.Deployment.deploy c inputs with
+      | Error _ -> true
+      | Ok d ->
+          List.for_all
+            (fun f ->
+              match Lemur.Failover.react d f with
+              | Error _ -> true (* no viable degraded placement *)
+              | Ok d' -> oracle_ok d')
+            [
+              Lemur.Failover.Pisa_failed;
+              Lemur.Failover.Smartnic_failed;
+              Lemur.Failover.Ofswitch_failed;
+            ])
+
+let prop_proactive_oracle =
+  QCheck.Test.make ~name:"proactive fallbacks pass the oracle" ~count:8
+    QCheck.(make Gen.(int_range 1 10_000))
+    (fun seed ->
+      let sc = Lemur_check.Scenario.generate ~quick:true ~seed () in
+      let c = Lemur_check.Scenario.config sc in
+      let inputs = Lemur_check.Scenario.inputs sc in
+      match
+        Lemur.Failover.proactive c inputs
+          [ Lemur.Failover.Pisa_failed; Lemur.Failover.Smartnic_failed ]
+      with
+      | Error _ -> true
+      | Ok (primary, fallbacks) ->
+          oracle_ok primary
+          && List.for_all (fun (_, fb) -> oracle_ok fb) fallbacks)
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_dynamics_oracle; prop_failover_oracle; prop_proactive_oracle ]
+
 let suite =
-  [
+  qcheck_cases
+  @ [
     Alcotest.test_case "SLO change replaces" `Quick test_slo_change_replaces;
     Alcotest.test_case "chain add/remove" `Quick test_chain_add_remove;
     Alcotest.test_case "infeasible SLO change reported" `Quick

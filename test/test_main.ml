@@ -19,6 +19,7 @@ let () =
       ("dynamics", Test_dynamics.suite);
       ("codegen", Test_codegen.suite);
       ("dataplane", Test_dataplane.suite);
+      ("check", Test_check.suite);
       ("telemetry", Test_telemetry.suite);
       ("core", Test_core.suite);
     ]

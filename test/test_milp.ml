@@ -90,6 +90,38 @@ let test_stage_budget_forces_eviction () =
       Alcotest.(check bool) "some NATs evicted to the server" true
         (List.length (List.assoc "a" r.Milp.server_nfs) >= 3)
 
+let test_generated_instances () =
+  (* 50 generated instances inside the formulation's scope, mirroring
+     the fuzzer's differential: whenever both the MILP and the search
+     find a placement, the MILP objective may sit above the search (it
+     omits the LB penalty and uses a conservative table budget) but
+     never soar past it, and it must never collapse below the search
+     optimum's tolerance band. *)
+  let compared = ref 0 in
+  for seed = 1 to 50 do
+    let c, inputs = Lemur_check.Scenario.milp_instance ~seed in
+    match (Milp.solve c inputs, Strategy.place Strategy.Optimal c inputs) with
+    | Some m, Strategy.Placed p ->
+        incr compared;
+        let search = p.Strategy.total_marginal in
+        let milp = m.Milp.objective in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: milp below search (%.2fG vs %.2fG)" seed
+             (milp /. 1e9) (search /. 1e9))
+          true
+          (milp >= (0.9 *. search) -. 1e8);
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: milp soars above search (%.2fG vs %.2fG)"
+             seed (milp /. 1e9) (search /. 1e9))
+          true
+          (milp <= (1.25 *. search) +. 1e8)
+    | (None | Some _), _ -> ()
+    | exception Milp.Unsupported _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough instances compared (%d)" !compared)
+    true (!compared >= 20)
+
 let suite =
   [
     Alcotest.test_case "single chain" `Quick test_single_chain;
@@ -98,4 +130,5 @@ let suite =
     Alcotest.test_case "bounce accounting" `Quick test_bounce_accounting;
     Alcotest.test_case "rejects unsupported chains" `Quick test_rejects_unsupported;
     Alcotest.test_case "stage budget forces eviction" `Quick test_stage_budget_forces_eviction;
+    Alcotest.test_case "50 generated instances vs search" `Slow test_generated_instances;
   ]

@@ -28,6 +28,54 @@ let test_prng_split_independent () =
   Alcotest.(check bool) "child differs from parent" true
     (Prng.bits64 child <> Prng.bits64 parent)
 
+let test_prng_unbiased_large_bound () =
+  (* Regression for the modulo bias: with bound = 3 * 2^60, the raw
+     62-bit draw wraps twice over [0, 2^60), so a bare [mod] lands there
+     with probability 1/2 instead of the uniform 1/3. 20k samples give a
+     standard error of ~0.33%, so a 2% band cleanly separates the two. *)
+  let t = Prng.create ~seed:99 in
+  let bound = 3 * (1 lsl 60) in
+  let low_cut = 1 lsl 60 in
+  let n = 20_000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let x = Prng.int t bound in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < bound);
+    if x < low_cut then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "low third holds 1/3 of the mass (got %.4f)" frac)
+    true
+    (Float.abs (frac -. (1.0 /. 3.0)) < 0.02)
+
+let test_prng_max_int_bound () =
+  let t = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t max_int in
+    Alcotest.(check bool) "non-negative" true (x >= 0)
+  done
+
+let test_stats_nan_rejected () =
+  let raises f =
+    match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "percentile rejects NaN data" true
+    (raises (fun () -> Stats.percentile 50.0 [ 1.0; Float.nan; 2.0 ]));
+  Alcotest.(check bool) "percentile rejects NaN p" true
+    (raises (fun () -> Stats.percentile Float.nan [ 1.0; 2.0 ]));
+  Alcotest.(check bool) "percentile rejects p > 100" true
+    (raises (fun () -> Stats.percentile 101.0 [ 1.0 ]));
+  Alcotest.(check bool) "summarize rejects NaN" true
+    (raises (fun () -> Stats.summarize [ Float.nan ]));
+  Alcotest.(check bool) "mean rejects NaN" true
+    (raises (fun () -> Stats.mean [ 0.0; Float.nan ]));
+  (* infinities are data, not poison: they still flow through *)
+  Alcotest.(check (float 1e-9)) "infinite max ok" infinity
+    (Stats.summarize [ 1.0; infinity ]).Stats.max
+
 let test_units () =
   Alcotest.(check (float 1e-6)) "gbps" 1e9 (Units.gbps 1.0);
   Alcotest.(check (float 1e-6)) "roundtrip" 42.0 (Units.to_gbps (Units.gbps 42.0));
@@ -126,6 +174,9 @@ let suite =
     Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
     Alcotest.test_case "prng truncated gaussian" `Quick test_prng_truncated_gaussian;
     Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng unbiased at 3*2^60" `Quick test_prng_unbiased_large_bound;
+    Alcotest.test_case "prng max_int bound" `Quick test_prng_max_int_bound;
+    Alcotest.test_case "stats reject NaN" `Quick test_stats_nan_rejected;
     Alcotest.test_case "units" `Quick test_units;
     Alcotest.test_case "cartesian" `Quick test_cartesian;
     Alcotest.test_case "compositions" `Quick test_compositions;
