@@ -1,0 +1,174 @@
+(* The pre-optimization solver, vendored verbatim (telemetry swapped
+   for a local pivot counter) so `bench -- perf` measures the real
+   before/after: nested `float array array` tableau, Bland's rule, no
+   warm starts. Kept only as the perf baseline — production code uses
+   Lemur_lp.Simplex. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+let pivots = ref 0
+
+let pivot tab cost basis ~row ~col =
+  let ncols = Array.length cost - 1 in
+  let piv = tab.(row).(col) in
+  for j = 0 to ncols do
+    tab.(row).(j) <- tab.(row).(j) /. piv
+  done;
+  Array.iteri
+    (fun i r ->
+      if i <> row && Float.abs r.(col) > 0.0 then begin
+        let f = r.(col) in
+        for j = 0 to ncols do
+          r.(j) <- r.(j) -. (f *. tab.(row).(j))
+        done
+      end)
+    tab;
+  let f = cost.(col) in
+  if Float.abs f > 0.0 then
+    for j = 0 to ncols do
+      cost.(j) <- cost.(j) -. (f *. tab.(row).(j))
+    done;
+  basis.(row) <- col
+
+let minimize tab cost basis allowed =
+  let m = Array.length tab in
+  let ncols = Array.length cost - 1 in
+  let rec iterate () =
+    let entering = ref (-1) in
+    (try
+       for j = 0 to ncols - 1 do
+         if allowed.(j) && cost.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let leave = ref (-1) and best = ref infinity in
+      for i = 0 to m - 1 do
+        if tab.(i).(col) > eps then begin
+          let ratio = tab.(i).(ncols) /. tab.(i).(col) in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps && (!leave < 0 || basis.(i) < basis.(!leave)))
+          then begin
+            best := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        pivot tab cost basis ~row:!leave ~col;
+        incr pivots;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let solve ~c ~a ~b =
+  let m = Array.length b in
+  let n = Array.length c in
+  let neg_rows = ref [] in
+  for i = 0 to m - 1 do
+    if b.(i) < 0.0 then neg_rows := i :: !neg_rows
+  done;
+  let nart = List.length !neg_rows in
+  let ncols = n + m + nart in
+  let tab = Array.make_matrix m (ncols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let art_of_row = Hashtbl.create 8 in
+  List.iteri (fun k i -> Hashtbl.add art_of_row i (n + m + k)) !neg_rows;
+  for i = 0 to m - 1 do
+    let sign = if b.(i) < 0.0 then -1.0 else 1.0 in
+    for j = 0 to n - 1 do
+      tab.(i).(j) <- sign *. a.(i).(j)
+    done;
+    tab.(i).(n + i) <- sign;
+    tab.(i).(ncols) <- sign *. b.(i);
+    match Hashtbl.find_opt art_of_row i with
+    | Some acol ->
+        tab.(i).(acol) <- 1.0;
+        basis.(i) <- acol
+    | None -> basis.(i) <- n + i
+  done;
+  let allowed = Array.make ncols true in
+  let outcome_phase1 =
+    if nart = 0 then `Optimal
+    else begin
+      let cost1 = Array.make (ncols + 1) 0.0 in
+      Hashtbl.iter (fun _ acol -> cost1.(acol) <- 1.0) art_of_row;
+      for i = 0 to m - 1 do
+        if basis.(i) >= n + m then
+          for j = 0 to ncols do
+            cost1.(j) <- cost1.(j) -. tab.(i).(j)
+          done
+      done;
+      match minimize tab cost1 basis allowed with
+      | `Unbounded -> `Unbounded
+      | `Optimal ->
+          let scale =
+            Array.fold_left (fun acc bi -> Float.max acc (Float.abs bi)) 1.0 b
+          in
+          if -.cost1.(ncols) > 1e-7 *. scale then `Infeasible
+          else begin
+            for i = 0 to m - 1 do
+              if basis.(i) >= n + m then begin
+                let piv_col = ref (-1) in
+                (try
+                   for j = 0 to (n + m) - 1 do
+                     if Float.abs tab.(i).(j) > eps then begin
+                       piv_col := j;
+                       raise Exit
+                     end
+                   done
+                 with Exit -> ());
+                if !piv_col >= 0 then
+                  pivot tab (Array.make (ncols + 1) 0.0) basis ~row:i ~col:!piv_col
+              end
+            done;
+            for j = n + m to ncols - 1 do
+              allowed.(j) <- false
+            done;
+            `Optimal
+          end
+    end
+  in
+  match outcome_phase1 with
+  | `Infeasible -> Infeasible
+  | `Unbounded -> Unbounded
+  | `Optimal -> (
+      let cost2 = Array.make (ncols + 1) 0.0 in
+      for j = 0 to n - 1 do
+        cost2.(j) <- -.c.(j)
+      done;
+      for i = 0 to m - 1 do
+        let bc = basis.(i) in
+        if bc < n && Float.abs cost2.(bc) > 0.0 then begin
+          let f = cost2.(bc) in
+          for j = 0 to ncols do
+            cost2.(j) <- cost2.(j) -. (f *. tab.(i).(j))
+          done
+        end
+      done;
+      match minimize tab cost2 basis allowed with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let solution = Array.make n 0.0 in
+          for i = 0 to m - 1 do
+            if basis.(i) < n then solution.(basis.(i)) <- tab.(i).(ncols)
+          done;
+          let objective =
+            Array.to_list solution
+            |> List.mapi (fun j x -> c.(j) *. x)
+            |> List.fold_left ( +. ) 0.0
+          in
+          Optimal { objective; solution })

@@ -811,6 +811,11 @@ let with_experiment_telemetry dir name f =
         f
 
 let () =
+  (* `bench -- perf [...]` is the perf harness (see docs/PERFORMANCE.md),
+     not a paper experiment; it owns its own flags and exit code. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "perf" :: rest -> exit (Perf.main rest)
+  | _ -> ());
   let telemetry_dir, argv_rest =
     match Array.to_list Sys.argv with
     | _ :: "--telemetry-dir" :: dir :: rest -> (Some dir, rest)

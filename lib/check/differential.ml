@@ -39,6 +39,7 @@ let pp_failure ppf = function
 type report = {
   scenario : Scenario.t;
   placed : (string * float) list;
+  timings : (string * float) list;
   infeasible : string list;
   milp_checked : bool;
   sim_checked : bool;
@@ -214,6 +215,7 @@ let run ?(quick = true) ?(sim = true) scenario =
   {
     scenario;
     placed = List.map (fun (_, name, p) -> (name, objective p)) placed;
+    timings = List.map (fun (_, name, p) -> (name, p.Strategy.elapsed)) placed;
     infeasible =
       List.filter_map
         (fun (_, name, p) -> if p = None then Some name else None)

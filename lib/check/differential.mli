@@ -44,6 +44,8 @@ type report = {
   scenario : Scenario.t;
   placed : (string * float) list;
       (** feasible strategies with their LP objective (total marginal) *)
+  timings : (string * float) list;
+      (** feasible strategies with their placement wall time, seconds *)
   infeasible : string list;
   milp_checked : bool;
   sim_checked : bool;

@@ -13,8 +13,19 @@ type summary = {
   all_infeasible : int;
   milp_checked : int;
   sim_checked : int;
+  strategy_times : (string * float) list;
+  cache_hits : int;
+  cache_misses : int;
   failures : failure_report list;
 }
+
+let add_times acc ts =
+  List.fold_left
+    (fun acc (name, t) ->
+      match List.assoc_opt name acc with
+      | Some prev -> (name, prev +. t) :: List.remove_assoc name acc
+      | None -> (name, t) :: acc)
+    acc ts
 
 let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
     ~seed ~count () =
@@ -23,6 +34,7 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
   let c_placed = Telemetry.counter tm "fuzz.placements_checked" in
   let c_infeasible = Telemetry.counter tm "fuzz.all_infeasible" in
   let c_failures = Telemetry.counter tm "fuzz.failures" in
+  let hits0, misses0 = Lemur_placer.Memo.stats () in
   let summary =
     ref
       {
@@ -31,6 +43,9 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
         all_infeasible = 0;
         milp_checked = 0;
         sim_checked = 0;
+        strategy_times = [];
+        cache_hits = 0;
+        cache_misses = 0;
         failures = [];
       }
   in
@@ -73,13 +88,25 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
              (acc.milp_checked + if report.Differential.milp_checked then 1 else 0);
            sim_checked =
              (acc.sim_checked + if report.Differential.sim_checked then 1 else 0);
+           strategy_times =
+             add_times acc.strategy_times report.Differential.timings;
+           cache_hits = acc.cache_hits;
+           cache_misses = acc.cache_misses;
            failures;
          };
        if List.length failures >= max_failures then raise Exit
      done
    with Exit -> ());
   let acc = !summary in
-  { acc with failures = List.rev acc.failures }
+  let hits1, misses1 = Lemur_placer.Memo.stats () in
+  {
+    acc with
+    strategy_times =
+      List.sort (fun (a, _) (b, _) -> compare a b) acc.strategy_times;
+    cache_hits = hits1 - hits0;
+    cache_misses = misses1 - misses0;
+    failures = List.rev acc.failures;
+  }
 
 let ok s = s.failures = []
 
@@ -100,4 +127,16 @@ let pp_summary ppf s =
     "%d scenario(s): %d placements checked, %d fully infeasible, %d MILP \
      cross-checks, %d sim runs, %d failure(s)@."
     s.scenarios s.placements_checked s.all_infeasible s.milp_checked
-    s.sim_checked (List.length s.failures)
+    s.sim_checked (List.length s.failures);
+  (* The perf canary: solve time per strategy and placer cache traffic,
+     so a hot-path regression shows up in every fuzz run's output. *)
+  if s.strategy_times <> [] then
+    Fmt.pf ppf "solve time: %a@."
+      (Fmt.list ~sep:Fmt.comma (fun ppf (name, t) ->
+           Fmt.pf ppf "%s %.2fs" name t))
+      s.strategy_times;
+  let lookups = s.cache_hits + s.cache_misses in
+  if lookups > 0 then
+    Fmt.pf ppf "placer cache: %d hits / %d misses (%.1f%% hit rate)@."
+      s.cache_hits s.cache_misses
+      (100.0 *. float_of_int s.cache_hits /. float_of_int lookups)

@@ -20,6 +20,11 @@ type summary = {
   all_infeasible : int;  (** scenarios no strategy could place *)
   milp_checked : int;
   sim_checked : int;
+  strategy_times : (string * float) list;
+      (** total placement wall time per strategy (seconds), sorted by
+          strategy name — the fuzzing loop doubles as a perf canary *)
+  cache_hits : int;  (** {!Lemur_placer.Memo} hits during this run *)
+  cache_misses : int;
   failures : failure_report list;
 }
 

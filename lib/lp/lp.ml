@@ -23,6 +23,16 @@ type t = {
   mutable maximize : bool;
 }
 
+(* Standard-form rows identified independently of their position, so a
+   basis can be carried between two solves of the same problem whose
+   bound rows differ (the branch-and-bound parent/child case): user rows
+   keep their emit-order index, bound rows are keyed by variable. *)
+type row_key = Kuser of int | Kub of var | Klb of var
+
+type basis_elt = Bvar of var | Bslack of row_key
+
+type basis = basis_elt array
+
 let create () = { vars = []; rows = []; objective = []; maximize = true }
 
 let add_var t ?(lb = 0.0) ?(ub = infinity) ?(integer = false) ~name () =
@@ -43,50 +53,97 @@ let var_name t v =
   let vars = Array.of_list (List.rev t.vars) in
   vars.(v).name
 
-let to_standard_form t =
-  (* Standard form: maximize c.x, A.x <= b, x >= 0.
-     - >= rows are negated; = rows become a <= pair;
-     - finite bounds become rows;
-     - minimization negates c. *)
+(* Standard form: maximize c.x, A.x <= b, x >= 0.
+   - >= rows are negated; = rows become a <= pair;
+   - finite bounds become rows;
+   - minimization negates c.
+   [bounds] tightens the declared variable bounds ([lb'] by max, [ub']
+   by min) without touching [t] — branch-and-bound branches this way so
+   user rows (and their keys) are identical across the whole tree. *)
+let standard_form ?bounds t =
   let n = num_vars t in
   let vars = Array.of_list (List.rev t.vars) in
   let c = Array.make n 0.0 in
   List.iter
     (fun (coef, v) -> c.(v) <- c.(v) +. (if t.maximize then coef else -.coef))
     t.objective;
-  let rows = ref [] in
-  let emit terms rhs =
+  let rows = ref [] and keys = ref [] and nuser = ref 0 in
+  let emit key terms rhs =
     let coeffs = Array.make n 0.0 in
     List.iter (fun (coef, v) -> coeffs.(v) <- coeffs.(v) +. coef) terms;
-    rows := (coeffs, rhs) :: !rows
+    rows := (coeffs, rhs) :: !rows;
+    keys := key :: !keys
+  in
+  let user terms rhs =
+    let k = Kuser !nuser in
+    incr nuser;
+    emit k terms rhs
   in
   List.iter
     (fun { terms; sense; rhs } ->
       match sense with
-      | `Le -> emit terms rhs
-      | `Ge -> emit (List.map (fun (coef, v) -> (-.coef, v)) terms) (-.rhs)
+      | `Le -> user terms rhs
+      | `Ge -> user (List.map (fun (coef, v) -> (-.coef, v)) terms) (-.rhs)
       | `Eq ->
-          emit terms rhs;
-          emit (List.map (fun (coef, v) -> (-.coef, v)) terms) (-.rhs))
+          user terms rhs;
+          user (List.map (fun (coef, v) -> (-.coef, v)) terms) (-.rhs))
     (List.rev t.rows);
   Array.iteri
     (fun v info ->
-      if info.ub < infinity then emit [ (1.0, v) ] info.ub;
-      if info.lb > 0.0 then emit [ (-1.0, v) ] (-.info.lb))
+      let lb, ub =
+        match bounds with
+        | None -> (info.lb, info.ub)
+        | Some (lbs, ubs) -> (Float.max info.lb lbs.(v), Float.min info.ub ubs.(v))
+      in
+      if ub < infinity then emit (Kub v) [ (1.0, v) ] ub;
+      if lb > 0.0 then emit (Klb v) [ (-1.0, v) ] (-.lb))
     vars;
   let row_list = List.rev !rows in
   let a = Array.of_list (List.map fst row_list) in
   let b = Array.of_list (List.map snd row_list) in
-  (c, a, b)
+  (c, a, b, Array.of_list (List.rev !keys))
 
-let solve t =
-  let c, a, b = to_standard_form t in
-  match Simplex.solve ~c ~a ~b with
+let outcome_of t = function
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
   | Simplex.Optimal { objective; solution } ->
       let objective = if t.maximize then objective else -.objective in
       Optimal { objective; values = solution }
+
+let solve_basis ?bounds ?warm t =
+  let c, a, b, keys = standard_form ?bounds t in
+  let n = Array.length c in
+  let warm =
+    match warm with
+    | None -> None
+    | Some elts ->
+        (* Translate the carried basis into this problem's column space;
+           keys absent here (a bound the parent did not have) drop out
+           and their row keeps its slack. *)
+        let index = Hashtbl.create 16 in
+        Array.iteri (fun i k -> Hashtbl.replace index k (n + i)) keys;
+        Some
+          (Array.to_list elts
+          |> List.filter_map (function
+               | Bvar v -> if v >= 0 && v < n then Some v else None
+               | Bslack k -> Hashtbl.find_opt index k)
+          |> Array.of_list)
+  in
+  let result, final = Simplex.solve_basis ?warm ~c ~a ~b () in
+  let final =
+    Option.map
+      (fun cols ->
+        Array.to_list cols
+        |> List.filter_map (fun col ->
+               if col < 0 then None
+               else if col < n then Some (Bvar col)
+               else Some (Bslack keys.(col - n)))
+        |> Array.of_list)
+      final
+  in
+  (outcome_of t result, final)
+
+let solve t = fst (solve_basis t)
 
 let integer_vars t =
   List.rev t.vars
@@ -96,16 +153,23 @@ let integer_vars t =
 let is_integral x = Float.abs (x -. Float.round x) < 1e-6
 
 (* Branch and bound: depth-first, branching on the most fractional
-   integer variable; bound by the LP relaxation. *)
-let solve_milp ?(max_nodes = 100_000) t =
+   integer variable; bound by the LP relaxation. Branching tightens the
+   per-node bound-override arrays (never adds rows), so every node
+   solves the same user rows and — with [warm] — seeds the child's
+   simplex from its parent's optimal basis: after one bound tightens,
+   that basis is still dual feasible and a few dual-simplex pivots
+   usually restore optimality (see docs/PERFORMANCE.md). *)
+let solve_milp ?(max_nodes = 100_000) ?(warm = true) t =
   let ints = integer_vars t in
   if ints = [] then solve t
   else begin
     let tm = Lemur_telemetry.Telemetry.current () in
     let c_nodes = Lemur_telemetry.Telemetry.counter tm "lp.milp.nodes" in
+    let c_warm = Lemur_telemetry.Telemetry.counter tm "lp.milp.warm_nodes" in
     let c_pruned = Lemur_telemetry.Telemetry.counter tm "lp.milp.bounds_pruned" in
     let c_infeasible = Lemur_telemetry.Telemetry.counter tm "lp.milp.infeasible_nodes" in
     let c_incumbents = Lemur_telemetry.Telemetry.counter tm "lp.milp.incumbents" in
+    let n = num_vars t in
     let best : (float * float array) option ref = ref None in
     let nodes = ref 0 in
     let better obj =
@@ -113,18 +177,16 @@ let solve_milp ?(max_nodes = 100_000) t =
       | None -> true
       | Some (b, _) -> if t.maximize then obj > b +. 1e-9 else obj < b -. 1e-9
     in
-    (* Extra bounds pushed during branching: (var, `Le|`Ge, bound). *)
-    let rec branch extra =
+    let rec branch lbs ubs parent =
       incr nodes;
       Lemur_telemetry.Counter.incr c_nodes;
       if !nodes > max_nodes then failwith "Lp.solve_milp: node limit exceeded";
-      let sub = { t with rows = t.rows } in
-      (* Copy rows so sibling branches do not see our bounds. *)
-      let sub = { sub with rows = extra @ t.rows } in
-      match solve sub with
-      | Infeasible -> Lemur_telemetry.Counter.incr c_infeasible
-      | Unbounded -> failwith "Lp.solve_milp: unbounded relaxation"
-      | Optimal { objective; values } ->
+      let seed = if warm then parent else None in
+      if seed <> None then Lemur_telemetry.Counter.incr c_warm;
+      match solve_basis ~bounds:(lbs, ubs) ?warm:seed t with
+      | Infeasible, _ -> Lemur_telemetry.Counter.incr c_infeasible
+      | Unbounded, _ -> failwith "Lp.solve_milp: unbounded relaxation"
+      | Optimal { objective; values }, my_basis ->
           if not (better objective) then Lemur_telemetry.Counter.incr c_pruned
           else begin
             let fractional =
@@ -150,12 +212,15 @@ let solve_milp ?(max_nodes = 100_000) t =
             | Some v ->
                 let x = values.(v) in
                 let lo = Float.of_int (int_of_float (floor x)) in
-                branch ({ terms = [ (1.0, v) ]; sense = `Le; rhs = lo } :: extra);
-                branch
-                  ({ terms = [ (1.0, v) ]; sense = `Ge; rhs = lo +. 1.0 } :: extra)
+                let ubs' = Array.copy ubs in
+                ubs'.(v) <- Float.min ubs.(v) lo;
+                branch lbs ubs' my_basis;
+                let lbs' = Array.copy lbs in
+                lbs'.(v) <- Float.max lbs.(v) (lo +. 1.0);
+                branch lbs' ubs my_basis
           end
     in
-    branch [];
+    branch (Array.make n neg_infinity) (Array.make n infinity) None;
     match !best with
     | None -> Infeasible
     | Some (objective, values) -> Optimal { objective; values }

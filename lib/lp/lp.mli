@@ -45,6 +45,25 @@ val var_name : t -> var -> string
 val solve : t -> outcome
 (** Solve the LP relaxation (integrality markers ignored). *)
 
-val solve_milp : ?max_nodes:int -> t -> outcome
+type basis
+(** An optimal basis, keyed so it survives bound changes: carrying one
+    into {!solve_basis} of the same problem with tightened bounds
+    warm-starts the simplex (typically a handful of dual pivots instead
+    of a full two-phase solve). *)
+
+val solve_basis :
+  ?bounds:float array * float array -> ?warm:basis -> t -> outcome * basis option
+(** Like {!solve}, returning the final basis on [Optimal].
+    [bounds = (lbs, ubs)] tightens the declared variable bounds for this
+    solve only ([lbs] by max, [ubs] by min; use [neg_infinity] /
+    [infinity] entries for "no change") — branch-and-bound nodes are
+    expressed this way rather than as extra rows. [warm] seeds the
+    solve from a previous basis; on any mismatch the solver falls back
+    to a cold solve, so warm-starting never changes the outcome. *)
+
+val solve_milp : ?max_nodes:int -> ?warm:bool -> t -> outcome
 (** Branch-and-bound on the variables marked [integer]. [max_nodes]
-    bounds the search (default 100_000); raises [Failure] if exceeded. *)
+    bounds the search (default 100_000); raises [Failure] if exceeded.
+    [warm] (default [true]) re-solves each child node from its parent's
+    optimal basis via {!solve_basis}; pass [false] to force cold
+    per-node solves (the differential baseline). *)

@@ -1,3 +1,5 @@
+type pricing = Dantzig | Bland
+
 type result =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
@@ -5,112 +7,211 @@ type result =
 
 let eps = 1e-9
 
-(* Tableau layout: [tab] is m rows of length [ncols + 1]; column [ncols]
-   is the right-hand side. [basis.(i)] is the column basic in row [i].
-   [cost] has length [ncols + 1]: reduced costs plus (negated) current
-   objective in the last slot. [allowed.(j)] disables columns (used to
-   ban artificials in phase 2).
+(* Consecutive degenerate (zero-ratio) pivots tolerated under Dantzig
+   pricing before the entering rule falls back to Bland's. Dantzig picks
+   the most negative reduced cost — far fewer pivots on the Placer's
+   LPs — but alone it can cycle on degenerate vertices; Bland's rule
+   cannot. The streak resets on the first improving pivot, so the solver
+   returns to the fast rule as soon as it escapes the degenerate face
+   (termination: objectives are non-increasing, a stall either improves
+   under Bland or proves optimality). Kept small: a genuine cycle (e.g.
+   Beale's example) shows up within its cycle length, and on problems
+   that merely stall briefly the limit almost never triggers. *)
+let degenerate_limit = 8
 
-   The core minimizes; Bland's rule (lowest-index entering and leaving
-   columns) prevents cycling. *)
+module FA = Float.Array
 
-let pivot tab cost basis ~row ~col =
-  let ncols = Array.length cost - 1 in
-  let piv = tab.(row).(col) in
-  for j = 0 to ncols do
-    tab.(row).(j) <- tab.(row).(j) /. piv
+(* Tableau layout: one flat row-major floatarray of [m] rows with
+   [stride = ncols + 1] floats each; slot [ncols] of a row is its
+   right-hand side. Flat storage keeps the pivot kernel on one
+   contiguous buffer (no per-row indirection, no bounds checks) — the
+   inner loops below are the hot path of every placement call.
+   [cost] mirrors one row: reduced costs plus the negated current
+   objective in the last slot. [basis.(i)] is the column basic in row
+   [i]; [allowed.(j)] disables columns (used to ban artificials in
+   phase 2). *)
+type tableau = {
+  m : int;
+  ncols : int;
+  stride : int;
+  tab : floatarray;
+  mutable cost : floatarray;
+  basis : int array;
+  allowed : bool array;
+}
+
+let get tb i j = FA.unsafe_get tb.tab ((i * tb.stride) + j)
+
+let pivot tb ~row ~col =
+  let stride = tb.stride in
+  let tab = tb.tab in
+  let rbase = row * stride in
+  let piv = FA.unsafe_get tab (rbase + col) in
+  for j = 0 to stride - 1 do
+    FA.unsafe_set tab (rbase + j) (FA.unsafe_get tab (rbase + j) /. piv)
   done;
-  Array.iteri
-    (fun i r ->
-      if i <> row && Float.abs r.(col) > 0.0 then begin
-        let f = r.(col) in
-        for j = 0 to ncols do
-          r.(j) <- r.(j) -. (f *. tab.(row).(j))
+  for i = 0 to tb.m - 1 do
+    if i <> row then begin
+      let ibase = i * stride in
+      let f = FA.unsafe_get tab (ibase + col) in
+      if f <> 0.0 then
+        for j = 0 to stride - 1 do
+          FA.unsafe_set tab (ibase + j)
+            (FA.unsafe_get tab (ibase + j) -. (f *. FA.unsafe_get tab (rbase + j)))
         done
-      end)
-    tab;
-  let f = cost.(col) in
-  if Float.abs f > 0.0 then
-    for j = 0 to ncols do
-      cost.(j) <- cost.(j) -. (f *. tab.(row).(j))
+    end
+  done;
+  let cost = tb.cost in
+  let f = FA.unsafe_get cost col in
+  if f <> 0.0 then
+    for j = 0 to stride - 1 do
+      FA.unsafe_set cost j
+        (FA.unsafe_get cost j -. (f *. FA.unsafe_get tab (rbase + j)))
     done;
-  basis.(row) <- col
+  tb.basis.(row) <- col
 
-let minimize ~pivots tab cost basis allowed =
-  let m = Array.length tab in
-  let ncols = Array.length cost - 1 in
+(* Bland: entering column = lowest index with negative reduced cost. *)
+let entering_bland tb =
+  let e = ref (-1) in
+  (try
+     for j = 0 to tb.ncols - 1 do
+       if tb.allowed.(j) && FA.unsafe_get tb.cost j < -.eps then begin
+         e := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !e
+
+(* Dantzig: entering column = most negative reduced cost. *)
+let entering_dantzig tb =
+  let e = ref (-1) and best = ref (-.eps) in
+  for j = 0 to tb.ncols - 1 do
+    let cj = FA.unsafe_get tb.cost j in
+    if cj < !best && tb.allowed.(j) then begin
+      e := j;
+      best := cj
+    end
+  done;
+  !e
+
+(* Minimum-ratio leaving row; lowest basic index on ties (anti-cycling
+   together with Bland's entering rule). *)
+let leaving tb ~col =
+  let leave = ref (-1) and best = ref infinity in
+  let rhs = tb.ncols in
+  for i = 0 to tb.m - 1 do
+    let a = get tb i col in
+    if a > eps then begin
+      let ratio = get tb i rhs /. a in
+      if
+        ratio < !best -. eps
+        || (ratio < !best +. eps && (!leave < 0 || tb.basis.(i) < tb.basis.(!leave)))
+      then begin
+        best := ratio;
+        leave := i
+      end
+    end
+  done;
+  (!leave, !best)
+
+let minimize ~pricing ~pivots ~fallbacks tb =
+  let degenerate = ref 0 in
   let rec iterate () =
-    (* Bland: entering column = lowest index with negative reduced cost. *)
-    let entering = ref (-1) in
-    (try
-       for j = 0 to ncols - 1 do
-         if allowed.(j) && cost.(j) < -.eps then begin
-           entering := j;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    if !entering < 0 then `Optimal
+    let use_bland =
+      match pricing with Bland -> true | Dantzig -> !degenerate >= degenerate_limit
+    in
+    let col = if use_bland then entering_bland tb else entering_dantzig tb in
+    if col < 0 then `Optimal
     else begin
-      let col = !entering in
-      let leave = ref (-1) and best = ref infinity in
-      for i = 0 to m - 1 do
-        if tab.(i).(col) > eps then begin
-          let ratio = tab.(i).(ncols) /. tab.(i).(col) in
-          if
-            ratio < !best -. eps
-            || (ratio < !best +. eps && (!leave < 0 || basis.(i) < basis.(!leave)))
-          then begin
-            best := ratio;
-            leave := i
-          end
-        end
-      done;
-      if !leave < 0 then `Unbounded
+      let leave, ratio = leaving tb ~col in
+      if leave < 0 then `Unbounded
       else begin
-        pivot tab cost basis ~row:!leave ~col;
+        pivot tb ~row:leave ~col;
         Lemur_telemetry.Counter.incr pivots;
+        if ratio > eps then degenerate := 0
+        else begin
+          incr degenerate;
+          if pricing = Dantzig && !degenerate = degenerate_limit then
+            Lemur_telemetry.Counter.incr fallbacks
+        end;
         iterate ()
       end
     end
   in
   iterate ()
 
-let solve ~c ~a ~b =
-  let tm = Lemur_telemetry.Telemetry.current () in
-  Lemur_telemetry.Counter.incr (Lemur_telemetry.Telemetry.counter tm "lp.simplex.solves");
+(* ------------------------------------------------------------------ *)
+(* Cold two-phase solve                                                 *)
+
+let scale_of b =
+  Array.fold_left (fun acc bi -> Float.max acc (Float.abs bi)) 1.0 b
+
+let extract_solution tb ~n ~c =
+  let solution = Array.make n 0.0 in
+  let rhs = tb.ncols in
+  for i = 0 to tb.m - 1 do
+    if tb.basis.(i) < n then solution.(tb.basis.(i)) <- get tb i rhs
+  done;
+  let objective = ref 0.0 in
+  for j = 0 to n - 1 do
+    objective := !objective +. (c.(j) *. solution.(j))
+  done;
+  Optimal { objective = !objective; solution }
+
+(* Final basis for warm-starting a related solve: basic columns in this
+   problem's var/slack numbering; artificials (meaningful only inside
+   this solve) are dropped as [-1]. *)
+let export_basis tb ~n ~m =
+  Array.map (fun col -> if col < n + m then col else -1) tb.basis
+
+let solve_cold ~pricing ~c ~a ~b tm =
   let phase1_pivots = Lemur_telemetry.Telemetry.counter tm "lp.simplex.phase1_pivots" in
   let phase2_pivots = Lemur_telemetry.Telemetry.counter tm "lp.simplex.phase2_pivots" in
+  let fallbacks = Lemur_telemetry.Telemetry.counter tm "lp.simplex.bland_fallbacks" in
   let m = Array.length b in
   let n = Array.length c in
-  assert (Array.length a = m);
-  Array.iter (fun row -> assert (Array.length row = n)) a;
   (* Columns: 0..n-1 originals, n..n+m-1 slacks, then one artificial per
-     negative-rhs row. *)
-  let neg_rows = ref [] in
+     negative-rhs row. [art_of_row.(i)] is that column or -1. *)
+  let art_of_row = Array.make (max m 1) (-1) in
+  let nart = ref 0 in
   for i = 0 to m - 1 do
-    if b.(i) < 0.0 then neg_rows := i :: !neg_rows
+    if b.(i) < 0.0 then begin
+      art_of_row.(i) <- n + m + !nart;
+      incr nart
+    end
   done;
-  let nart = List.length !neg_rows in
+  let nart = !nart in
   let ncols = n + m + nart in
-  let tab = Array.make_matrix m (ncols + 1) 0.0 in
-  let basis = Array.make m (-1) in
-  let art_of_row = Hashtbl.create 8 in
-  List.iteri (fun k i -> Hashtbl.add art_of_row i (n + m + k)) !neg_rows;
+  let stride = ncols + 1 in
+  let tab = FA.make (m * stride) 0.0 in
+  let basis = Array.make (max m 1) (-1) in
   for i = 0 to m - 1 do
+    let base = i * stride in
     let sign = if b.(i) < 0.0 then -1.0 else 1.0 in
+    let row = a.(i) in
     for j = 0 to n - 1 do
-      tab.(i).(j) <- sign *. a.(i).(j)
+      FA.unsafe_set tab (base + j) (sign *. Array.unsafe_get row j)
     done;
-    tab.(i).(n + i) <- sign;
-    tab.(i).(ncols) <- sign *. b.(i);
-    match Hashtbl.find_opt art_of_row i with
-    | Some acol ->
-        tab.(i).(acol) <- 1.0;
-        basis.(i) <- acol
-    | None -> basis.(i) <- n + i
+    FA.set tab (base + n + i) sign;
+    FA.set tab (base + ncols) (sign *. b.(i));
+    if art_of_row.(i) >= 0 then begin
+      FA.set tab (base + art_of_row.(i)) 1.0;
+      basis.(i) <- art_of_row.(i)
+    end
+    else basis.(i) <- n + i
   done;
-  let allowed = Array.make ncols true in
+  let tb =
+    {
+      m;
+      ncols;
+      stride;
+      tab;
+      cost = FA.make stride 0.0;
+      basis;
+      allowed = Array.make (max ncols 1) true;
+    }
+  in
   (* Phase 1: minimize the sum of artificials. *)
   let outcome_phase1 =
     if nart = 0 then `Optimal
@@ -118,25 +219,27 @@ let solve ~c ~a ~b =
       Lemur_telemetry.Telemetry.time tm
         (Lemur_telemetry.Telemetry.histogram tm "lp.simplex.phase1_ns")
       @@ fun () ->
-      let cost1 = Array.make (ncols + 1) 0.0 in
-      Hashtbl.iter (fun _ acol -> cost1.(acol) <- 1.0) art_of_row;
+      let cost1 = FA.make stride 0.0 in
+      for i = 0 to m - 1 do
+        if art_of_row.(i) >= 0 then FA.set cost1 art_of_row.(i) 1.0
+      done;
       (* Make reduced costs of basic artificials zero. *)
       for i = 0 to m - 1 do
-        if basis.(i) >= n + m then
+        if basis.(i) >= n + m then begin
+          let base = i * stride in
           for j = 0 to ncols do
-            cost1.(j) <- cost1.(j) -. tab.(i).(j)
+            FA.set cost1 j (FA.get cost1 j -. FA.get tab (base + j))
           done
+        end
       done;
-      match minimize ~pivots:phase1_pivots tab cost1 basis allowed with
+      tb.cost <- cost1;
+      match minimize ~pricing ~pivots:phase1_pivots ~fallbacks tb with
       | `Unbounded -> `Unbounded (* cannot happen: phase-1 objective >= 0 *)
       | `Optimal ->
           (* Tolerance relative to the problem's magnitude: with rhs
              values around 1e9 the residual of a feasible basis can
              carry absolute rounding error far above any fixed eps. *)
-          let scale =
-            Array.fold_left (fun acc bi -> Float.max acc (Float.abs bi)) 1.0 b
-          in
-          if -.cost1.(ncols) > 1e-7 *. scale then `Infeasible
+          if -.FA.get cost1 ncols > 1e-7 *. scale_of b then `Infeasible
           else begin
             (* Pivot any artificial still in the basis out, or note its
                row as redundant (all-zero); then ban artificials. *)
@@ -145,53 +248,242 @@ let solve ~c ~a ~b =
                 let piv_col = ref (-1) in
                 (try
                    for j = 0 to (n + m) - 1 do
-                     if Float.abs tab.(i).(j) > eps then begin
+                     if Float.abs (get tb i j) > eps then begin
                        piv_col := j;
                        raise Exit
                      end
                    done
                  with Exit -> ());
-                if !piv_col >= 0 then
-                  pivot tab (Array.make (ncols + 1) 0.0) basis ~row:i ~col:!piv_col
+                if !piv_col >= 0 then begin
+                  tb.cost <- FA.make stride 0.0;
+                  pivot tb ~row:i ~col:!piv_col
+                end
               end
             done;
             for j = n + m to ncols - 1 do
-              allowed.(j) <- false
+              tb.allowed.(j) <- false
             done;
             `Optimal
           end
   in
   match outcome_phase1 with
-  | `Infeasible -> Infeasible
-  | `Unbounded -> Unbounded
+  | `Infeasible -> (Infeasible, None)
+  | `Unbounded -> (Unbounded, None)
   | `Optimal -> (
       Lemur_telemetry.Telemetry.time tm
         (Lemur_telemetry.Telemetry.histogram tm "lp.simplex.phase2_ns")
       @@ fun () ->
       (* Phase 2: minimize -c (i.e., maximize c). *)
-      let cost2 = Array.make (ncols + 1) 0.0 in
+      let cost2 = FA.make stride 0.0 in
       for j = 0 to n - 1 do
-        cost2.(j) <- -.c.(j)
+        FA.set cost2 j (-.c.(j))
       done;
       for i = 0 to m - 1 do
         let bc = basis.(i) in
-        if bc < n && Float.abs cost2.(bc) > 0.0 then begin
-          let f = cost2.(bc) in
-          for j = 0 to ncols do
-            cost2.(j) <- cost2.(j) -. (f *. tab.(i).(j))
-          done
+        if bc < n then begin
+          let f = FA.get cost2 bc in
+          if f <> 0.0 then begin
+            let base = i * stride in
+            for j = 0 to ncols do
+              FA.set cost2 j (FA.get cost2 j -. (f *. FA.get tab (base + j)))
+            done
+          end
         end
       done;
-      match minimize ~pivots:phase2_pivots tab cost2 basis allowed with
-      | `Unbounded -> Unbounded
-      | `Optimal ->
-          let solution = Array.make n 0.0 in
-          for i = 0 to m - 1 do
-            if basis.(i) < n then solution.(basis.(i)) <- tab.(i).(ncols)
-          done;
-          let objective =
-            Array.to_list solution
-            |> List.mapi (fun j x -> c.(j) *. x)
-            |> List.fold_left ( +. ) 0.0
-          in
-          Optimal { objective; solution })
+      tb.cost <- cost2;
+      match minimize ~pricing ~pivots:phase2_pivots ~fallbacks tb with
+      | `Unbounded -> (Unbounded, None)
+      | `Optimal -> (extract_solution tb ~n ~c, Some (export_basis tb ~n ~m)))
+
+(* ------------------------------------------------------------------ *)
+(* Warm-started solve                                                   *)
+
+(* Dual simplex: from a dual-feasible basis (all reduced costs >= 0)
+   with primal infeasibilities (negative rhs entries), pivot the most
+   negative row out using the dual ratio test. This is the natural
+   re-solve after tightening a bound of an already-solved problem — the
+   branch-and-bound child case — because the parent's optimal basis
+   stays dual feasible. A row that is negative with no negative entry
+   certifies infeasibility. Iterations are capped; hitting the cap
+   abandons the warm attempt (the caller falls back to a cold solve). *)
+let dual_simplex tb ~pivots ~feas =
+  let rhs = tb.ncols in
+  let max_iters = (50 * (tb.m + tb.ncols)) + 200 in
+  let rec go iters =
+    if iters > max_iters then `Bail
+    else begin
+      let r = ref (-1) and worst = ref (-.feas) in
+      for i = 0 to tb.m - 1 do
+        let v = get tb i rhs in
+        if v < !worst then begin
+          r := i;
+          worst := v
+        end
+      done;
+      if !r < 0 then `Feasible
+      else begin
+        let row = !r in
+        let col = ref (-1) and best = ref infinity in
+        for j = 0 to tb.ncols - 1 do
+          if tb.allowed.(j) then begin
+            let a = get tb row j in
+            if a < -.eps then begin
+              let ratio = FA.get tb.cost j /. -.a in
+              if ratio < !best -. eps then begin
+                best := ratio;
+                col := j
+              end
+            end
+          end
+        done;
+        if !col < 0 then `Infeasible
+        else begin
+          pivot tb ~row ~col:!col;
+          Lemur_telemetry.Counter.incr pivots;
+          go (iters + 1)
+        end
+      end
+    end
+  in
+  go 0
+
+(* Rebuild the tableau (no row flips, no artificials: slacks start
+   basic) and re-install a basis from a related solve by Gauss-Jordan
+   pivots. Rows whose desired column cannot be installed keep their
+   slack. Never evicts a desired column already in the basis, so the
+   install is order-insensitive. *)
+let install_basis tb ~warm ~install_pivots =
+  let desired = Array.make tb.ncols false in
+  Array.iter (fun col -> if col >= 0 && col < tb.ncols then desired.(col) <- true) warm;
+  let in_basis = Array.make tb.ncols false in
+  Array.iter (fun col -> in_basis.(col) <- true) tb.basis;
+  Array.iter
+    (fun col ->
+      if col >= 0 && col < tb.ncols && not in_basis.(col) then begin
+        (* Largest eligible pivot for numerical stability. *)
+        let row = ref (-1) and best = ref 1e-7 in
+        for i = 0 to tb.m - 1 do
+          if not desired.(tb.basis.(i)) then begin
+            let v = Float.abs (get tb i col) in
+            if v > !best then begin
+              row := i;
+              best := v
+            end
+          end
+        done;
+        if !row >= 0 then begin
+          in_basis.(tb.basis.(!row)) <- false;
+          pivot tb ~row:!row ~col;
+          in_basis.(col) <- true;
+          Lemur_telemetry.Counter.incr install_pivots
+        end
+      end)
+    warm
+
+let solve_warm ~pricing ~c ~a ~b ~warm tm =
+  let install_pivots =
+    Lemur_telemetry.Telemetry.counter tm "lp.simplex.warm_install_pivots"
+  in
+  let dual_pivots = Lemur_telemetry.Telemetry.counter tm "lp.simplex.warm_dual_pivots" in
+  let warm_pivots = Lemur_telemetry.Telemetry.counter tm "lp.simplex.warm_phase2_pivots" in
+  let fallbacks = Lemur_telemetry.Telemetry.counter tm "lp.simplex.bland_fallbacks" in
+  let m = Array.length b in
+  let n = Array.length c in
+  let ncols = n + m in
+  let stride = ncols + 1 in
+  let tab = FA.make (m * stride) 0.0 in
+  let basis = Array.init (max m 1) (fun i -> n + i) in
+  for i = 0 to m - 1 do
+    let base = i * stride in
+    let row = a.(i) in
+    for j = 0 to n - 1 do
+      FA.unsafe_set tab (base + j) (Array.unsafe_get row j)
+    done;
+    FA.set tab (base + n + i) 1.0;
+    FA.set tab (base + ncols) b.(i)
+  done;
+  let tb =
+    {
+      m;
+      ncols;
+      stride;
+      tab;
+      cost = FA.make stride 0.0;
+      basis;
+      allowed = Array.make (max ncols 1) true;
+    }
+  in
+  install_basis tb ~warm ~install_pivots;
+  (* Reduced costs of phase 2 under the installed basis. *)
+  let cost2 = FA.make stride 0.0 in
+  for j = 0 to n - 1 do
+    FA.set cost2 j (-.c.(j))
+  done;
+  for i = 0 to m - 1 do
+    let bc = tb.basis.(i) in
+    if bc < n then begin
+      let f = FA.get cost2 bc in
+      if f <> 0.0 then begin
+        let base = i * stride in
+        for j = 0 to ncols do
+          FA.set cost2 j (FA.get cost2 j -. (f *. FA.get tab (base + j)))
+        done
+      end
+    end
+  done;
+  tb.cost <- cost2;
+  let feas = 1e-7 *. scale_of b in
+  let primal_feasible =
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      if get tb i ncols < -.feas then ok := false
+    done;
+    !ok
+  in
+  let dual_feasible =
+    let ok = ref true in
+    for j = 0 to ncols - 1 do
+      if FA.get cost2 j < -.eps then ok := false
+    done;
+    !ok
+  in
+  let finish () =
+    match minimize ~pricing ~pivots:warm_pivots ~fallbacks tb with
+    | `Unbounded -> Some (Unbounded, None)
+    | `Optimal -> Some (extract_solution tb ~n ~c, Some (export_basis tb ~n ~m))
+  in
+  if primal_feasible then finish ()
+  else if dual_feasible then
+    match dual_simplex tb ~pivots:dual_pivots ~feas with
+    | `Feasible -> finish ()
+    | `Infeasible -> Some (Infeasible, None)
+    | `Bail -> None
+  else None
+
+(* ------------------------------------------------------------------ *)
+
+let solve_basis ?(pricing = Dantzig) ?warm ~c ~a ~b () =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  Lemur_telemetry.Counter.incr (Lemur_telemetry.Telemetry.counter tm "lp.simplex.solves");
+  let m = Array.length b in
+  let n = Array.length c in
+  assert (Array.length a = m);
+  Array.iter (fun row -> assert (Array.length row = n)) a;
+  match warm with
+  | Some wb when m > 0 -> (
+      Lemur_telemetry.Counter.incr
+        (Lemur_telemetry.Telemetry.counter tm "lp.simplex.warm_solves");
+      let attempt =
+        Lemur_telemetry.Telemetry.time tm
+          (Lemur_telemetry.Telemetry.histogram tm "lp.simplex.warm_ns")
+        @@ fun () -> solve_warm ~pricing ~c ~a ~b ~warm:wb tm
+      in
+      match attempt with
+      | Some r -> r
+      | None ->
+          Lemur_telemetry.Counter.incr
+            (Lemur_telemetry.Telemetry.counter tm "lp.simplex.warm_fallbacks");
+          solve_cold ~pricing ~c ~a ~b tm)
+  | _ -> solve_cold ~pricing ~c ~a ~b tm
+
+let solve ~c ~a ~b = fst (solve_basis ~c ~a ~b ())

@@ -6,7 +6,19 @@
     basic feasible solution with artificial variables). Equality and >=
     rows must be rewritten by the caller ({!Lp} does this).
 
-    The implementation uses Bland's rule to guarantee termination. *)
+    The tableau is a single flat row-major [Float.Array] (unboxed
+    floats, manual indexing) — see [docs/PERFORMANCE.md] for the layout
+    and the measured effect. Pricing defaults to Dantzig's most-negative
+    rule and falls back to Bland's rule automatically after a streak of
+    degenerate pivots, so termination is still guaranteed. *)
+
+type pricing =
+  | Dantzig
+      (** Most negative reduced cost; fewest pivots in practice. Falls
+          back to {!Bland} for anti-cycling after a degenerate streak
+          (counted in the [lp.simplex.bland_fallbacks] telemetry
+          counter), returning to Dantzig on the next improving pivot. *)
+  | Bland  (** Lowest-index rule throughout; never cycles. *)
 
 type result =
   | Optimal of { objective : float; solution : float array }
@@ -15,4 +27,30 @@ type result =
 
 val solve : c:float array -> a:float array array -> b:float array -> result
 (** [solve ~c ~a ~b] with [a] an [m x n] matrix, [b] length [m], [c]
-    length [n]. *)
+    length [n]. Dantzig pricing (with the Bland fallback). *)
+
+val solve_basis :
+  ?pricing:pricing ->
+  ?warm:int array ->
+  c:float array ->
+  a:float array array ->
+  b:float array ->
+  unit ->
+  result * int array option
+(** Like {!solve}, and on [Optimal] also returns the final basis:
+    length-[m] array of basic column indices in this problem's column
+    space — [0..n-1] the original variables, [n..n+m-1] the row slacks
+    ([-1] for a basis slot still held by a phase-1 artificial of a
+    redundant row).
+
+    [warm] seeds the solve with a basis from a related problem (same
+    column space; extra entries and [-1]s are ignored): the tableau is
+    rebuilt with slacks basic, the warm columns are re-installed by
+    Gauss-Jordan pivots, and the solve resumes with primal phase 2 if
+    the warm basis is primal feasible, or a dual-simplex re-solve if it
+    is only dual feasible — the cheap path after tightening a bound on
+    an already-solved problem, which is how {!Lp.solve_milp}
+    branch-and-bound children reuse their parent's basis. If neither
+    holds (or the dual re-solve exceeds its iteration cap) the solver
+    falls back to a cold two-phase solve, counted in
+    [lp.simplex.warm_fallbacks]. *)

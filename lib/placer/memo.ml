@@ -1,0 +1,90 @@
+type value = Cores of int array | Cap of float
+
+let table = ref (Hashtbl.create 512 : (string, value) Hashtbl.t)
+let total_hits = ref 0
+let total_misses = ref 0
+
+(* Telemetry counters of whatever sink is current at generation start;
+   re-fetched on [clear] so a sink installed mid-process is picked up. *)
+let c_hits = ref (Lemur_telemetry.Counter.make "placer.cache.hits")
+let c_misses = ref (Lemur_telemetry.Counter.make "placer.cache.misses")
+
+let rebind_counters () =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  c_hits := Lemur_telemetry.Telemetry.counter tm "placer.cache.hits";
+  c_misses := Lemur_telemetry.Telemetry.counter tm "placer.cache.misses"
+
+(* A generation is one config value: [Plan.config] and everything it
+   references are immutable, so as long as the physically-same record
+   is in play every cached evaluation is still valid. A config that is
+   merely structurally equal (or a [{ config with ... }] ablation copy)
+   is a new generation. Two generations are kept live, LRU-evicted,
+   because the differential harness interleaves the true config with
+   the No-Profiling ablation's blind copy — with a single slot the
+   blind generation would evict the true one right before No Core
+   Alloc re-walks the very coalescing candidates Lemur just
+   evaluated. *)
+let generations : (Plan.config * (string, value) Hashtbl.t) list ref = ref []
+
+let clear () =
+  generations := [];
+  table := Hashtbl.create 512;
+  rebind_counters ()
+
+let ensure config =
+  match !generations with
+  | (c, _) :: _ when c == config -> ()
+  | rest -> (
+      rebind_counters ();
+      match List.partition (fun (c, _) -> c == config) rest with
+      | [ (_, tbl) ], others ->
+          table := tbl;
+          generations := (config, tbl) :: others
+      | _, others ->
+          let tbl = Hashtbl.create 512 in
+          table := tbl;
+          generations := (config, tbl) :: Lemur_util.Listx.take 1 others)
+
+let hit () =
+  incr total_hits;
+  Lemur_telemetry.Counter.incr !c_hits
+
+let miss () =
+  incr total_misses;
+  Lemur_telemetry.Counter.incr !c_misses
+
+let stats () = (!total_hits, !total_misses)
+
+let loc_char = function
+  | Plan.Server -> 's'
+  | Plan.Switch -> 'w'
+  | Plan.Smartnic -> 'n'
+  | Plan.Ofswitch -> 'o'
+
+let plan_sig plan =
+  let locs = plan.Plan.locs in
+  let b = Bytes.create (Array.length locs) in
+  Array.iteri (fun i l -> Bytes.set b i (loc_char l)) locs;
+  plan.Plan.input.Plan.id ^ ":" ^ Bytes.unsafe_to_string b
+
+let cap key f =
+  match Hashtbl.find_opt !table key with
+  | Some (Cap v) ->
+      hit ();
+      v
+  | Some (Cores _) | None ->
+      miss ();
+      let v = f () in
+      Hashtbl.replace !table key (Cap v);
+      v
+
+let cores key f =
+  match Hashtbl.find_opt !table key with
+  | Some (Cores v) ->
+      hit ();
+      Array.copy v
+  | Some (Cap _) | None ->
+      miss ();
+      let v = f () in
+      Hashtbl.replace !table key (Cores (Array.copy v));
+      v

@@ -1,0 +1,49 @@
+(** Generation-scoped memoization of repeated candidate evaluations.
+
+    The search strategies re-evaluate the same candidate many times in
+    one placement generation: coalescing recomputes the pre-move
+    capacity of the {e same} plan for every candidate move, the Optimal
+    enumeration water-fills overlapping (plan, core-count) pairs, and
+    every capacity call walks the subgroup cost model. Those
+    evaluations are pure given a fixed config, so they are cached here
+    behind canonical string keys.
+
+    The cache is scoped to one {e generation} — one physically-identical
+    {!Plan.config} value: {!Strategy.place}, {!Strategy.evaluate_plans}
+    and {!Strategy.lemur_variants} call {!ensure} on entry, which
+    resets the cache whenever the config is not the very record of the
+    previous generation. Keys deliberately omit the config; [config]
+    and everything it references are immutable, so physical identity
+    is a sound generation key, and it lets one scenario's eight
+    strategies share cached evaluations. Cached arrays are copied on
+    both store and hit so callers can mutate their result freely.
+
+    Keys are [<tag>|<chain-id>:<locs>|<extra>] where [<locs>] spells
+    each NF's location as one character ([s]erver, s[w]itch, smart[n]ic,
+    [o]fswitch) — see docs/PERFORMANCE.md. Hits and misses feed both
+    the process-lifetime totals ({!stats}, readable without telemetry)
+    and the [placer.cache.hits] / [placer.cache.misses] counters of the
+    current telemetry sink. *)
+
+val clear : unit -> unit
+(** Unconditionally empty the cache and re-bind the telemetry counters
+    to the current sink. *)
+
+val ensure : Plan.config -> unit
+(** Start a generation for [config]: {!clear}s unless [config] is
+    physically the previous generation's record. *)
+
+val stats : unit -> int * int
+(** Process-lifetime [(hits, misses)] totals across all generations. *)
+
+val plan_sig : Plan.plan -> string
+(** Canonical [<chain-id>:<locs>] signature of a plan, for building
+    cache keys. *)
+
+val cap : string -> (unit -> float) -> float
+(** [cap key f] returns the cached float for [key], computing and
+    storing [f ()] on a miss. *)
+
+val cores : string -> (unit -> int array) -> int array
+(** [cores key f] likewise for core vectors. The stored array is copied
+    on both store and hit, so mutation cannot poison the cache. *)

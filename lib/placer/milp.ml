@@ -40,7 +40,7 @@ let add_le lp a b =
     (a.terms @ List.map (fun (c, v) -> (-.c, v)) b.terms)
     `Le (b.const -. a.const)
 
-let solve ?(max_nodes = 200_000) config inputs =
+let solve ?(max_nodes = 200_000) ?(warm = true) config inputs =
   let tm = Lemur_telemetry.Telemetry.current () in
   Lemur_telemetry.Telemetry.with_span tm "placer.milp.solve" @@ fun () ->
   let lp = Lemur_lp.Lp.create () in
@@ -254,7 +254,7 @@ let solve ?(max_nodes = 200_000) config inputs =
   Lemur_telemetry.Counter.incr
     ~by:(Lemur_lp.Lp.num_constraints lp)
     (Lemur_telemetry.Telemetry.counter tm "placer.milp.constraints");
-  match Lemur_lp.Lp.solve_milp ~max_nodes lp with
+  match Lemur_lp.Lp.solve_milp ~max_nodes ~warm lp with
   | Lemur_lp.Lp.Infeasible | Lemur_lp.Lp.Unbounded -> None
   | Lemur_lp.Lp.Optimal { values; _ } ->
       let rates =

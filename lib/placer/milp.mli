@@ -40,5 +40,13 @@ exception Unsupported of string
     formulation's scope), or NFs with no feasible platform. *)
 
 val solve :
-  ?max_nodes:int -> Plan.config -> Plan.chain_input list -> result option
-(** [None] when the MILP is infeasible. @raise Unsupported. *)
+  ?max_nodes:int ->
+  ?warm:bool ->
+  Plan.config ->
+  Plan.chain_input list ->
+  result option
+(** [None] when the MILP is infeasible. [warm] (default [true]) lets
+    branch-and-bound warm-start child nodes from the parent's basis
+    (see {!Lemur_lp.Lp.solve_milp}); [~warm:false] forces cold per-node
+    solves — the fuzzer's differential baseline.
+    @raise Unsupported. *)

@@ -299,10 +299,13 @@ let merged_subgroup_index plan_after id =
     plan_after.Plan.subgroups
 
 let chain_capacity_ones config plan =
+  Memo.cap ("c1|" ^ Memo.plan_sig plan) @@ fun () ->
   Plan.capacity config plan
     ~cores:(List.map (fun _ -> 1) plan.Plan.subgroups)
 
 let chain_capacity_two_on config plan sg_index =
+  Memo.cap (Printf.sprintf "c2|%s|%d" (Memo.plan_sig plan) sg_index)
+  @@ fun () ->
   Plan.capacity config plan
     ~cores:
       (List.mapi
@@ -313,6 +316,7 @@ let chain_capacity_two_on config plan sg_index =
 let max_capacity config plan =
   (* Capacity if every replicable subgroup got the whole machine —
      an optimistic bound used by aggressive coalescing's SLO test. *)
+  Memo.cap ("mx|" ^ Memo.plan_sig plan) @@ fun () ->
   let total = Lemur_topology.Topology.total_nf_cores config.Plan.topology in
   Plan.capacity config plan
     ~cores:
@@ -401,6 +405,7 @@ let min_bounce_pattern config input =
     plans
 
 let lemur_variants config inputs =
+  Memo.ensure config;
   let base_plans =
     List.map
       (fun input ->
@@ -477,6 +482,7 @@ let lemur_placement ?policy strategy config inputs start =
           | [] -> Infeasible { reason = "no variants" }))
 
 let evaluate_plans strategy config policy plans =
+  Memo.ensure config;
   finalize strategy config policy plans ~elapsed_start:(Unix.gettimeofday ())
 
 (* ------------------------------------------------------------------ *)
@@ -505,6 +511,7 @@ let switch_table_count plan =
    repeatedly grow the capacity-binding subgroup. Stops early when the
    binding subgroup cannot replicate (more cores would be wasted). *)
 let water_fill config plan k =
+  Memo.cores (Printf.sprintf "wf|%s|%d" (Memo.plan_sig plan) k) @@ fun () ->
   let n = List.length plan.Plan.subgroups in
   let sgs = Array.of_list plan.Plan.subgroups in
   let cores = Array.make n 1 in
@@ -587,7 +594,10 @@ let chain_configs config input ~pattern_limit ~core_budget =
                    among equally useful configurations. *)
                 let cap =
                   Float.min
-                    (Plan.capacity config plan ~cores:(Array.to_list cores))
+                    (Memo.cap
+                       (Printf.sprintf "cap|%s|%d" (Memo.plan_sig plan) k)
+                       (fun () ->
+                         Plan.capacity config plan ~cores:(Array.to_list cores)))
                     input.Plan.slo.Lemur_slo.Slo.t_max
                 in
                 Some
@@ -760,6 +770,7 @@ let place strategy config inputs =
   Lemur_telemetry.Telemetry.with_span tm ("placer.place." ^ name strategy)
   @@ fun () ->
   Lemur_telemetry.Counter.incr (Lemur_telemetry.Telemetry.counter tm "placer.places");
+  Memo.ensure config;
   let start = Unix.gettimeofday () in
   try
     match strategy with

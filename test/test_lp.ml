@@ -161,6 +161,156 @@ let test_milp_integrality () =
         (Array.for_all (fun v -> Float.abs (v -. Float.round v) < 1e-6) values)
   | _ -> Alcotest.fail "expected optimal"
 
+(* The standard-form corpus the pricing and warm-start tests sweep:
+   every shape the Lp layer emits (Le/Ge/Eq rows, bounds-as-rows,
+   negative rhs, degeneracy, mixed scales) in raw [Simplex] form. *)
+let simplex_corpus =
+  [
+    ( "basic",
+      [| 3.0; 2.0 |],
+      [| [| 1.0; 1.0 |]; [| 1.0; 3.0 |] |],
+      [| 4.0; 6.0 |] );
+    ( "classic",
+      [| 5.0; 4.0 |],
+      [| [| 6.0; 4.0 |]; [| 1.0; 2.0 |] |],
+      [| 24.0; 6.0 |] );
+    ( "negative rhs",
+      [| -1.0; -1.0 |],
+      [| [| -1.0; -1.0 |]; [| 1.0; 0.0 |]; [| -1.0; 0.0 |] |],
+      [| -3.0; 1.0; -1.0 |] );
+    ( "beale degenerate",
+      [| 10.0; -57.0; -9.0; -24.0 |],
+      [|
+        [| 0.5; -5.5; -2.5; 9.0 |];
+        [| 0.5; -1.5; -0.5; 1.0 |];
+        [| 1.0; 0.0; 0.0; 0.0 |];
+      |],
+      [| 0.0; 0.0; 1.0 |] );
+    ( "mixed scale",
+      [| 1.0; 1.0; 1.0 |],
+      [|
+        [| 2.44; 2.0; 3.0 |];
+        [| -1.0; 0.0; 0.0 |];
+        [| 0.0; -1.0; 0.0 |];
+        [| 0.0; 0.0; -1.0 |];
+      |],
+      [| 40e9; -1.1e9; -3.0e8; -3.0e8 |] );
+    ("infeasible", [| 1.0 |], [| [| -1.0 |]; [| 1.0 |] |], [| -5.0; 2.0 |]);
+    ("unbounded", [| 1.0; 0.0 |], [| [| 1.0; -1.0 |] |], [| 1.0 |]);
+  ]
+
+let test_dantzig_matches_bland () =
+  (* Dantzig pricing (with its Bland anti-cycling fallback) must land on
+     the same optimum — or the same infeasible/unbounded verdict — as
+     pure Bland on every corpus instance. *)
+  List.iter
+    (fun (name, c, a, b) ->
+      let bland = fst (Simplex.solve_basis ~pricing:Simplex.Bland ~c ~a ~b ()) in
+      let dantzig =
+        fst (Simplex.solve_basis ~pricing:Simplex.Dantzig ~c ~a ~b ())
+      in
+      match (bland, dantzig) with
+      | Simplex.Optimal { objective = ob; _ }, Simplex.Optimal { objective = od; _ }
+        ->
+          let scale = Float.max 1.0 (Float.abs ob) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: objectives agree (%g vs %g)" name ob od)
+            true
+            (Float.abs (ob -. od) <= 1e-6 *. scale)
+      | Simplex.Infeasible, Simplex.Infeasible -> ()
+      | Simplex.Unbounded, Simplex.Unbounded -> ()
+      | _ -> Alcotest.failf "%s: pricing rules disagree on outcome class" name)
+    simplex_corpus
+
+let test_warm_basis_reuse () =
+  (* Re-solving from the exported optimal basis must reproduce the cold
+     optimum, both for the identical instance and after nudging the rhs
+     (the branch-and-bound pattern: same rows, tightened bounds). *)
+  List.iter
+    (fun (name, c, a, b) ->
+      match Simplex.solve_basis ~c ~a ~b () with
+      | Simplex.Optimal { objective = cold; _ }, Some basis ->
+          (match Simplex.solve_basis ~warm:basis ~c ~a ~b () with
+          | Simplex.Optimal { objective = warm; _ }, _ ->
+              let scale = Float.max 1.0 (Float.abs cold) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: warm re-solve matches (%g vs %g)" name cold
+                   warm)
+                true
+                (Float.abs (cold -. warm) <= 1e-6 *. scale)
+          | _ -> Alcotest.failf "%s: warm re-solve lost optimality" name);
+          (* Tighten every rhs slightly: the old basis is dual feasible,
+             so the warm path should recover the new optimum too. *)
+          let b' = Array.map (fun bi -> bi -. (0.05 *. Float.abs bi)) b in
+          let cold' = fst (Simplex.solve_basis ~c ~a ~b:b' ()) in
+          let warm' = fst (Simplex.solve_basis ~warm:basis ~c ~a ~b:b' ()) in
+          (match (cold', warm') with
+          | ( Simplex.Optimal { objective = oc; _ },
+              Simplex.Optimal { objective = ow; _ } ) ->
+              let scale = Float.max 1.0 (Float.abs oc) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: warm tightened-rhs matches (%g vs %g)" name
+                   oc ow)
+                true
+                (Float.abs (oc -. ow) <= 1e-6 *. scale)
+          | Simplex.Infeasible, Simplex.Infeasible -> ()
+          | Simplex.Unbounded, Simplex.Unbounded -> ()
+          | _ ->
+              Alcotest.failf "%s: warm and cold disagree after rhs tightening"
+                name)
+      | Simplex.Optimal _, None ->
+          Alcotest.failf "%s: optimal solve exported no basis" name
+      | (Simplex.Infeasible | Simplex.Unbounded), _ -> ())
+    simplex_corpus
+
+let test_milp_warm_matches_cold () =
+  (* Warm-started branch and bound may explore a different tree (equal
+     optima change the most-fractional branch) but must reach the same
+     objective as the cold solver on every instance. *)
+  let knapsack () =
+    let p = Lp.create () in
+    let mk name = Lp.add_var p ~ub:1.0 ~integer:true ~name () in
+    let a = mk "a" and b = mk "b" and c = mk "c" and d = mk "d" in
+    Lp.add_constraint p [ (5.0, a); (7.0, b); (4.0, c); (3.0, d) ] `Le 14.0;
+    Lp.set_objective p ~maximize:true
+      [ (8.0, a); (11.0, b); (6.0, c); (4.0, d) ];
+    p
+  in
+  let integrality () =
+    let p = Lp.create () in
+    let x = Lp.add_var p ~integer:true ~name:"x" () in
+    let y = Lp.add_var p ~integer:true ~name:"y" () in
+    Lp.add_constraint p [ (2.0, x); (2.0, y) ] `Le 5.0;
+    Lp.set_objective p ~maximize:true [ (1.0, x); (1.0, y) ];
+    p
+  in
+  let mixed () =
+    (* Integer cores alongside a continuous rate, the placer's shape. *)
+    let p = Lp.create () in
+    let k1 = Lp.add_var p ~lb:1.0 ~ub:8.0 ~integer:true ~name:"k1" () in
+    let k2 = Lp.add_var p ~lb:1.0 ~ub:8.0 ~integer:true ~name:"k2" () in
+    let r = Lp.add_var p ~ub:20.0 ~name:"r" () in
+    Lp.add_constraint p [ (1.0, k1); (1.0, k2) ] `Le 10.0;
+    Lp.add_constraint p [ (1.0, r); (-2.5, k1) ] `Le 0.0;
+    Lp.add_constraint p [ (1.0, r); (-3.5, k2) ] `Le 0.0;
+    Lp.set_objective p ~maximize:true
+      [ (1.0, r); (-0.1, k1); (-0.1, k2) ];
+    p
+  in
+  List.iter
+    (fun (name, mk) ->
+      let cold = Lp.solve_milp ~warm:false (mk ()) in
+      let warm = Lp.solve_milp ~warm:true (mk ()) in
+      match (cold, warm) with
+      | Lp.Optimal { objective = oc; _ }, Lp.Optimal { objective = ow; _ } ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "%s: warm matches cold" name)
+            oc ow
+      | Lp.Infeasible, Lp.Infeasible -> ()
+      | Lp.Unbounded, Lp.Unbounded -> ()
+      | _ -> Alcotest.failf "%s: warm and cold disagree on outcome class" name)
+    [ ("knapsack", knapsack); ("integrality", integrality); ("mixed", mixed) ]
+
 (* Random-LP property: simplex objective matches a brute-force grid search
    within discretization error, and never reports a worse solution. *)
 let qcheck_cases =
@@ -234,5 +384,8 @@ let suite =
     Alcotest.test_case "mixed-scale regression" `Quick test_mixed_scale_regression;
     Alcotest.test_case "milp knapsack" `Quick test_milp_knapsack;
     Alcotest.test_case "milp integrality" `Quick test_milp_integrality;
+    Alcotest.test_case "dantzig matches bland" `Quick test_dantzig_matches_bland;
+    Alcotest.test_case "warm basis reuse" `Quick test_warm_basis_reuse;
+    Alcotest.test_case "milp warm matches cold" `Quick test_milp_warm_matches_cold;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases

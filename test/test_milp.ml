@@ -122,6 +122,37 @@ let test_generated_instances () =
     (Printf.sprintf "enough instances compared (%d)" !compared)
     true (!compared >= 20)
 
+let test_warm_matches_cold_instances () =
+  (* Warm-started branch and bound must agree with the cold solver on
+     feasibility and objective for every generated instance; the trees
+     explored may differ (equal-objective vertices steer most-fractional
+     branching differently), so only the verdicts are compared. *)
+  let compared = ref 0 in
+  for seed = 1 to 30 do
+    let c, inputs = Lemur_check.Scenario.milp_instance ~seed in
+    match
+      (Milp.solve ~warm:false c inputs, Milp.solve ~warm:true c inputs)
+    with
+    | Some cold, Some warm ->
+        incr compared;
+        let scale = Float.max 1.0 (Float.abs cold.Milp.objective) in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: warm objective matches cold (%.4fG vs %.4fG)"
+             seed
+             (cold.Milp.objective /. 1e9)
+             (warm.Milp.objective /. 1e9))
+          true
+          (Float.abs (cold.Milp.objective -. warm.Milp.objective)
+          <= 1e-6 *. scale)
+    | None, None -> ()
+    | Some _, None | None, Some _ ->
+        Alcotest.failf "seed %d: warm and cold disagree on feasibility" seed
+    | exception Milp.Unsupported _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough instances compared (%d)" !compared)
+    true (!compared >= 15)
+
 let suite =
   [
     Alcotest.test_case "single chain" `Quick test_single_chain;
@@ -131,4 +162,6 @@ let suite =
     Alcotest.test_case "rejects unsupported chains" `Quick test_rejects_unsupported;
     Alcotest.test_case "stage budget forces eviction" `Quick test_stage_budget_forces_eviction;
     Alcotest.test_case "50 generated instances vs search" `Slow test_generated_instances;
+    Alcotest.test_case "warm matches cold on generated instances" `Slow
+      test_warm_matches_cold_instances;
   ]
