@@ -815,6 +815,7 @@ let () =
      not a paper experiment; it owns its own flags and exit code. *)
   (match Array.to_list Sys.argv with
   | _ :: "perf" :: rest -> exit (Perf.main rest)
+  | _ :: "runtime" :: rest -> exit (Runtime_bench.main rest)
   | _ -> ());
   let telemetry_dir, argv_rest =
     match Array.to_list Sys.argv with

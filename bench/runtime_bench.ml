@@ -1,0 +1,196 @@
+(* The runtime-control-loop bench behind `dune exec bench/main.exe -- runtime`:
+   drives one fixed-seed generated trace through the engine under each
+   policy (oracle on), writes BENCH_runtime.json, and gates the
+   policy tradeoff the runtime exists to provide:
+
+   - determinism: two identical immediate-policy runs must produce the
+     same report digest;
+   - every intermediate deployment must pass the placement oracle (the
+     engine errors out otherwise);
+   - debouncing must pay for itself: >= 2x fewer reconfigurations than
+     the immediate policy, for a bounded violation-seconds premium.
+
+   Reconfiguration and violation counts are deterministic given the
+   seeds; decision-latency numbers are wall clock and reported for
+   trending only. *)
+
+module Trace = Lemur_runtime.Trace
+module Engine = Lemur_runtime.Engine
+module Policy = Lemur_runtime.Policy
+module Report = Lemur_runtime.Report
+module Json = Lemur_telemetry.Json
+
+let default_seed = 11
+let default_events = 200
+
+(* The debounced policy may spend at most this many extra chain-seconds
+   in violation compared to immediate, per chain-second immediate spends
+   plus an absolute floor — "bounded" from the acceptance criteria made
+   concrete. *)
+let violation_premium_abs = 0.10
+let violation_premium_rel = 1.5
+
+let latency_stats latencies =
+  match latencies with
+  | [] -> (0.0, 0.0, 0.0)
+  | l ->
+      let sorted = List.sort Float.compare l in
+      let n = List.length sorted in
+      let mean = List.fold_left ( +. ) 0.0 sorted /. float_of_int n in
+      let nth p = List.nth sorted (min (n - 1) (p * n / 100)) in
+      (mean, nth 50, nth 99)
+
+let policy_json name (r : Report.t) digest =
+  let mean, p50, p99 = latency_stats r.Report.decision_latency_s in
+  Json.Obj
+    [
+      ("policy", Json.String name);
+      ("reconfigs", Json.Int r.Report.reconfigs);
+      ("events_applied", Json.Int r.Report.events_applied);
+      ("events_rejected", Json.Int r.Report.events_rejected);
+      ("epochs", Json.Int r.Report.epochs);
+      ("violation_s", Json.Float r.Report.total_violation_s);
+      ("marginal_bits", Json.Float r.Report.total_marginal_bits);
+      ("decision_latency_mean_s", Json.Float mean);
+      ("decision_latency_p50_s", Json.Float p50);
+      ("decision_latency_p99_s", Json.Float p99);
+      ("digest", Json.String digest);
+      ( "stop",
+        Json.String
+          (match r.Report.stop with
+          | Report.Completed -> "completed"
+          | Report.Aborted _ -> "aborted") );
+    ]
+
+let main args =
+  let seed = ref default_seed
+  and events = ref default_events
+  and out = ref "BENCH_runtime.json" in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--events" :: v :: rest ->
+        events := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | arg :: _ -> Error arg
+  in
+  match parse args with
+  | Error arg ->
+      Printf.eprintf
+        "bench runtime: unknown argument %S\n\
+         usage: bench -- runtime [--seed N] [--events N] [--out FILE]\n"
+        arg;
+      2
+  | Ok () -> (
+      let trace = Trace.generate ~events:!events ~seed:!seed () in
+      Printf.printf
+        "## runtime: control-loop policies on trace seed %d (%d events, %d \
+         chains, %.3fs horizon)\n"
+        !seed !events
+        (List.length trace.Trace.chains)
+        trace.Trace.horizon;
+      let drive policy =
+        let cfg =
+          Engine.default_config ~policy ~seed:!seed
+            ~check:Lemur_check.Runtime_check.checker ()
+        in
+        match Engine.run cfg trace with
+        | Ok (report, _) -> Ok report
+        | Error e -> Error (Engine.error_to_string e)
+      in
+      let run_all =
+        let policies =
+          [
+            ("immediate", Policy.Immediate);
+            ("debounced", Policy.default_debounced);
+            ("scheduled", Policy.Scheduled);
+          ]
+        in
+        List.fold_left
+          (fun acc (name, p) ->
+            Result.bind acc (fun rs ->
+                match drive p with
+                | Ok r -> Ok (rs @ [ (name, r) ])
+                | Error e -> Error (name ^ ": " ^ e)))
+          (Ok []) policies
+      in
+      match run_all with
+      | Error e ->
+          Printf.eprintf "bench runtime: %s\n" e;
+          1
+      | Ok results ->
+          let digest name = Report.digest (List.assoc name results) in
+          (* determinism gate: replay immediate and compare digests *)
+          let replay_digest =
+            match drive Policy.Immediate with
+            | Ok r -> Report.digest r
+            | Error e -> e
+          in
+          let table =
+            Lemur_util.Texttable.create
+              ~headers:
+                [
+                  "policy"; "reconfigs"; "violation (chain-s)";
+                  "marginal (Gbit)"; "decision mean (ms)";
+                ]
+          in
+          List.iter
+            (fun (name, (r : Report.t)) ->
+              let mean, _, _ = latency_stats r.Report.decision_latency_s in
+              Lemur_util.Texttable.add_row table
+                [
+                  name;
+                  string_of_int r.Report.reconfigs;
+                  Printf.sprintf "%.4f" r.Report.total_violation_s;
+                  Printf.sprintf "%.2f" (r.Report.total_marginal_bits /. 1e9);
+                  Printf.sprintf "%.2f" (mean *. 1000.0);
+                ])
+            results;
+          Lemur_util.Texttable.print table;
+          let imm = List.assoc "immediate" results in
+          let deb = List.assoc "debounced" results in
+          let deterministic = String.equal (digest "immediate") replay_digest in
+          let ratio_ok =
+            deb.Report.reconfigs * 2 <= imm.Report.reconfigs
+          in
+          let budget =
+            violation_premium_abs
+            +. (violation_premium_rel *. imm.Report.total_violation_s)
+          in
+          let premium_ok = deb.Report.total_violation_s <= budget in
+          Printf.printf
+            "determinism: %s\nreconfig ratio: %d vs %d (%s)\n\
+             violation premium: %.4f vs budget %.4f chain-s (%s)\n"
+            (if deterministic then "ok" else "DIGEST MISMATCH")
+            imm.Report.reconfigs deb.Report.reconfigs
+            (if ratio_ok then "ok, >=2x fewer" else "FAILED: < 2x")
+            deb.Report.total_violation_s budget
+            (if premium_ok then "ok" else "FAILED");
+          let doc =
+            Json.Obj
+              [
+                ("schema", Json.String "lemur.bench.runtime/1");
+                ("trace_seed", Json.Int !seed);
+                ("trace_events", Json.Int !events);
+                ("horizon_s", Json.Float trace.Trace.horizon);
+                ( "policies",
+                  Json.List
+                    (List.map
+                       (fun (name, r) -> policy_json name r (digest name))
+                       results) );
+                ("deterministic", Json.Bool deterministic);
+                ("reconfig_ratio_ok", Json.Bool ratio_ok);
+                ("violation_premium_ok", Json.Bool premium_ok);
+              ]
+          in
+          let oc = open_out !out in
+          output_string oc (Json.to_string doc);
+          output_string oc "\n";
+          close_out oc;
+          Printf.printf "wrote %s\n" !out;
+          if deterministic && ratio_ok && premium_ok then 0 else 1)

@@ -3,6 +3,8 @@
      lemur place   <spec.lemur>   compute and print a placement
      lemur compile <spec.lemur>   run the meta-compiler, print artifacts
      lemur run     <spec.lemur>   place, compile, simulate, report SLOs
+     lemur run     --trace FILE   drive the online control loop over a trace
+     lemur trace                  generate / echo runtime traces
      lemur nfs                    list the NF vocabulary (Table 3)
 
    Common options select the rack: --servers N, --cores-per-socket N,
@@ -161,37 +163,228 @@ let compile_cmd =
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
       $ no_pisa $ metron $ full $ telemetry $ spec_file)
 
+(* ------------------------------------------------------------------ *)
+(* Runtime (control-loop) options, shared by [run] and [trace]          *)
+
+let policy_conv =
+  let parse s =
+    match Lemur_runtime.Policy.parse s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Lemur_runtime.Policy.to_string p)
+  in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Lemur_runtime.Policy.Immediate
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Reconfiguration policy: $(b,immediate), \
+           $(b,debounced[:BUDGET_MS[:COOLDOWN_MS]]), or $(b,scheduled) \
+           (precomputed per-window placements, mandatory events only).")
+
+let trace_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-seed" ] ~docv:"N"
+        ~doc:"Generate the input trace deterministically from this seed.")
+
+let trace_events_arg =
+  Arg.(
+    value & opt int 60
+    & info [ "trace-events" ] ~docv:"N"
+        ~doc:"Event count for generated traces.")
+
+let load_trace trace_file trace_seed trace_events =
+  match (trace_file, trace_seed) with
+  | Some _, Some _ -> Error "--trace and --trace-seed are mutually exclusive"
+  | Some file, None -> Lemur_runtime.Trace.parse (read_file file)
+  | None, Some seed ->
+      Ok (Lemur_runtime.Trace.generate ~events:trace_events ~seed ())
+  | None, None -> Error "no trace: pass --trace FILE or --trace-seed N"
+
+let runtime_run ~policy ~engine_seed ~sample_ms ~no_check ~report_file trace =
+  let check =
+    if no_check then None else Some Lemur_check.Runtime_check.checker
+  in
+  let cfg =
+    Lemur_runtime.Engine.default_config ~policy ~seed:engine_seed
+      ~sample:(Lemur_util.Units.ms sample_ms) ?check ()
+  in
+  match Lemur_runtime.Engine.run cfg trace with
+  | Error e ->
+      Printf.eprintf "error: %s\n" (Lemur_runtime.Engine.error_to_string e);
+      1
+  | Ok (report, _) ->
+      Format.printf "%a@." Lemur_runtime.Report.pp report;
+      Printf.printf "report digest: %s\n" (Lemur_runtime.Report.digest report);
+      (match report_file with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Lemur_telemetry.Json.to_string
+               (Lemur_runtime.Report.to_json report));
+          output_string oc "\n";
+          close_out oc);
+      (match report.Lemur_runtime.Report.stop with
+      | Lemur_runtime.Report.Completed -> 0
+      | Lemur_runtime.Report.Aborted _ -> 2)
+
 let run_cmd =
   let duration =
     Arg.(
       value & opt float 50.0
       & info [ "duration" ] ~docv:"MS" ~doc:"Simulated measurement window (ms).")
   in
-  let run strategy servers cps smartnic ofswitch no_pisa metron duration tfile file =
+  let spec_opt =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"SPEC"
+          ~doc:"Chain specification file (one-shot mode; omit with --trace).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Drive the online control loop over this event trace instead of \
+             a one-shot simulation. See docs/RUNTIME.md for the format.")
+  in
+  let engine_seed =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"N" ~doc:"Control-loop sampling seed.")
+  in
+  let sample_ms =
+    Arg.(
+      value & opt float 10.0
+      & info [ "sample" ] ~docv:"MS"
+          ~doc:"Simulated window sampled per epoch (trace mode, ms).")
+  in
+  let no_check =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:
+            "Skip the placement-oracle check on intermediate deployments \
+             (trace mode; the check is on by default).")
+  in
+  let report_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the JSON compliance report to $(docv) (trace mode).")
+  in
+  let run strategy servers cps smartnic ofswitch no_pisa metron duration
+      trace_file trace_seed trace_events policy engine_seed sample_ms no_check
+      report_file tfile file =
     with_telemetry tfile @@ fun () ->
-    let topo = topology servers cps smartnic ofswitch no_pisa in
-    match deploy strategy topo metron file with
+    match (trace_file, trace_seed, file) with
+    | (Some _, _, _ | _, Some _, _) when file <> None ->
+        Printf.eprintf "error: a SPEC file and a trace are mutually exclusive\n";
+        1
+    | (Some _, _, _ | _, Some _, _) -> (
+        match load_trace trace_file trace_seed trace_events with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            1
+        | Ok trace ->
+            runtime_run ~policy ~engine_seed ~sample_ms ~no_check ~report_file
+              trace)
+    | None, None, None ->
+        Printf.eprintf "error: pass a SPEC file, or --trace / --trace-seed\n";
+        1
+    | None, None, Some file -> (
+        let topo = topology servers cps smartnic ofswitch no_pisa in
+        match deploy strategy topo metron file with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            1
+        | Ok d ->
+            let result =
+              Lemur.Deployment.measure ~duration:(Lemur_util.Units.ms duration) d
+            in
+            Format.printf "%a" Lemur_dataplane.Sim.pp_result result;
+            let all_met = ref true in
+            List.iter
+              (fun (id, ok, measured, t_min) ->
+                if not ok then all_met := false;
+                Printf.printf "SLO %s: %s (measured %.2f Gbps, t_min %.2f Gbps)\n"
+                  id
+                  (if ok then "met" else "VIOLATED")
+                  (measured /. 1e9) (t_min /. 1e9))
+              (Lemur.Deployment.slo_report d result);
+            if !all_met then 0 else 2)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Place, compile, and execute on the packet-level simulator — one \
+          shot from a SPEC file, or as an online control loop over an event \
+          trace (--trace / --trace-seed).")
+    Term.(
+      const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
+      $ no_pisa $ metron $ duration $ trace_file $ trace_seed_arg
+      $ trace_events_arg $ policy_arg $ engine_seed $ sample_ms $ no_check
+      $ report_file $ telemetry $ spec_opt)
+
+let trace_cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let input =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Re-echo (parse, normalize, print) an existing trace file \
+             instead of generating one — a round-trip validator.")
+  in
+  let run seed events out input =
+    let trace =
+      match input with
+      | Some file -> Lemur_runtime.Trace.parse (read_file file)
+      | None -> Ok (Lemur_runtime.Trace.generate ~events ~seed ())
+    in
+    match trace with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
         1
-    | Ok d ->
-        let result = Lemur.Deployment.measure ~duration:(Lemur_util.Units.ms duration) d in
-        Format.printf "%a" Lemur_dataplane.Sim.pp_result result;
-        let all_met = ref true in
-        List.iter
-          (fun (id, ok, measured, t_min) ->
-            if not ok then all_met := false;
-            Printf.printf "SLO %s: %s (measured %.2f Gbps, t_min %.2f Gbps)\n" id
-              (if ok then "met" else "VIOLATED")
-              (measured /. 1e9) (t_min /. 1e9))
-          (Lemur.Deployment.slo_report d result);
-        if !all_met then 0 else 2
+    | Ok t -> (
+        let text = Lemur_runtime.Trace.to_string t in
+        match out with
+        | None ->
+            print_string text;
+            0
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            0)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Place, compile, and execute on the packet-level simulator.")
-    Term.(
-      const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
-      $ no_pisa $ metron $ duration $ telemetry $ spec_file)
+    (Cmd.info "trace"
+       ~doc:
+         "Generate a deterministic runtime event trace from a seed, or \
+          validate an existing one by round-tripping it.")
+    Term.(const run $ seed $ trace_events_arg $ out $ input)
 
 let failover_cmd =
   let fail_arg =
@@ -288,14 +481,35 @@ let fuzz_cmd =
       & info [ "max-failures" ] ~docv:"N"
           ~doc:"Stop after this many failing scenarios.")
   in
-  let run seed count shrink thorough no_sim max_failures tfile =
+  let runtime =
+    Arg.(
+      value & flag
+      & info [ "runtime" ]
+          ~doc:
+            "Fuzz the online control loop instead of the placement \
+             strategies: drive generated event traces through the engine \
+             under every policy with the placement oracle hooked in, \
+             checking report determinism, and shrink failures to a minimal \
+             event sequence.")
+  in
+  let run seed count shrink thorough no_sim max_failures runtime events tfile =
     with_telemetry tfile @@ fun () ->
-    let summary =
-      Lemur_check.Fuzz.run ~quick:(not thorough) ~sim:(not no_sim) ~shrink
-        ~max_failures ~seed ~count ()
-    in
-    Format.printf "%a" Lemur_check.Fuzz.pp_summary summary;
-    if Lemur_check.Fuzz.ok summary then 0 else 1
+    if runtime then begin
+      let summary =
+        Lemur_check.Runtime_check.run ~events ~shrink ~max_failures ~seed
+          ~count ()
+      in
+      Format.printf "%a@." Lemur_check.Runtime_check.pp_summary summary;
+      if Lemur_check.Runtime_check.ok summary then 0 else 1
+    end
+    else begin
+      let summary =
+        Lemur_check.Fuzz.run ~quick:(not thorough) ~sim:(not no_sim) ~shrink
+          ~max_failures ~seed ~count ()
+      in
+      Format.printf "%a" Lemur_check.Fuzz.pp_summary summary;
+      if Lemur_check.Fuzz.ok summary then 0 else 1
+    end
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -303,10 +517,12 @@ let fuzz_cmd =
          "Differentially check placement strategies on generated scenarios: \
           every feasible placement must pass the independent constraint \
           oracle, no strategy may beat the brute-force Optimal search, and \
-          the simulator must deliver each accepted SLO floor.")
+          the simulator must deliver each accepted SLO floor. With \
+          $(b,--runtime), fuzz the online control loop on generated event \
+          traces instead.")
     Term.(
       const run $ seed $ count $ shrink $ thorough $ no_sim $ max_failures
-      $ telemetry)
+      $ runtime $ trace_events_arg $ telemetry)
 
 let nfs_cmd =
   let run () =
@@ -338,4 +554,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ place_cmd; compile_cmd; run_cmd; failover_cmd; fuzz_cmd; nfs_cmd ]))
+          [
+            place_cmd; compile_cmd; run_cmd; trace_cmd; failover_cmd; fuzz_cmd;
+            nfs_cmd;
+          ]))

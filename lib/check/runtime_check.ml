@@ -1,0 +1,167 @@
+module Trace = Lemur_runtime.Trace
+module Engine = Lemur_runtime.Engine
+module Policy = Lemur_runtime.Policy
+module Report = Lemur_runtime.Report
+
+let checker (d : Lemur.Deployment.t) =
+  match Oracle.check_deployment d with
+  | Ok () -> Ok ()
+  | Error violations ->
+      Error
+        (String.concat ", "
+           (List.map
+              (fun v -> Format.asprintf "%a" Oracle.pp_violation v)
+              violations))
+
+type failure = {
+  rf_seed : int;
+  rf_policy : string;
+  rf_reason : string;
+  rf_events : int;
+  rf_shrunk : Trace.t option;
+}
+
+type summary = {
+  rs_traces : int;
+  rs_runs : int;
+  rs_skipped_infeasible : int;
+  rs_aborted : int;
+  rs_reconfigs : int;
+  rs_failures : failure list;
+}
+
+let policies = [ Policy.Immediate; Policy.default_debounced; Policy.Scheduled ]
+
+(* One engine run, classified. The oracle is always on — that is the
+   property under test. *)
+type verdict =
+  | Fine of Report.t
+  | Skip of string  (** initial placement infeasible *)
+  | Fail of string
+
+let drive ~seed policy trace =
+  let cfg = Engine.default_config ~policy ~seed ~check:checker () in
+  match Engine.run cfg trace with
+  | Ok (report, _) -> Fine report
+  | Error (Engine.Initial_infeasible e) -> Skip e
+  | Error (Engine.Trace_invalid e) -> Fail ("generated an invalid trace: " ^ e)
+  | Error (Engine.Oracle_rejected { at; reason }) ->
+      Fail (Printf.sprintf "oracle rejected deployment at %.3fs: %s" at reason)
+  | exception e -> Fail ("engine raised: " ^ Printexc.to_string e)
+
+let fails ~seed policy trace =
+  match drive ~seed policy trace with Fail r -> Some r | Fine _ | Skip _ -> None
+
+(* Greedy event-sequence minimization: drop events one at a time as long
+   as the run keeps failing. *)
+let shrink_trace ~seed policy trace =
+  let rec go trace i =
+    let evs = trace.Trace.events in
+    if i >= List.length evs then trace
+    else
+      let cand =
+        { trace with Trace.events = List.filteri (fun j _ -> j <> i) evs }
+      in
+      match fails ~seed policy cand with
+      | Some _ -> go cand i
+      | None -> go trace (i + 1)
+  in
+  go trace 0
+
+let run ?(events = 60) ?(shrink = false) ?(max_failures = 5) ~seed ~count () =
+  let traces = ref 0
+  and runs = ref 0
+  and skipped = ref 0
+  and aborted = ref 0
+  and reconfigs = ref 0
+  and failures = ref [] in
+  let note_report (r : Report.t) =
+    reconfigs := !reconfigs + r.Report.reconfigs;
+    match r.Report.stop with
+    | Report.Aborted _ -> incr aborted
+    | Report.Completed -> ()
+  in
+  let fail trace_seed trace policy reason =
+    let rf_shrunk =
+      if shrink then Some (shrink_trace ~seed:trace_seed policy trace)
+      else None
+    in
+    failures :=
+      {
+        rf_seed = trace_seed;
+        rf_policy = Policy.to_string policy;
+        rf_reason = reason;
+        rf_events = List.length trace.Trace.events;
+        rf_shrunk;
+      }
+      :: !failures
+  in
+  let s = ref seed in
+  while !traces < count && List.length !failures < max_failures do
+    let trace_seed = !s in
+    incr s;
+    incr traces;
+    let trace = Trace.generate ~events ~seed:trace_seed () in
+    let rec per_policy first = function
+      | [] -> ()
+      | policy :: rest -> (
+          incr runs;
+          match drive ~seed:trace_seed policy trace with
+          | Skip _ ->
+              (* policy-independent: the trace has no valid start *)
+              if first then incr skipped
+          | Fail reason -> fail trace_seed trace policy reason
+          | Fine report ->
+              note_report report;
+              (if first then begin
+                 (* determinism: an identical rerun must produce an
+                    identical report digest *)
+                 incr runs;
+                 match drive ~seed:trace_seed policy trace with
+                 | Fine report' ->
+                     if
+                       not
+                         (String.equal (Report.digest report)
+                            (Report.digest report'))
+                     then
+                       fail trace_seed trace policy
+                         (Printf.sprintf "nondeterministic digest: %s vs %s"
+                            (Report.digest report) (Report.digest report'))
+                 | Skip _ | Fail _ ->
+                     fail trace_seed trace policy
+                       "nondeterministic outcome on identical rerun"
+               end);
+              per_policy false rest)
+    in
+    per_policy true policies
+  done;
+  {
+    rs_traces = !traces;
+    rs_runs = !runs;
+    rs_skipped_infeasible = !skipped;
+    rs_aborted = !aborted;
+    rs_reconfigs = !reconfigs;
+    rs_failures = List.rev !failures;
+  }
+
+let ok s = s.rs_failures = []
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf
+        "FAILURE seed %d policy %s (%d events): %s@ " f.rf_seed f.rf_policy
+        f.rf_events f.rf_reason;
+      match f.rf_shrunk with
+      | None -> ()
+      | Some t ->
+          Format.fprintf ppf
+            "  shrunk to %d events; replay with:@ @[<v 2>  %a@]@ "
+            (List.length t.Trace.events) Trace.pp t)
+    s.rs_failures;
+  Format.fprintf ppf
+    "%d traces (%d engine runs): %d skipped as initially infeasible, %d \
+     legal aborts, %d reconfigurations, %d failures@]"
+    s.rs_traces s.rs_runs s.rs_skipped_infeasible s.rs_aborted s.rs_reconfigs
+    (List.length s.rs_failures)

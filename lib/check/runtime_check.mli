@@ -1,0 +1,55 @@
+(** Differential fuzzing of the {!Lemur_runtime.Engine} control loop.
+
+    The property under test: {e whatever} a trace throws at it, the
+    controller never operates a deployment the placement {!Oracle}
+    rejects, never crashes, and its report is bit-deterministic. Traces
+    come from {!Lemur_runtime.Trace.generate} (seed-replayable, in the
+    {!Scenario} style); each is driven under every policy with the
+    oracle hooked into the engine, and the first policy is run twice to
+    compare report digests. Traces whose initial chain set has no
+    feasible placement are skipped (nothing to operate), and
+    mandatory-infeasible aborts are counted but are legal outcomes —
+    only an oracle rejection, a crash, or digest drift is a failure.
+
+    Failures shrink greedily to a minimal event sequence: events are
+    dropped one at a time (keeping the topology, initial chains and
+    windows) as long as the run still fails the same way. *)
+
+val checker : Lemur.Deployment.t -> (unit, string) result
+(** {!Oracle.check_deployment} rendered for the engine's [check] hook:
+    violations become one comma-separated diagnostic string. *)
+
+type failure = {
+  rf_seed : int;
+  rf_policy : string;
+  rf_reason : string;
+  rf_events : int;  (** event count of the generated trace *)
+  rf_shrunk : Lemur_runtime.Trace.t option;
+      (** minimal still-failing trace, when shrinking was on *)
+}
+
+type summary = {
+  rs_traces : int;
+  rs_runs : int;  (** (trace, policy) engine runs, including replays *)
+  rs_skipped_infeasible : int;
+  rs_aborted : int;  (** legal mandatory-infeasible stops *)
+  rs_reconfigs : int;  (** total across all runs *)
+  rs_failures : failure list;
+}
+
+val run :
+  ?events:int ->
+  ?shrink:bool ->
+  ?max_failures:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Traces are generated from seeds [seed .. seed+count-1] with
+    [events] events each (default 60). The loop stops early once
+    [max_failures] (default 5) traces have failed. [shrink] (default
+    [false]) minimizes each failing trace's event sequence. *)
+
+val ok : summary -> bool
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -23,7 +23,16 @@ val apply : Deployment.t -> event -> (Deployment.t, string) result
     updated chain set. Unknown chain ids in [Slo_changed] /
     [Chain_removed] are an [Error]; so is removing the last chain. *)
 
+val apply_batch : Deployment.t -> event list -> (Deployment.t, string) result
+(** Validate every event against the evolving chain set — an [Error]
+    carries {!apply}'s message for the offending event, prefixed with
+    its position and kind — then recompute the placement {e once} for
+    the final set. [n] events cost one placer run instead of [n], and a
+    sequence whose intermediate chain sets are infeasible but whose
+    final set is feasible now succeeds. *)
+
 val apply_all : Deployment.t -> event list -> (Deployment.t, string) result
+(** Alias of {!apply_batch}. *)
 
 (** Precomputed placements for time-varying SLOs. *)
 module Schedule : sig

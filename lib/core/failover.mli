@@ -22,6 +22,21 @@ val react : Deployment.t -> failure -> (Deployment.t, string) result
     rack. [Error] if no feasible fallback exists (e.g. an SLO that only
     the accelerator could satisfy). *)
 
+val recover :
+  ?reference:Lemur_topology.Topology.t ->
+  Deployment.t ->
+  failure ->
+  (Deployment.t, string) result
+(** The failure→recovery path {!react} lacks: restore the failed
+    element by copying it back from [reference] (default: the paper's
+    testbed rack, {!Lemur_topology.Topology.testbed}[ ()]) and re-place
+    the deployment's chains on the repaired rack. Restored servers and
+    SmartNICs keep the reference's order, so a degrade/recover
+    round-trip reproduces the original topology; a recovered server
+    brings its own SmartNICs back with it. [Error] when the element is
+    not in a failed state, the reference rack does not contain it, or
+    no feasible placement exists on the repaired rack. *)
+
 val proactive :
   Lemur_placer.Plan.config ->
   Lemur_placer.Plan.chain_input list ->

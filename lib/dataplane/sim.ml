@@ -159,8 +159,8 @@ let demux_cycles_per_pkt = 150.0
 type traffic = Long_lived | Short_flows
 
 let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
-    ?(batch_pkts = 32) ?(overdrive = 1.08) ?(traffic = Long_lived) ~config
-    ~placement () =
+    ?(batch_pkts = 32) ?(overdrive = 1.08) ?(traffic = Long_lived)
+    ?(offered = []) ~config ~placement () =
   let tm = Lemur_telemetry.Telemetry.current () in
   Lemur_telemetry.Telemetry.with_span tm "dataplane.sim.run" @@ fun () ->
   let prng = Prng.create ~seed in
@@ -222,9 +222,15 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
              topo.Lemur_topology.Topology.tor.Lemur_platform.Pisa.port_capacity
            in
            let offered =
-             Float.min
-               (Float.min (report.Strategy.rate *. overdrive) slo.Lemur_slo.Slo.t_max)
-               port_cap
+             match List.assoc_opt chain_id offered with
+             | Some r ->
+                 Float.min (Float.min (Float.max r 0.0) slo.Lemur_slo.Slo.t_max)
+                   port_cap
+             | None ->
+                 Float.min
+                   (Float.min (report.Strategy.rate *. overdrive)
+                      slo.Lemur_slo.Slo.t_max)
+                   port_cap
            in
            {
              report;

@@ -45,6 +45,7 @@ val run :
   ?batch_pkts:int ->
   ?overdrive:float ->
   ?traffic:traffic ->
+  ?offered:(string * float) list ->
   config:Lemur_placer.Plan.config ->
   placement:Lemur_placer.Strategy.placement ->
   unit ->
@@ -52,6 +53,12 @@ val run :
 (** Defaults: seed 7, duration 50 ms, warmup 5 ms, 32-packet batches,
     overdrive 1.08 (each chain is offered [overdrive x] its LP-allocated
     rate, capped at [t_max], to expose whether the placement actually
-    sustains its allocation). *)
+    sustains its allocation).
+
+    [offered] overrides the generator's per-chain offered rate (bit/s)
+    for the chains it lists — still capped at the chain's [t_max] and
+    the ToR port rate, but ignoring [overdrive] and the LP allocation.
+    A rate of [0] silences the chain. The runtime control loop uses
+    this to replay measured demand instead of planned load. *)
 
 val pp_result : Format.formatter -> result -> unit

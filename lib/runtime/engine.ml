@@ -1,0 +1,523 @@
+open Lemur_placer
+
+type config = {
+  policy : Policy.t;
+  seed : int;
+  sample : float;
+  check : (Lemur.Deployment.t -> (unit, string) result) option;
+  demand_aware : bool;
+}
+
+let default_config ?(policy = Policy.Immediate) ?(seed = 11) ?(sample = 1e7)
+    ?check ?(demand_aware = true) () =
+  { policy; seed; sample; check; demand_aware }
+
+type error =
+  | Trace_invalid of string
+  | Initial_infeasible of string
+  | Oracle_rejected of { at : float; reason : string }
+
+let error_to_string = function
+  | Trace_invalid e -> "invalid trace: " ^ e
+  | Initial_infeasible e -> "initial placement infeasible: " ^ e
+  | Oracle_rejected { at; reason } ->
+      Printf.sprintf "oracle rejected deployment at %.3fs: %s" at reason
+
+exception Abort_run of { at : float; reason : string }
+exception Oracle_fail of { at : float; reason : string }
+
+(* Per-chain controller model: the contract is what the operator signed,
+   the demand is the last observed offered rate. The deployed SLO is
+   derived from both (plus the active window) at each re-placement. *)
+type chain_state = {
+  graph : Lemur_spec.Graph.t;
+  mutable contract : Lemur_slo.Slo.t;
+  mutable demand : float option;
+}
+
+type compliance_acc = {
+  mutable thr_s : float;
+  mutable lat_s : float;
+  mutable marginal : float;
+  mutable delivered : float;
+}
+
+(* Does the current placement put anything on the failed element? If
+   not, the deployment keeps operating and re-placement is deferrable. *)
+let failure_used (d : Lemur.Deployment.t) topo failure =
+  let reports = d.Lemur.Deployment.placement.Strategy.chain_reports in
+  let any p = List.exists p reports in
+  let uses_smartnic =
+    any (fun r -> r.Strategy.plan.Plan.smartnic_nodes <> [])
+  in
+  match failure with
+  | Lemur.Failover.Pisa_failed ->
+      any (fun r ->
+          Array.exists (fun l -> l = Plan.Switch) r.Strategy.plan.Plan.locs)
+  | Lemur.Failover.Smartnic_failed -> uses_smartnic
+  | Lemur.Failover.Ofswitch_failed ->
+      any (fun r -> r.Strategy.plan.Plan.ofswitch_nodes <> [])
+  | Lemur.Failover.Server_failed name ->
+      any (fun r ->
+          List.exists (fun (_, s) -> String.equal s name) r.Strategy.seg_server)
+      || uses_smartnic
+         && List.exists
+              (fun n -> String.equal n.Lemur_platform.Smartnic.host name)
+              topo.Lemur_topology.Topology.smartnics
+
+let run cfg (trace : Trace.t) =
+  let tele = Lemur_telemetry.Telemetry.current () in
+  let c_events = Lemur_telemetry.Telemetry.counter tele "runtime.events" in
+  let c_rejected =
+    Lemur_telemetry.Telemetry.counter tele "runtime.events.rejected"
+  in
+  let c_reconfigs =
+    Lemur_telemetry.Telemetry.counter tele "runtime.reconfigs"
+  in
+  let c_epochs = Lemur_telemetry.Telemetry.counter tele "runtime.epochs" in
+  let c_violations =
+    Lemur_telemetry.Telemetry.counter tele "runtime.violations"
+  in
+  let h_decision =
+    Lemur_telemetry.Telemetry.histogram tele "runtime.decision_latency_ns"
+  in
+  match Trace.initial_inputs trace with
+  | Error e -> Error (Trace_invalid e)
+  | Ok inputs0 -> (
+      let base_config = Trace.config trace in
+      let pristine = base_config.Plan.topology in
+      let prng = Lemur_util.Prng.create ~seed:cfg.seed in
+      (* Mutable controller state *)
+      let chains =
+        ref
+          (List.map
+             (fun (i : Plan.chain_input) ->
+               ( i.Plan.id,
+                 { graph = i.Plan.graph; contract = i.Plan.slo; demand = None }
+               ))
+             inputs0)
+      in
+      let cur_config = ref base_config in
+      let failed = ref [] in
+      let window = ref None in
+      let schedule = ref None in
+      let pstate = Policy.initial_state () in
+      let now = ref 0.0 in
+      (* Accumulators *)
+      let journal = ref [] in
+      let add_journal e = journal := e :: !journal in
+      let applied = ref 0 and rejected = ref 0 in
+      let epochs = ref 0 in
+      let reconfigs = ref 0 in
+      let reasons : (string, int) Hashtbl.t = Hashtbl.create 7 in
+      let compliance : (string, compliance_acc) Hashtbl.t = Hashtbl.create 7 in
+      let latencies = ref [] in
+      let mark_applied at action =
+        incr applied;
+        Lemur_telemetry.Counter.incr c_events;
+        add_journal
+          (Report.Applied
+             { at; what = Format.asprintf "%a" Trace.pp_action action })
+      in
+      let reject at action reason =
+        incr rejected;
+        Lemur_telemetry.Counter.incr c_rejected;
+        add_journal
+          (Report.Rejected
+             { at; what = Format.asprintf "%a" Trace.pp_action action; reason })
+      in
+      let effective_slo id (c : chain_state) =
+        let slo =
+          match !window with
+          | None -> c.contract
+          | Some label -> (
+              match
+                Option.bind
+                  (List.assoc_opt label trace.Trace.windows)
+                  (List.assoc_opt id)
+              with
+              | Some s -> s
+              | None -> c.contract)
+        in
+        if not cfg.demand_aware then slo
+        else
+          match c.demand with
+          | None -> slo
+          | Some r ->
+              (* never below t_min (the contract stands), never a
+                 degenerate 0 ceiling when the chain idles *)
+              let cap = Float.max 1e6 (Float.max r slo.Lemur_slo.Slo.t_min) in
+              {
+                slo with
+                Lemur_slo.Slo.t_max = Float.min slo.Lemur_slo.Slo.t_max cap;
+              }
+      in
+      let effective_inputs () =
+        List.map
+          (fun (id, c) ->
+            { Plan.id; graph = c.graph; slo = effective_slo id c })
+          !chains
+      in
+      let contract_inputs () =
+        List.map
+          (fun (id, c) -> { Plan.id; graph = c.graph; slo = c.contract })
+          !chains
+      in
+      let oracle at (d : Lemur.Deployment.t) =
+        match cfg.check with
+        | None -> ()
+        | Some check -> (
+            match check d with
+            | Ok () -> ()
+            | Error reason -> raise (Oracle_fail { at; reason }))
+      in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        let dt = Unix.gettimeofday () -. t0 in
+        latencies := dt :: !latencies;
+        Lemur_telemetry.Histogram.record h_decision (dt *. 1e9);
+        r
+      in
+      let initial =
+        timed (fun () -> Lemur.Deployment.deploy base_config inputs0)
+      in
+      match initial with
+      | Error e -> Error (Initial_infeasible e)
+      | Ok d0 ->
+          let deployment = ref d0 in
+          let outcome =
+            try
+              oracle 0.0 d0;
+            let note_reconfig at reason (d : Lemur.Deployment.t) =
+              deployment := d;
+              incr reconfigs;
+              Lemur_telemetry.Counter.incr c_reconfigs;
+              Hashtbl.replace reasons reason
+                (1 + Option.value ~default:0 (Hashtbl.find_opt reasons reason));
+              add_journal
+                (Report.Reconfigured
+                   {
+                     at;
+                     reason;
+                     chains =
+                       List.length
+                         d.Lemur.Deployment.placement.Strategy.chain_reports;
+                     predicted_rate =
+                       d.Lemur.Deployment.placement.Strategy.total_rate;
+                   });
+              Policy.note_reconfig pstate ~now:at
+            in
+            let reconfigure ~at ~mandatory ~reason =
+              let result =
+                timed (fun () ->
+                    Lemur.Deployment.deploy !cur_config (effective_inputs ()))
+              in
+              match result with
+              | Ok d ->
+                  oracle at d;
+                  note_reconfig at reason d
+              | Error e ->
+                  if mandatory then
+                    raise
+                      (Abort_run
+                         { at; reason = Printf.sprintf "%s: %s" reason e })
+                  else
+                    add_journal
+                      (Report.Infeasible { at; reason = reason ^ ": " ^ e })
+            in
+            let consider ~at ~trigger ~reason =
+              if Policy.decide cfg.policy pstate ~now:at trigger then
+                reconfigure ~at
+                  ~mandatory:(trigger = Policy.Mandatory)
+                  ~reason
+              else
+                add_journal
+                  (Report.Deferred
+                     { at; trigger = Policy.trigger_name trigger })
+            in
+            (* Install a precomputed per-window placement (§7
+               time-varying SLOs) — the Scheduled policy's only
+               voluntary reconfiguration path. *)
+            let install_window ~at label =
+              let sched =
+                match !schedule with
+                | Some s -> Ok s
+                | None ->
+                    let windows =
+                      List.map
+                        (fun (label, slos) ->
+                          { Lemur.Dynamics.Schedule.label; slos })
+                        trace.Trace.windows
+                    in
+                    timed (fun () ->
+                        match
+                          Lemur.Dynamics.Schedule.precompute !cur_config
+                            (contract_inputs ()) windows
+                        with
+                        | Ok s ->
+                            schedule := Some s;
+                            Ok s
+                        | Error e -> Error e)
+              in
+              match sched with
+              | Error e ->
+                  add_journal
+                    (Report.Infeasible { at; reason = "schedule: " ^ e })
+              | Ok s -> (
+                  match Lemur.Dynamics.Schedule.deployment s label with
+                  | None ->
+                      add_journal
+                        (Report.Infeasible
+                           {
+                             at;
+                             reason =
+                               Printf.sprintf "window %s not in schedule"
+                                 label;
+                           })
+                  | Some d ->
+                      oracle at d;
+                      note_reconfig at "window-install" d)
+            in
+            let sample_epoch until =
+              let len = until -. !now in
+              if len > 1e-12 then begin
+                let seed = Lemur_util.Prng.int prng 0x3FFFFFFF in
+                let demand =
+                  List.filter_map
+                    (fun (id, c) -> Option.map (fun r -> (id, r)) c.demand)
+                    !chains
+                in
+                let ep =
+                  Monitor.observe ~seed ~sample:cfg.sample ~demand ~start:!now
+                    ~len !deployment
+                in
+                incr epochs;
+                Lemur_telemetry.Counter.incr c_epochs;
+                List.iter
+                  (fun (o : Monitor.chain_obs) ->
+                    let acc =
+                      match Hashtbl.find_opt compliance o.Monitor.co_id with
+                      | Some a -> a
+                      | None ->
+                          let a =
+                            {
+                              thr_s = 0.0;
+                              lat_s = 0.0;
+                              marginal = 0.0;
+                              delivered = 0.0;
+                            }
+                          in
+                          Hashtbl.add compliance o.Monitor.co_id a;
+                          a
+                    in
+                    acc.marginal <- acc.marginal +. (o.Monitor.co_marginal *. len);
+                    acc.delivered <-
+                      acc.delivered +. (o.Monitor.co_delivered *. len);
+                    if o.Monitor.co_throughput_violated then begin
+                      acc.thr_s <- acc.thr_s +. len;
+                      Lemur_telemetry.Counter.incr c_violations;
+                      add_journal
+                        (Report.Violation
+                           {
+                             at = !now;
+                             chain = o.Monitor.co_id;
+                             kind = "throughput";
+                             seconds = len;
+                           })
+                    end;
+                    if o.Monitor.co_latency_violated then begin
+                      acc.lat_s <- acc.lat_s +. len;
+                      Lemur_telemetry.Counter.incr c_violations;
+                      add_journal
+                        (Report.Violation
+                           {
+                             at = !now;
+                             chain = o.Monitor.co_id;
+                             kind = "latency";
+                             seconds = len;
+                           })
+                    end)
+                  ep.Monitor.ep_obs;
+                Policy.note_violation pstate (Monitor.violation_seconds ep)
+              end
+            in
+            let invalidate_schedule () = schedule := None in
+            let handle at action =
+              match action with
+              | Trace.Traffic { chain_id; rate } -> (
+                  match List.assoc_opt chain_id !chains with
+                  | None ->
+                      reject at action
+                        (Printf.sprintf "unknown chain %S" chain_id)
+                  | Some c ->
+                      c.demand <- Some rate;
+                      mark_applied at action;
+                      if cfg.demand_aware then
+                        consider ~at ~trigger:Policy.Traffic_shift
+                          ~reason:"traffic-shift")
+              | Trace.Set_slo { chain_id; slo } -> (
+                  match List.assoc_opt chain_id !chains with
+                  | None ->
+                      reject at action
+                        (Printf.sprintf "unknown chain %S" chain_id)
+                  | Some c ->
+                      c.contract <- slo;
+                      invalidate_schedule ();
+                      mark_applied at action;
+                      consider ~at ~trigger:Policy.Structural
+                        ~reason:"slo-change")
+              | Trace.Add_chain { decl } -> (
+                  match Trace.parse_chain_decl decl with
+                  | Error e -> reject at action e
+                  | Ok input ->
+                      if List.mem_assoc input.Plan.id !chains then
+                        reject at action
+                          (Printf.sprintf "chain %S already deployed"
+                             input.Plan.id)
+                      else begin
+                        chains :=
+                          !chains
+                          @ [
+                              ( input.Plan.id,
+                                {
+                                  graph = input.Plan.graph;
+                                  contract = input.Plan.slo;
+                                  demand = None;
+                                } );
+                            ];
+                        invalidate_schedule ();
+                        mark_applied at action;
+                        consider ~at ~trigger:Policy.Mandatory
+                          ~reason:"chain-added"
+                      end)
+              | Trace.Remove_chain id ->
+                  if not (List.mem_assoc id !chains) then
+                    reject at action (Printf.sprintf "unknown chain %S" id)
+                  else if List.length !chains = 1 then
+                    reject at action "cannot remove the last chain"
+                  else begin
+                    chains :=
+                      List.filter (fun (i, _) -> not (String.equal i id))
+                        !chains;
+                    invalidate_schedule ();
+                    mark_applied at action;
+                    consider ~at ~trigger:Policy.Mandatory
+                      ~reason:"chain-removed"
+                  end
+              | Trace.Fail f -> (
+                  let topo = !cur_config.Plan.topology in
+                  match Lemur.Failover.degrade topo f with
+                  | Error e -> reject at action e
+                  | Ok topo' ->
+                      let used = failure_used !deployment topo f in
+                      failed := f :: !failed;
+                      cur_config :=
+                        { !cur_config with Plan.topology = topo' };
+                      invalidate_schedule ();
+                      mark_applied at action;
+                      consider ~at
+                        ~trigger:
+                          (if used then Policy.Mandatory else Policy.Structural)
+                        ~reason:"failure")
+              | Trace.Recover f ->
+                  if not (List.mem f !failed) then
+                    reject at action "element is not failed"
+                  else begin
+                    let remaining = List.filter (fun g -> g <> f) !failed in
+                    (* Rebuild the degraded rack from the pristine one so
+                       recovery order never matters. *)
+                    match
+                      List.fold_left
+                        (fun acc g ->
+                          Result.bind acc (fun t ->
+                              Lemur.Failover.degrade t g))
+                        (Ok pristine) (List.rev remaining)
+                    with
+                    | Error e -> reject at action ("cannot restore rack: " ^ e)
+                    | Ok topo' ->
+                        failed := remaining;
+                        cur_config :=
+                          { !cur_config with Plan.topology = topo' };
+                        invalidate_schedule ();
+                        mark_applied at action;
+                        consider ~at ~trigger:Policy.Structural
+                          ~reason:"recovery"
+                  end
+              | Trace.Window label -> (
+                  match List.assoc_opt label trace.Trace.windows with
+                  | None ->
+                      reject at action
+                        (Printf.sprintf "unknown window %S" label)
+                  | Some _ -> (
+                      window := Some label;
+                      mark_applied at action;
+                      match cfg.policy with
+                      | Policy.Scheduled -> install_window ~at label
+                      | _ ->
+                          consider ~at ~trigger:Policy.Structural
+                            ~reason:"window"))
+            in
+            List.iter
+              (fun (ev : Trace.event) ->
+                sample_epoch ev.Trace.at;
+                now := ev.Trace.at;
+                handle ev.Trace.at ev.Trace.action)
+              trace.Trace.events;
+            sample_epoch trace.Trace.horizon;
+            now := trace.Trace.horizon;
+            Ok Report.Completed
+            with
+            | Abort_run { at; reason } ->
+                add_journal (Report.Infeasible { at; reason });
+                Ok (Report.Aborted { at; reason })
+            | Oracle_fail { at; reason } ->
+                Error (Oracle_rejected { at; reason })
+          in
+          (match outcome with
+          | Error e -> Error e
+          | Ok stop ->
+            let chains_compliance =
+              Hashtbl.fold
+                (fun id acc l ->
+                  {
+                    Report.cc_id = id;
+                    cc_throughput_violation_s = acc.thr_s;
+                    cc_latency_violation_s = acc.lat_s;
+                    cc_marginal_bits = acc.marginal;
+                    cc_delivered_bits = acc.delivered;
+                  }
+                  :: l)
+                compliance []
+              |> List.sort (fun a b ->
+                     String.compare a.Report.cc_id b.Report.cc_id)
+            in
+            let report =
+              {
+                Report.policy = Policy.to_string cfg.policy;
+                seed = cfg.seed;
+                horizon = trace.Trace.horizon;
+                events_applied = !applied;
+                events_rejected = !rejected;
+                epochs = !epochs;
+                reconfigs = !reconfigs;
+                reconfig_reasons =
+                  Hashtbl.fold (fun r n l -> (r, n) :: l) reasons []
+                  |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+                chains = chains_compliance;
+                total_violation_s =
+                  List.fold_left
+                    (fun s c ->
+                      s +. c.Report.cc_throughput_violation_s
+                      +. c.Report.cc_latency_violation_s)
+                    0.0 chains_compliance;
+                total_marginal_bits =
+                  List.fold_left
+                    (fun s c -> s +. c.Report.cc_marginal_bits)
+                    0.0 chains_compliance;
+                decision_latency_s = List.rev !latencies;
+                journal = List.rev !journal;
+                stop;
+              }
+            in
+              Ok (report, !deployment)))

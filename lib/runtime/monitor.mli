@@ -1,0 +1,56 @@
+(** SLO compliance measurement — violations detected from {e measured}
+    output, not plan predictions.
+
+    The Placer's numbers are conservative worst-case predictions; what
+    the operator is accountable for is what the dataplane delivers. The
+    monitor samples each epoch (a maximal interval with constant
+    deployment and demand) on {!Lemur_dataplane.Sim} at the epoch's
+    offered rates and classifies every chain against its deployed SLO:
+
+    - {e throughput}: delivered rate below [min (offered, t_min)] (the
+      floor only binds up to what was actually offered), with the same
+      2% tolerance as {!Lemur.Deployment.slo_report};
+    - {e latency}: measured p99 above [d_max].
+
+    One sample window stands in for the whole epoch: violation-seconds
+    and marginal-throughput integrals scale the sampled verdict by the
+    epoch's wall length. *)
+
+type chain_obs = {
+  co_id : string;
+  co_offered : float;  (** bit/s offered to the chain this epoch *)
+  co_delivered : float;  (** bit/s measured at egress *)
+  co_p99_latency : float;  (** ns *)
+  co_t_min : float;
+  co_d_max : float;
+  co_throughput_violated : bool;
+  co_latency_violated : bool;
+  co_marginal : float;  (** bit/s delivered above [t_min], >= 0 *)
+}
+
+type epoch = {
+  ep_start : float;  (** seconds into the run *)
+  ep_len : float;  (** seconds *)
+  ep_obs : chain_obs list;  (** deployment order *)
+}
+
+val tolerance : float
+(** 0.98 — matches {!Lemur.Deployment.slo_report}. *)
+
+val observe :
+  seed:int ->
+  sample:float ->
+  demand:(string * float) list ->
+  start:float ->
+  len:float ->
+  Lemur.Deployment.t ->
+  epoch
+(** Sample the deployment for [sample] simulated nanoseconds with each
+    chain offered its demand (chains absent from [demand] are offered
+    their LP-allocated rate). Deterministic in [seed]. *)
+
+val violated : epoch -> chain_obs list
+val violation_seconds : epoch -> float
+(** Σ over violated chains of the epoch length (chain-seconds). *)
+
+val pp_epoch : Format.formatter -> epoch -> unit

@@ -1,0 +1,67 @@
+type t =
+  | Immediate
+  | Debounced of { budget_s : float; cooldown_s : float }
+  | Scheduled
+
+let default_debounced = Debounced { budget_s = 0.030; cooldown_s = 0.020 }
+
+type trigger = Mandatory | Structural | Traffic_shift | Violations
+
+type state = { mutable violation_s : float; mutable last_reconfig : float }
+
+let initial_state () = { violation_s = 0.0; last_reconfig = 0.0 }
+let note_violation state s = state.violation_s <- state.violation_s +. s
+
+let note_reconfig state ~now =
+  state.violation_s <- 0.0;
+  state.last_reconfig <- now
+
+let decide t state ~now trigger =
+  match (t, trigger) with
+  | _, Mandatory -> true
+  | Immediate, _ -> true
+  | Debounced { budget_s; cooldown_s }, (Structural | Traffic_shift | Violations) ->
+      state.violation_s > budget_s && now -. state.last_reconfig >= cooldown_s
+  | Scheduled, _ -> false
+
+let name = function
+  | Immediate -> "immediate"
+  | Debounced _ -> "debounced"
+  | Scheduled -> "scheduled"
+
+let to_string = function
+  | Immediate -> "immediate"
+  | Scheduled -> "scheduled"
+  | Debounced { budget_s; cooldown_s } ->
+      Printf.sprintf "debounced:%g:%g" (budget_s *. 1000.0) (cooldown_s *. 1000.0)
+
+let parse s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "immediate" ] -> Ok Immediate
+  | [ "scheduled" ] -> Ok Scheduled
+  | [ "debounced" ] -> Ok default_debounced
+  | [ "debounced"; budget ] | [ "debounced"; budget; "" ] -> (
+      match float_of_string_opt budget with
+      | Some b when b >= 0.0 ->
+          Ok (Debounced { budget_s = b /. 1000.0; cooldown_s = 0.020 })
+      | _ -> Error (Printf.sprintf "bad debounce budget %S (ms expected)" budget))
+  | [ "debounced"; budget; cooldown ] -> (
+      match (float_of_string_opt budget, float_of_string_opt cooldown) with
+      | Some b, Some c when b >= 0.0 && c >= 0.0 ->
+          Ok (Debounced { budget_s = b /. 1000.0; cooldown_s = c /. 1000.0 })
+      | _ ->
+          Error
+            (Printf.sprintf "bad debounce parameters %S:%S (ms expected)" budget
+               cooldown))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown policy %S (immediate, debounced[:BUDGET_MS[:COOLDOWN_MS]], \
+            scheduled)"
+           s)
+
+let trigger_name = function
+  | Mandatory -> "mandatory"
+  | Structural -> "structural"
+  | Traffic_shift -> "traffic"
+  | Violations -> "violations"

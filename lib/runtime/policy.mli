@@ -1,0 +1,64 @@
+(** Reconfiguration policies: {e when} the control loop re-runs the
+    Placer.
+
+    Re-placement is cheap for the Placer (milliseconds) but expensive
+    for the deployment — the orchestration layer must migrate flow
+    state, reprogram the switch, and drain cores — so the controller
+    trades reconfiguration count against SLO violation time:
+
+    - [Immediate] reacts to everything: every structural event, every
+      traffic shift, every violating epoch triggers a re-placement.
+      Minimum violation-seconds, maximum churn.
+    - [Debounced] applies hysteresis: a configurable budget of
+      violation-seconds must accumulate (and a cooldown elapse since
+      the last reconfiguration) before the controller acts. Structural
+      edits it can defer (SLO changes, recoveries, traffic) wait for
+      the budget; only mandatory events (chain add/remove, a failure
+      the deployment depends on) bypass it.
+    - [Scheduled] only reconfigures on {!Lemur.Dynamics.Schedule}
+      window switches (installing precomputed placements) and on
+      mandatory events.
+
+    Mandatory triggers are always honoured regardless of policy — the
+    controller never keeps serving a chain set or rack that no longer
+    exists. *)
+
+type t =
+  | Immediate
+  | Debounced of { budget_s : float;  (** violation-seconds tolerated *)
+                   cooldown_s : float  (** min gap between reconfigs *) }
+  | Scheduled
+
+val default_debounced : t
+(** 30 ms budget, 20 ms cooldown. *)
+
+(** Why the engine is consulting the policy. *)
+type trigger =
+  | Mandatory  (** chain set or used hardware changed; never deferrable *)
+  | Structural  (** placement inputs changed, old deployment still valid *)
+  | Traffic_shift  (** offered load moved; placement inputs unchanged *)
+  | Violations  (** the last epoch violated at least one SLO *)
+
+type state = {
+  mutable violation_s : float;  (** accumulated since the last reconfig *)
+  mutable last_reconfig : float;
+}
+
+val initial_state : unit -> state
+val note_violation : state -> float -> unit
+val note_reconfig : state -> now:float -> unit
+(** Resets the violation budget and stamps the cooldown clock. *)
+
+val decide : t -> state -> now:float -> trigger -> bool
+
+val parse : string -> (t, string) result
+(** ["immediate"], ["scheduled"], ["debounced"], or
+    ["debounced:BUDGET_MS"] / ["debounced:BUDGET_MS:COOLDOWN_MS"]. *)
+
+val name : t -> string
+(** Stable short name: [immediate], [debounced], [scheduled]. *)
+
+val to_string : t -> string
+(** [name] plus parameters, parseable by {!parse}. *)
+
+val trigger_name : trigger -> string

@@ -1,0 +1,148 @@
+module Json = Lemur_telemetry.Json
+
+type journal_entry =
+  | Applied of { at : float; what : string }
+  | Rejected of { at : float; what : string; reason : string }
+  | Violation of { at : float; chain : string; kind : string; seconds : float }
+  | Reconfigured of {
+      at : float;
+      reason : string;
+      chains : int;
+      predicted_rate : float;
+    }
+  | Deferred of { at : float; trigger : string }
+  | Infeasible of { at : float; reason : string }
+
+type chain_compliance = {
+  cc_id : string;
+  cc_throughput_violation_s : float;
+  cc_latency_violation_s : float;
+  cc_marginal_bits : float;
+  cc_delivered_bits : float;
+}
+
+type stop = Completed | Aborted of { at : float; reason : string }
+
+type t = {
+  policy : string;
+  seed : int;
+  horizon : float;
+  events_applied : int;
+  events_rejected : int;
+  epochs : int;
+  reconfigs : int;
+  reconfig_reasons : (string * int) list;
+  chains : chain_compliance list;
+  total_violation_s : float;
+  total_marginal_bits : float;
+  decision_latency_s : float list;
+  journal : journal_entry list;
+  stop : stop;
+}
+
+let entry_json = function
+  | Applied { at; what } ->
+      Json.Obj [ ("e", Json.String "applied"); ("at", Json.Float at);
+                 ("what", Json.String what) ]
+  | Rejected { at; what; reason } ->
+      Json.Obj [ ("e", Json.String "rejected"); ("at", Json.Float at);
+                 ("what", Json.String what); ("reason", Json.String reason) ]
+  | Violation { at; chain; kind; seconds } ->
+      Json.Obj [ ("e", Json.String "violation"); ("at", Json.Float at);
+                 ("chain", Json.String chain); ("kind", Json.String kind);
+                 ("seconds", Json.Float seconds) ]
+  | Reconfigured { at; reason; chains; predicted_rate } ->
+      Json.Obj [ ("e", Json.String "reconfigured"); ("at", Json.Float at);
+                 ("reason", Json.String reason); ("chains", Json.Int chains);
+                 ("predicted_rate", Json.Float predicted_rate) ]
+  | Deferred { at; trigger } ->
+      Json.Obj [ ("e", Json.String "deferred"); ("at", Json.Float at);
+                 ("trigger", Json.String trigger) ]
+  | Infeasible { at; reason } ->
+      Json.Obj [ ("e", Json.String "infeasible"); ("at", Json.Float at);
+                 ("reason", Json.String reason) ]
+
+let chain_json cc =
+  Json.Obj
+    [
+      ("id", Json.String cc.cc_id);
+      ("throughput_violation_s", Json.Float cc.cc_throughput_violation_s);
+      ("latency_violation_s", Json.Float cc.cc_latency_violation_s);
+      ("marginal_bits", Json.Float cc.cc_marginal_bits);
+      ("delivered_bits", Json.Float cc.cc_delivered_bits);
+    ]
+
+let stop_json = function
+  | Completed -> Json.Obj [ ("kind", Json.String "completed") ]
+  | Aborted { at; reason } ->
+      Json.Obj [ ("kind", Json.String "aborted"); ("at", Json.Float at);
+                 ("reason", Json.String reason) ]
+
+let json_core ?(latencies = true) t =
+  let base =
+    [
+      ("schema", Json.String "lemur.runtime/1");
+      ("policy", Json.String t.policy);
+      ("seed", Json.Int t.seed);
+      ("horizon_s", Json.Float t.horizon);
+      ("events_applied", Json.Int t.events_applied);
+      ("events_rejected", Json.Int t.events_rejected);
+      ("epochs", Json.Int t.epochs);
+      ("reconfigs", Json.Int t.reconfigs);
+      ( "reconfig_reasons",
+        Json.Obj (List.map (fun (r, n) -> (r, Json.Int n)) t.reconfig_reasons)
+      );
+      ("chains", Json.List (List.map chain_json t.chains));
+      ("total_violation_s", Json.Float t.total_violation_s);
+      ("total_marginal_bits", Json.Float t.total_marginal_bits);
+      ("stop", stop_json t.stop);
+      ("journal", Json.List (List.map entry_json t.journal));
+    ]
+  in
+  let latency_field =
+    if latencies then
+      [ ( "decision_latency_s",
+          Json.List (List.map (fun l -> Json.Float l) t.decision_latency_s) )
+      ]
+    else []
+  in
+  Json.Obj (base @ latency_field)
+
+let to_json t = json_core ~latencies:true t
+
+let digest t =
+  Digest.to_hex
+    (Digest.string (Json.to_string ~pretty:false (json_core ~latencies:false t)))
+
+let summary t =
+  let stop =
+    match t.stop with
+    | Completed -> "completed"
+    | Aborted { at; reason } ->
+        Printf.sprintf "ABORTED at %.3fs (%s)" at reason
+  in
+  Printf.sprintf
+    "policy %s: %d events applied (%d rejected) over %.3fs in %d epochs; %d \
+     reconfigurations; %.4f chain-seconds of SLO violation; %.3e marginal \
+     bits; %s"
+    t.policy t.events_applied t.events_rejected t.horizon t.epochs t.reconfigs
+    t.total_violation_s t.total_marginal_bits stop
+
+let pp_entry ppf = function
+  | Applied { at; what } -> Format.fprintf ppf "%8.3f  apply   %s" at what
+  | Rejected { at; what; reason } ->
+      Format.fprintf ppf "%8.3f  reject  %s (%s)" at what reason
+  | Violation { at; chain; kind; seconds } ->
+      Format.fprintf ppf "%8.3f  violate %s %s (%.4fs)" at chain kind seconds
+  | Reconfigured { at; reason; chains; predicted_rate } ->
+      Format.fprintf ppf "%8.3f  replace %d chains on %s, predicted %a" at
+        chains reason Lemur_util.Units.pp_rate predicted_rate
+  | Deferred { at; trigger } ->
+      Format.fprintf ppf "%8.3f  defer   %s" at trigger
+  | Infeasible { at; reason } ->
+      Format.fprintf ppf "%8.3f  infeas  %s" at reason
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@ @ journal:@ " (summary t);
+  List.iter (fun e -> Format.fprintf ppf "  %a@ " pp_entry e) t.journal;
+  Format.fprintf ppf "@]"

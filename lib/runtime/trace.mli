@@ -1,0 +1,80 @@
+(** Timestamped event traces — the input of the {!Engine} control loop.
+
+    A trace is a complete description of a run: the rack, the initial
+    chain set (in the specification language), optional time-varying SLO
+    windows, and a time-ordered stream of events — per-chain offered-rate
+    changes, {!Lemur.Dynamics.event}-shaped chain/SLO edits, hardware
+    failures and recoveries, and window switches.
+
+    Traces exist in three forms that all round-trip: a line-oriented text
+    file ({!parse} / {!to_string}, format documented in
+    [docs/RUNTIME.md]), the in-memory {!t}, and a deterministic seeded
+    generator ({!generate}) in the [Lemur_check.Scenario] style — equal
+    seeds yield equal traces, so any runtime fuzz failure replays from
+    its seed alone. *)
+
+type action =
+  | Traffic of { chain_id : string; rate : float }
+      (** the chain's offered load becomes [rate] bit/s *)
+  | Set_slo of { chain_id : string; slo : Lemur_slo.Slo.t }
+  | Add_chain of { decl : string }
+      (** a chain declaration in the spec language, sans the leading
+          [chain] keyword: ["x0 slo(tmin='1Gbps') = ACL -> NAT"] *)
+  | Remove_chain of string
+  | Fail of Lemur.Failover.failure
+  | Recover of Lemur.Failover.failure
+  | Window of string  (** switch to the named SLO window *)
+
+type event = { at : float;  (** seconds since the start of the run *)
+               action : action }
+
+(** Rack knobs, mirroring the CLI's topology options. *)
+type topo_spec = {
+  servers : int;
+  cores_per_socket : int;
+  smartnic : bool;
+  ofswitch : bool;
+  no_pisa : bool;
+  metron : bool;
+}
+
+type t = {
+  seed : int option;  (** generator seed, when generated; informational *)
+  topo : topo_spec;
+  chains : string list;
+      (** initial chain declarations (spec language, sans [chain]) *)
+  windows : (string * (string * Lemur_slo.Slo.t) list) list;
+      (** label -> per-chain SLO overrides ({!Lemur.Dynamics.Schedule}
+          windows) *)
+  events : event list;  (** sorted by [at], ascending *)
+  horizon : float;  (** run length, seconds *)
+}
+
+val topology : t -> Lemur_topology.Topology.t
+val config : t -> Lemur_placer.Plan.config
+
+val initial_inputs : t -> (Lemur_placer.Plan.chain_input list, string) result
+(** Parse the initial chain declarations. *)
+
+val parse_chain_decl : string -> (Lemur_placer.Plan.chain_input, string) result
+(** Parse one [Add_chain]-style declaration. *)
+
+val dynamics_event : action -> (Lemur.Dynamics.event, string) result option
+(** The {!Lemur.Dynamics.event} behind a structural action ([Set_slo],
+    [Add_chain], [Remove_chain]); [None] for the rest. *)
+
+val parse : string -> (t, string) result
+(** Parse the text format; [Error] names the offending line. *)
+
+val to_string : t -> string
+(** Render to the text format. [parse (to_string t)] re-reads an equal
+    trace (floats are printed round-trip exactly). *)
+
+val generate : ?events:int -> seed:int -> unit -> t
+(** A random but deterministic trace: a feasible-leaning topology and
+    chain set, two SLO windows, and [events] (default 60) drawn from a
+    churn mix — mostly traffic ramps, with SLO changes, chain
+    add/remove, failure/recovery pairs and window switches. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_action : Format.formatter -> action -> unit

@@ -195,10 +195,6 @@ let test_proactive () =
       Alcotest.(check bool) "primary uses the NIC" true (uses_nic primary);
       Alcotest.(check bool) "fallback avoids the NIC" false (uses_nic fb)
 
-(* Property tests: whatever dynamics and failover hand back as a
-   *successful* redeployment must itself satisfy the placement oracle —
-   reconfiguration is not allowed to trade one SLO for another. *)
-
 let oracle_ok d =
   match Lemur_check.Oracle.check_deployment d with
   | Ok () -> true
@@ -207,6 +203,237 @@ let oracle_ok d =
         (Fmt.list ~sep:Fmt.comma Lemur_check.Oracle.pp_violation)
         vs;
       false
+
+let extra_input () =
+  {
+    Plan.id = "extra";
+    graph = Lemur_spec.Loader.chain_of_string ~name:"extra" "Tunnel -> IPv4Fwd";
+    slo = Lemur_slo.Slo.best_effort;
+  }
+
+let test_apply_batch_equivalent () =
+  let d = base_deployment () in
+  let slo =
+    Lemur_slo.Slo.make ~t_min:(Lemur_util.Units.gbps 1.2)
+      ~t_max:(Lemur_util.Units.gbps 100.0) ()
+  in
+  let events =
+    [
+      Lemur.Dynamics.Slo_changed { chain_id = "chain3"; slo };
+      Lemur.Dynamics.Chain_added (extra_input ());
+    ]
+  in
+  let sequential =
+    List.fold_left
+      (fun acc ev -> Result.bind acc (fun d -> Lemur.Dynamics.apply d ev))
+      (Ok d) events
+  in
+  match (sequential, Lemur.Dynamics.apply_batch d events) with
+  | Ok ds, Ok db ->
+      Alcotest.(check int) "same chain count"
+        (List.length ds.Lemur.Deployment.placement.Strategy.chain_reports)
+        (List.length db.Lemur.Deployment.placement.Strategy.chain_reports);
+      Alcotest.(check bool) "batch honours the new guarantee" true
+        (rate_of db "chain3" >= 1.2e9 -. 1e3)
+  | Error e, _ -> Alcotest.failf "sequential failed: %s" e
+  | _, Error e -> Alcotest.failf "batch failed: %s" e
+
+let test_apply_batch_skips_intermediates () =
+  (* A batch only places the *final* chain set, so a sequence whose
+     intermediate states are infeasible still succeeds. *)
+  let d = base_deployment () in
+  let huge =
+    {
+      Plan.id = "huge";
+      graph = Lemur_spec.Loader.chain_of_string ~name:"huge" "Dedup";
+      slo =
+        Lemur_slo.Slo.make ~t_min:(Lemur_util.Units.gbps 90.0)
+          ~t_max:(Lemur_util.Units.gbps 100.0) ();
+    }
+  in
+  (match Lemur.Dynamics.apply d (Lemur.Dynamics.Chain_added huge) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "90G Dedup alone must be infeasible");
+  match
+    Lemur.Dynamics.apply_batch d
+      [ Lemur.Dynamics.Chain_added huge; Lemur.Dynamics.Chain_removed "huge" ]
+  with
+  | Error e -> Alcotest.failf "add-then-remove batch failed: %s" e
+  | Ok d' ->
+      Alcotest.(check int) "net chain set unchanged" 2
+        (List.length d'.Lemur.Deployment.placement.Strategy.chain_reports)
+
+let test_apply_batch_names_offender () =
+  let d = base_deployment () in
+  match
+    Lemur.Dynamics.apply_batch d
+      [
+        Lemur.Dynamics.Chain_added (extra_input ());
+        Lemur.Dynamics.Chain_removed "ghost";
+      ]
+  with
+  | Ok _ -> Alcotest.fail "removal of unknown chain must fail"
+  | Error e ->
+      let has_prefix =
+        String.length e >= 7 && String.equal (String.sub e 0 7) "event 2"
+      in
+      Alcotest.(check bool) ("offender named in: " ^ e) true has_prefix
+
+let test_recover_smartnic () =
+  let topo = Lemur_topology.Topology.testbed ~smartnic:true () in
+  let c = Plan.default_config topo in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 5 ] in
+  match Lemur.Deployment.deploy c inputs with
+  | Error e -> Alcotest.failf "primary failed: %s" e
+  | Ok d -> (
+      (* recovering a live element is an error *)
+      (match Lemur.Failover.recover ~reference:topo d Lemur.Failover.Smartnic_failed with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "smartnic has not failed yet");
+      match Lemur.Failover.react d Lemur.Failover.Smartnic_failed with
+      | Error e -> Alcotest.failf "failover failed: %s" e
+      | Ok d_deg -> (
+          Alcotest.(check int) "degraded rack has no nic" 0
+            (List.length
+               d_deg.Lemur.Deployment.config.Plan.topology
+                 .Lemur_topology.Topology.smartnics);
+          match
+            Lemur.Failover.recover ~reference:topo d_deg
+              Lemur.Failover.Smartnic_failed
+          with
+          | Error e -> Alcotest.failf "recover failed: %s" e
+          | Ok d_rec ->
+              Alcotest.(check int) "nic restored" 1
+                (List.length
+                   d_rec.Lemur.Deployment.config.Plan.topology
+                     .Lemur_topology.Topology.smartnics);
+              Alcotest.(check bool) "recovered placement passes the oracle" true
+                (oracle_ok d_rec)))
+
+let test_recover_server_brings_its_nic () =
+  let topo = Lemur_topology.Topology.testbed ~num_servers:2 ~smartnic:true () in
+  let c = Plan.default_config topo in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 2; 3 ] in
+  match Lemur.Deployment.deploy c inputs with
+  | Error e -> Alcotest.failf "primary failed: %s" e
+  | Ok d -> (
+      match Lemur.Failover.react d (Lemur.Failover.Server_failed "server0") with
+      | Error e -> Alcotest.failf "failover failed: %s" e
+      | Ok d_deg -> (
+          let topo_deg =
+            d_deg.Lemur.Deployment.config.Plan.topology
+          in
+          Alcotest.(check (list string)) "server0 gone" [ "server1" ]
+            (Lemur_topology.Topology.server_names topo_deg);
+          Alcotest.(check int) "its nic went with it" 0
+            (List.length topo_deg.Lemur_topology.Topology.smartnics);
+          (match
+             Lemur.Failover.recover ~reference:topo d_deg
+               (Lemur.Failover.Server_failed "server9")
+           with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "unknown server cannot recover");
+          match
+            Lemur.Failover.recover ~reference:topo d_deg
+              (Lemur.Failover.Server_failed "server0")
+          with
+          | Error e -> Alcotest.failf "recover failed: %s" e
+          | Ok d_rec ->
+              let topo_rec =
+                d_rec.Lemur.Deployment.config.Plan.topology
+              in
+              Alcotest.(check (list string)) "reference order restored"
+                [ "server0"; "server1" ]
+                (Lemur_topology.Topology.server_names topo_rec);
+              Alcotest.(check int) "server0's nic came back" 1
+                (List.length topo_rec.Lemur_topology.Topology.smartnics);
+              Alcotest.(check bool) "recovered placement passes the oracle" true
+                (oracle_ok d_rec)))
+
+let test_schedule_switching () =
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 2; 3 ] in
+  let window label factor =
+    {
+      Lemur.Dynamics.Schedule.label;
+      slos =
+        List.map
+          (fun i ->
+            ( i.Plan.id,
+              Lemur_slo.Slo.make
+                ~t_min:(i.Plan.slo.Lemur_slo.Slo.t_min *. factor)
+                ~t_max:i.Plan.slo.Lemur_slo.Slo.t_max () ))
+          inputs;
+    }
+  in
+  match
+    Lemur.Dynamics.Schedule.precompute c inputs
+      [ window "peak" 2.0; window "off-peak" 0.5 ]
+  with
+  | Error e -> Alcotest.failf "precompute failed: %s" e
+  | Ok schedule ->
+      (* flip back and forth: every switch lands on a precomputed
+         deployment (physically the same one each visit — no re-solve)
+         and every one of them passes the oracle *)
+      let visit label =
+        match Lemur.Dynamics.Schedule.deployment schedule label with
+        | None -> Alcotest.failf "window %s missing" label
+        | Some d ->
+            Alcotest.(check bool)
+              (label ^ " window passes the oracle")
+              true (oracle_ok d);
+            d
+      in
+      let p1 = visit "peak" in
+      let o1 = visit "off-peak" in
+      let p2 = visit "peak" in
+      let o2 = visit "off-peak" in
+      Alcotest.(check bool) "peak lookups hit the same deployment" true
+        (p1 == p2);
+      Alcotest.(check bool) "off-peak lookups hit the same deployment" true
+        (o1 == o2);
+      Alcotest.(check bool) "windows differ" true (p1 != o1)
+
+let test_proactive_multiple_failures () =
+  let topo =
+    Lemur_topology.Topology.testbed ~num_servers:2 ~smartnic:true
+      ~ofswitch:true ()
+  in
+  let c = Plan.default_config topo in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.25 [ 2; 3 ] in
+  let anticipated =
+    [
+      Lemur.Failover.Smartnic_failed;
+      Lemur.Failover.Ofswitch_failed;
+      Lemur.Failover.Server_failed "server1";
+    ]
+  in
+  match Lemur.Failover.proactive c inputs anticipated with
+  | Error e -> Alcotest.failf "proactive failed: %s" e
+  | Ok (primary, fallbacks) ->
+      Alcotest.(check bool) "primary passes the oracle" true (oracle_ok primary);
+      Alcotest.(check int) "one fallback per anticipated failure"
+        (List.length anticipated) (List.length fallbacks);
+      List.iter
+        (fun (f, fb) ->
+          let t = fb.Lemur.Deployment.config.Plan.topology in
+          Alcotest.(check bool) "fallback passes the oracle" true (oracle_ok fb);
+          match f with
+          | Lemur.Failover.Smartnic_failed ->
+              Alcotest.(check int) "nic absent in its fallback" 0
+                (List.length t.Lemur_topology.Topology.smartnics)
+          | Lemur.Failover.Ofswitch_failed ->
+              Alcotest.(check bool) "ofswitch absent in its fallback" true
+                (t.Lemur_topology.Topology.ofswitch = None)
+          | Lemur.Failover.Server_failed name ->
+              Alcotest.(check bool) "server absent in its fallback" false
+                (List.mem name (Lemur_topology.Topology.server_names t))
+          | Lemur.Failover.Pisa_failed -> ())
+        fallbacks
+
+(* Property tests: whatever dynamics and failover hand back as a
+   *successful* redeployment must itself satisfy the placement oracle —
+   reconfiguration is not allowed to trade one SLO for another. *)
 
 let prop_dynamics_oracle =
   QCheck.Test.make ~name:"dynamics results pass the oracle" ~count:15
@@ -303,4 +530,17 @@ let suite =
     Alcotest.test_case "server failure" `Quick test_server_failure;
     Alcotest.test_case "degrade error paths" `Quick test_degrade_errors;
     Alcotest.test_case "proactive fallbacks" `Quick test_proactive;
+    Alcotest.test_case "batched apply matches sequential" `Quick
+      test_apply_batch_equivalent;
+    Alcotest.test_case "batched apply skips intermediates" `Quick
+      test_apply_batch_skips_intermediates;
+    Alcotest.test_case "batched apply names the offender" `Quick
+      test_apply_batch_names_offender;
+    Alcotest.test_case "smartnic recovery" `Quick test_recover_smartnic;
+    Alcotest.test_case "server recovery restores its nic" `Quick
+      test_recover_server_brings_its_nic;
+    Alcotest.test_case "schedule window switching" `Quick
+      test_schedule_switching;
+    Alcotest.test_case "proactive with simultaneous anticipated failures"
+      `Quick test_proactive_multiple_failures;
   ]

@@ -1,0 +1,200 @@
+(* Tests for the online control loop (lib/runtime): trace round-trips,
+   policy parsing, and the engine's determinism / policy / oracle
+   contracts. *)
+module Trace = Lemur_runtime.Trace
+module Policy = Lemur_runtime.Policy
+module Engine = Lemur_runtime.Engine
+module Report = Lemur_runtime.Report
+
+let contains ~needle hay =
+  let nh = String.length needle and lh = String.length hay in
+  let rec scan i =
+    if i + nh > lh then false
+    else String.equal (String.sub hay i nh) needle || scan (i + 1)
+  in
+  nh = 0 || scan 0
+
+let run_ok ?(policy = Policy.Immediate) ?check trace =
+  let cfg = Engine.default_config ~policy ~seed:11 ?check () in
+  match Engine.run cfg trace with
+  | Ok (report, d) -> (report, d)
+  | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_to_string e)
+
+(* A small handcrafted trace: two chains, one smartnic, a fail/recover
+   pair, a traffic ramp, and one bad event the model must reject. *)
+let hand_trace () =
+  {
+    Trace.seed = None;
+    topo =
+      {
+        Trace.servers = 2;
+        cores_per_socket = 8;
+        smartnic = true;
+        ofswitch = false;
+        no_pisa = false;
+        metron = false;
+      };
+    chains =
+      [
+        "c0 slo(tmin='1.0Gbps', tmax='100Gbps') = ACL -> NAT";
+        "c1 slo(tmin='0.5Gbps', tmax='100Gbps') = Tunnel -> IPv4Fwd";
+      ];
+    windows = [];
+    events =
+      [
+        { Trace.at = 0.010; action = Trace.Traffic { chain_id = "c0"; rate = 2e9 } };
+        { Trace.at = 0.020; action = Trace.Fail Lemur.Failover.Smartnic_failed };
+        { Trace.at = 0.030; action = Trace.Remove_chain "ghost" };
+        { Trace.at = 0.040; action = Trace.Recover Lemur.Failover.Smartnic_failed };
+      ];
+    horizon = 0.050;
+  }
+
+let test_policy_parse () =
+  let roundtrip s =
+    match Policy.parse s with
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+    | Ok p -> Policy.name p
+  in
+  Alcotest.(check string) "immediate" "immediate" (roundtrip "immediate");
+  Alcotest.(check string) "debounced" "debounced" (roundtrip "debounced");
+  Alcotest.(check string) "scheduled" "scheduled" (roundtrip "scheduled");
+  (match Policy.parse "debounced:50:10" with
+  | Ok (Policy.Debounced { budget_s; cooldown_s }) ->
+      Alcotest.(check (float 1e-9)) "budget ms" 0.050 budget_s;
+      Alcotest.(check (float 1e-9)) "cooldown ms" 0.010 cooldown_s
+  | Ok _ -> Alcotest.fail "expected debounced"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* to_string round-trips through parse *)
+  List.iter
+    (fun p ->
+      match Policy.parse (Policy.to_string p) with
+      | Ok p' ->
+          Alcotest.(check string) "round-trip" (Policy.to_string p)
+            (Policy.to_string p')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    [ Policy.Immediate; Policy.default_debounced; Policy.Scheduled ];
+  match Policy.parse "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus policy must not parse"
+
+let test_trace_roundtrip () =
+  let t = Trace.generate ~events:20 ~seed:5 () in
+  let text = Trace.to_string t in
+  match Trace.parse text with
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+  | Ok t' ->
+      Alcotest.(check string) "print/parse/print fixpoint" text
+        (Trace.to_string t');
+      Alcotest.(check int) "same event count" (List.length t.Trace.events)
+        (List.length t'.Trace.events)
+
+let test_trace_parse_errors () =
+  (* an empty file parses structurally but declares no chains, which
+     initial_inputs rejects — the engine maps that to Trace_invalid *)
+  (match Trace.parse "" with
+  | Error e -> Alcotest.failf "empty trace should parse structurally: %s" e
+  | Ok t -> (
+      match Trace.initial_inputs t with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "chainless trace must have no inputs"));
+  match Trace.parse "@0.5 frobnicate x\n" with
+  | Error e ->
+      Alcotest.(check bool) "error names the verb" true
+        (contains ~needle:"frobnicate" e || contains ~needle:"line" e)
+  | Ok _ -> Alcotest.fail "unknown verb must not parse"
+
+let test_generator_deterministic () =
+  let a = Trace.generate ~events:30 ~seed:7 () in
+  let b = Trace.generate ~events:30 ~seed:7 () in
+  Alcotest.(check string) "same seed, same trace" (Trace.to_string a)
+    (Trace.to_string b);
+  let c = Trace.generate ~events:30 ~seed:8 () in
+  Alcotest.(check bool) "different seed, different trace" false
+    (String.equal (Trace.to_string a) (Trace.to_string c))
+
+let test_engine_deterministic () =
+  let trace = Trace.generate ~events:12 ~seed:3 () in
+  let r1, _ = run_ok trace in
+  let r2, _ = run_ok trace in
+  Alcotest.(check string) "equal report digests" (Report.digest r1)
+    (Report.digest r2);
+  Alcotest.(check int) "equal reconfig counts" r1.Report.reconfigs
+    r2.Report.reconfigs
+
+let test_policies_trade_reconfigs () =
+  let trace = Trace.generate ~events:24 ~seed:3 () in
+  let imm, _ = run_ok ~policy:Policy.Immediate trace in
+  let deb, _ = run_ok ~policy:Policy.default_debounced trace in
+  Alcotest.(check bool) "immediate reconfigures more" true
+    (imm.Report.reconfigs > deb.Report.reconfigs);
+  (* both saw the same stream *)
+  Alcotest.(check int) "same events applied" imm.Report.events_applied
+    deb.Report.events_applied
+
+let test_engine_oracle_clean () =
+  let trace = Trace.generate ~events:12 ~seed:3 () in
+  let report, d = run_ok ~check:Lemur_check.Runtime_check.checker trace in
+  Alcotest.(check bool) "at least one reconfig checked" true
+    (report.Report.reconfigs > 0);
+  match Lemur_check.Oracle.check_deployment d with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "final deployment must pass the oracle"
+
+let test_fail_recover_and_rejects () =
+  let report, d =
+    run_ok ~check:Lemur_check.Runtime_check.checker (hand_trace ())
+  in
+  (match report.Report.stop with
+  | Report.Completed -> ()
+  | Report.Aborted { reason; _ } -> Alcotest.failf "aborted: %s" reason);
+  Alcotest.(check int) "ghost removal rejected" 1 report.Report.events_rejected;
+  Alcotest.(check int) "other three applied" 3 report.Report.events_applied;
+  (* recovery restored the smartnic *)
+  Alcotest.(check bool) "smartnic back in the rack" true
+    (d.Lemur.Deployment.config.Lemur_placer.Plan.topology
+       .Lemur_topology.Topology.smartnics
+    <> [])
+
+let test_scheduled_defers () =
+  let trace = Trace.generate ~events:24 ~seed:3 () in
+  let sch, _ = run_ok ~policy:Policy.Scheduled trace in
+  let imm, _ = run_ok ~policy:Policy.Immediate trace in
+  Alcotest.(check bool) "scheduled reconfigures less than immediate" true
+    (sch.Report.reconfigs < imm.Report.reconfigs);
+  Alcotest.(check bool) "deferred events journaled" true
+    (List.exists
+       (function Report.Deferred _ -> true | _ -> false)
+       sch.Report.journal)
+
+let test_report_json_shape () =
+  let trace = Trace.generate ~events:12 ~seed:3 () in
+  let report, _ = run_ok trace in
+  let json = Lemur_telemetry.Json.to_string (Report.to_json report) in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true
+        (contains ~needle:("\"" ^ key ^ "\"") json))
+    [
+      "schema"; "policy"; "reconfigs"; "chains"; "total_violation_s";
+      "journal"; "stop";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "policy parse" `Quick test_policy_parse;
+    Alcotest.test_case "trace text round-trip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
+    Alcotest.test_case "generator is deterministic" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "engine is deterministic" `Quick
+      test_engine_deterministic;
+    Alcotest.test_case "debounce trades reconfigs" `Quick
+      test_policies_trade_reconfigs;
+    Alcotest.test_case "engine passes the oracle" `Quick
+      test_engine_oracle_clean;
+    Alcotest.test_case "fail/recover and rejected events" `Quick
+      test_fail_recover_and_rejects;
+    Alcotest.test_case "scheduled policy defers" `Quick test_scheduled_defers;
+    Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
+  ]
