@@ -816,6 +816,7 @@ let () =
   (match Array.to_list Sys.argv with
   | _ :: "perf" :: rest -> exit (Perf.main rest)
   | _ :: "runtime" :: rest -> exit (Runtime_bench.main rest)
+  | _ :: "parallel" :: rest -> exit (Parallel_bench.main rest)
   | _ -> ());
   let telemetry_dir, argv_rest =
     match Array.to_list Sys.argv with

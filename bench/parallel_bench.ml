@@ -1,0 +1,125 @@
+(* The domain-parallelism bench behind `dune exec bench/main.exe -- parallel`:
+   runs the same fuzz smoke twice — sequentially (-j 1) and fanned out
+   over N pool domains — writes BENCH_parallel.json, and gates the two
+   properties the pool promises:
+
+   - determinism (hard gate): the fuzz summary digest at -j N must be
+     byte-identical to -j 1;
+   - speedup (gated only when --min-speedup > 0): wall(-j 1) / wall(-j N)
+     must reach the threshold. Wall-clock speedup depends on the host
+     having that many cores, so single-core machines and oversubscribed
+     CI runners record the honest ratio without failing; pass
+     --min-speedup 2.0 on a >= 4-core machine to enforce the paper's
+     target. *)
+
+module Fuzz = Lemur_check.Fuzz
+module Pool = Lemur_util.Pool
+module Json = Lemur_telemetry.Json
+
+let default_seed = 1
+let default_count = 200
+
+let now = Unix.gettimeofday
+
+let timed_fuzz ~jobs ~seed ~count =
+  let t0 = now () in
+  let s = Fuzz.run ~quick:true ~sim:true ~jobs ~seed ~count () in
+  let wall = Lemur_util.Timing.duration ~start:t0 ~stop:(now ()) in
+  (s, wall)
+
+let run_json ~jobs (s : Fuzz.summary) wall =
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("wall_s", Json.Float wall);
+      ( "scenarios_per_sec",
+        Json.Float
+          (if wall > 0.0 then float_of_int s.Fuzz.scenarios /. wall else 0.0)
+      );
+      ("scenarios", Json.Int s.Fuzz.scenarios);
+      ("placements_checked", Json.Int s.Fuzz.placements_checked);
+      ("failures", Json.Int (List.length s.Fuzz.failures));
+      ("digest", Json.String s.Fuzz.digest);
+    ]
+
+let main args =
+  let seed = ref default_seed
+  and count = ref default_count
+  and jobs = ref None
+  and min_speedup = ref 0.0
+  and out = ref "BENCH_parallel.json" in
+  let rec parse = function
+    | [] -> Ok ()
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--count" :: v :: rest ->
+        count := int_of_string v;
+        parse rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        jobs := Some (int_of_string v);
+        parse rest
+    | "--min-speedup" :: v :: rest ->
+        min_speedup := float_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | arg :: _ -> Error arg
+  in
+  match parse args with
+  | Error arg ->
+      Printf.eprintf
+        "bench parallel: unknown argument %S\n\
+         usage: bench -- parallel [--seed N] [--count N] [-j N] \
+         [--min-speedup X] [--out FILE]\n"
+        arg;
+      2
+  | Ok () ->
+      let jobs =
+        match !jobs with
+        | Some j -> max 1 j
+        | None -> max 2 (Pool.recommended_domains ())
+      in
+      Printf.printf
+        "## parallel: fuzz smoke, %d scenarios from seed %d, -j 1 vs -j %d \
+         (host reports %d domain(s))\n\
+         %!"
+        !count !seed jobs
+        (Pool.recommended_domains ());
+      let seq, seq_wall = timed_fuzz ~jobs:1 ~seed:!seed ~count:!count in
+      Printf.printf "  -j 1: %.2fs, digest %s\n%!" seq_wall seq.Fuzz.digest;
+      let par, par_wall = timed_fuzz ~jobs ~seed:!seed ~count:!count in
+      Printf.printf "  -j %d: %.2fs, digest %s\n%!" jobs par_wall
+        par.Fuzz.digest;
+      let digests_equal = String.equal seq.Fuzz.digest par.Fuzz.digest in
+      let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
+      let speedup_ok = !min_speedup <= 0.0 || speedup >= !min_speedup in
+      Printf.printf
+        "determinism: %s\nspeedup: %.2fx (threshold %.2fx: %s)\n"
+        (if digests_equal then "ok, digests identical" else "DIGEST MISMATCH")
+        speedup !min_speedup
+        (if !min_speedup <= 0.0 then "record-only"
+         else if speedup_ok then "ok"
+         else "FAILED");
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "lemur.bench.parallel/1");
+            ("seed", Json.Int !seed);
+            ("count", Json.Int !count);
+            ("host_domains", Json.Int (Pool.recommended_domains ()));
+            ("sequential", run_json ~jobs:1 seq seq_wall);
+            ("parallel", run_json ~jobs par par_wall);
+            ("digests_equal", Json.Bool digests_equal);
+            ("speedup", Json.Float speedup);
+            ("min_speedup", Json.Float !min_speedup);
+            ("speedup_ok", Json.Bool speedup_ok);
+          ]
+      in
+      let oc = open_out !out in
+      output_string oc (Json.to_string doc);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" !out;
+      if digests_equal && speedup_ok then 0 else 1

@@ -317,17 +317,19 @@ let bench_strategy ~seeds =
            else float_of_int hits /. float_of_int (hits + misses)) );
     ]
 
-let bench_fuzz ~count =
+let bench_fuzz ~jobs ~count =
   let t0 = now () in
-  let s = Fuzz.run ~quick:true ~sim:true ~seed:1 ~count () in
+  let s = Fuzz.run ~quick:true ~sim:true ~jobs ~seed:1 ~count () in
   let wall = now () -. t0 in
   Json.Obj
     [
       ("count", Json.Int count);
+      ("jobs", Json.Int jobs);
       ("wall_s", Json.Float wall);
       ( "scenarios_per_sec",
         Json.Float (float_of_int s.Fuzz.scenarios /. wall) );
       ("failures", Json.Int (List.length s.Fuzz.failures));
+      ("digest", Json.String s.Fuzz.digest);
       ("cache_hits", Json.Int s.Fuzz.cache_hits);
       ("cache_misses", Json.Int s.Fuzz.cache_misses);
     ]
@@ -351,16 +353,25 @@ let read_baseline path =
 
 let usage () =
   prerr_endline
-    "usage: bench -- perf [--quick] [--out FILE] [--baseline FILE]";
+    "usage: bench -- perf [--quick] [-j N] [--out FILE] [--baseline FILE]";
   2
 
 let main args =
-  let quick = ref false and out = ref "BENCH_perf.json" and baseline = ref None in
+  let quick = ref false
+  and jobs = ref 1
+  and out = ref "BENCH_perf.json"
+  and baseline = ref None in
   let rec parse = function
     | [] -> true
     | "--quick" :: rest ->
         quick := true;
         parse rest
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse rest
+        | _ -> false)
     | "--out" :: file :: rest ->
         out := file;
         parse rest
@@ -395,8 +406,9 @@ let main args =
     Printf.printf "perf: strategy cache (%d seeds)...\n%!"
       (List.length strat_seeds);
     let strategy_json = bench_strategy ~seeds:strat_seeds in
-    Printf.printf "perf: fuzz workload (%d scenarios)...\n%!" fuzz_count;
-    let fuzz_json = bench_fuzz ~count:fuzz_count in
+    Printf.printf "perf: fuzz workload (%d scenarios, %d job(s))...\n%!"
+      fuzz_count !jobs;
+    let fuzz_json = bench_fuzz ~jobs:!jobs ~count:fuzz_count in
     let doc =
       Json.Obj
         [

@@ -203,7 +203,12 @@ let trace_events_arg =
 let load_trace trace_file trace_seed trace_events =
   match (trace_file, trace_seed) with
   | Some _, Some _ -> Error "--trace and --trace-seed are mutually exclusive"
-  | Some file, None -> Lemur_runtime.Trace.parse (read_file file)
+  | Some file, None -> (
+      (* A malformed trace is a user error: print file:line:col, never a
+         backtrace. *)
+      match Lemur_runtime.Trace.parse ~file (read_file file) with
+      | Ok t -> Ok t
+      | Error e -> Error (Lemur_runtime.Trace.parse_error_to_string e))
   | None, Some seed ->
       Ok (Lemur_runtime.Trace.generate ~events:trace_events ~seed ())
   | None, None -> Error "no trace: pass --trace FILE or --trace-seed N"
@@ -360,7 +365,10 @@ let trace_cmd =
   let run seed events out input =
     let trace =
       match input with
-      | Some file -> Lemur_runtime.Trace.parse (read_file file)
+      | Some file -> (
+          match Lemur_runtime.Trace.parse ~file (read_file file) with
+          | Ok t -> Ok t
+          | Error e -> Error (Lemur_runtime.Trace.parse_error_to_string e))
       | None -> Ok (Lemur_runtime.Trace.generate ~events ~seed ())
     in
     match trace with
@@ -492,12 +500,31 @@ let fuzz_cmd =
              checking report determinism, and shrink failures to a minimal \
              event sequence.")
   in
-  let run seed count shrink thorough no_sim max_failures runtime events tfile =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluate scenarios on $(docv) parallel domains (default: the \
+             machine's recommended domain count). Results are merged in \
+             seed order, so the summary and its digest are byte-identical \
+             at any $(docv) — including $(b,-j 1).")
+  in
+  let run seed count shrink thorough no_sim max_failures runtime events jobs
+      tfile =
     with_telemetry tfile @@ fun () ->
+    let jobs =
+      match jobs with
+      | Some j when j >= 1 -> j
+      | Some _ -> 1
+      | None -> Lemur_util.Pool.recommended_domains ()
+    in
+    Lemur_util.Pool.set_default jobs;
     if runtime then begin
       let summary =
-        Lemur_check.Runtime_check.run ~events ~shrink ~max_failures ~seed
-          ~count ()
+        Lemur_check.Runtime_check.run ~events ~shrink ~max_failures ~jobs
+          ~seed ~count ()
       in
       Format.printf "%a@." Lemur_check.Runtime_check.pp_summary summary;
       if Lemur_check.Runtime_check.ok summary then 0 else 1
@@ -505,7 +532,7 @@ let fuzz_cmd =
     else begin
       let summary =
         Lemur_check.Fuzz.run ~quick:(not thorough) ~sim:(not no_sim) ~shrink
-          ~max_failures ~seed ~count ()
+          ~max_failures ~jobs ~seed ~count ()
       in
       Format.printf "%a" Lemur_check.Fuzz.pp_summary summary;
       if Lemur_check.Fuzz.ok summary then 0 else 1
@@ -522,7 +549,7 @@ let fuzz_cmd =
           traces instead.")
     Term.(
       const run $ seed $ count $ shrink $ thorough $ no_sim $ max_failures
-      $ runtime $ trace_events_arg $ telemetry)
+      $ runtime $ trace_events_arg $ jobs $ telemetry)
 
 let nfs_cmd =
   let run () =

@@ -26,6 +26,12 @@ type summary = {
   cache_hits : int;  (** {!Lemur_placer.Memo} hits during this run *)
   cache_misses : int;
   failures : failure_report list;
+  digest : string;
+      (** MD5 over the deterministic per-scenario outcomes in seed
+          order (placements + objectives, infeasibilities, cross-check
+          coverage, failures) — wall-clock and cache counters excluded.
+          For a given [seed]/[count]/[quick]/[sim]/[max_failures], the
+          digest is byte-identical for every [jobs] value. *)
 }
 
 val run :
@@ -33,6 +39,7 @@ val run :
   ?sim:bool ->
   ?shrink:bool ->
   ?max_failures:int ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -42,7 +49,12 @@ val run :
     [quick] and [sim] are passed to {!Differential.run}; [shrink]
     (default [false]) minimizes each failing scenario with
     {!Scenario.shrink} (re-running the differential, so it costs many
-    extra placements). *)
+    extra placements; shrinking always runs sequentially). [jobs]
+    (default 1) fans scenarios out across that many
+    {!Lemur_util.Pool} domains; results are folded back in seed order,
+    so the summary — including which scenarios ran under the
+    [max_failures] cutoff and the {!summary.digest} — does not depend
+    on [jobs]. *)
 
 val ok : summary -> bool
 

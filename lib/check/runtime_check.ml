@@ -2,6 +2,7 @@ module Trace = Lemur_runtime.Trace
 module Engine = Lemur_runtime.Engine
 module Policy = Lemur_runtime.Policy
 module Report = Lemur_runtime.Report
+module Pool = Lemur_util.Pool
 
 let checker (d : Lemur.Deployment.t) =
   match Oracle.check_deployment d with
@@ -28,6 +29,7 @@ type summary = {
   rs_aborted : int;
   rs_reconfigs : int;
   rs_failures : failure list;
+  rs_digest : string;
 }
 
 let policies = [ Policy.Immediate; Policy.default_debounced; Policy.Scheduled ]
@@ -68,72 +70,161 @@ let shrink_trace ~seed policy trace =
   in
   go trace 0
 
-let run ?(events = 60) ?(shrink = false) ?(max_failures = 5) ~seed ~count () =
-  let traces = ref 0
-  and runs = ref 0
-  and skipped = ref 0
+(* Traces go to the pool in fixed-size batches consumed in seed order;
+   the batch size is independent of [jobs] so the [max_failures] cutoff
+   truncates at the same trace at any [-j]. Smaller than the fuzz batch
+   because a single trace drives three engine runs plus a rerun. *)
+let batch_size = 8
+
+(* Everything one trace contributes to the summary, computed entirely
+   inside a worker domain (shrinking excepted — it happens in the fold,
+   on the main domain). [te_digest_items] is the deterministic outcome
+   rendering that feeds {!summary.rs_digest}. *)
+type trace_eval = {
+  te_trace : Trace.t;
+  te_runs : int;
+  te_skipped : bool;
+  te_aborted : int;
+  te_reconfigs : int;
+  te_failures : (Policy.t * string) list;  (* in policy order *)
+  te_digest_items : string list;
+}
+
+let eval_trace ~events ~trace_seed =
+  let trace = Trace.generate ~events ~seed:trace_seed () in
+  let runs = ref 0
+  and skipped = ref false
   and aborted = ref 0
   and reconfigs = ref 0
-  and failures = ref [] in
+  and failures = ref []
+  and items = ref [] in
   let note_report (r : Report.t) =
     reconfigs := !reconfigs + r.Report.reconfigs;
     match r.Report.stop with
     | Report.Aborted _ -> incr aborted
     | Report.Completed -> ()
   in
-  let fail trace_seed trace policy reason =
-    let rf_shrunk =
-      if shrink then Some (shrink_trace ~seed:trace_seed policy trace)
-      else None
-    in
+  let fail policy reason = failures := (policy, reason) :: !failures in
+  let rec per_policy first = function
+    | [] -> ()
+    | policy :: rest -> (
+        incr runs;
+        match drive ~seed:trace_seed policy trace with
+        | Skip reason ->
+            (* policy-independent: the trace has no valid start *)
+            if first then skipped := true;
+            items := ("skip:" ^ reason) :: !items
+        | Fail reason ->
+            fail policy reason;
+            items :=
+              ("fail:" ^ Policy.to_string policy ^ ":" ^ reason) :: !items
+        | Fine report ->
+            note_report report;
+            items :=
+              ("ok:" ^ Policy.to_string policy ^ ":" ^ Report.digest report)
+              :: !items;
+            (if first then begin
+               (* determinism: an identical rerun must produce an
+                  identical report digest *)
+               incr runs;
+               match drive ~seed:trace_seed policy trace with
+               | Fine report' ->
+                   if
+                     not
+                       (String.equal (Report.digest report)
+                          (Report.digest report'))
+                   then
+                     fail policy
+                       (Printf.sprintf "nondeterministic digest: %s vs %s"
+                          (Report.digest report) (Report.digest report'))
+               | Skip _ | Fail _ ->
+                   fail policy "nondeterministic outcome on identical rerun"
+             end);
+            per_policy false rest)
+  in
+  per_policy true policies;
+  {
+    te_trace = trace;
+    te_runs = !runs;
+    te_skipped = !skipped;
+    te_aborted = !aborted;
+    te_reconfigs = !reconfigs;
+    te_failures = List.rev !failures;
+    te_digest_items = List.rev !items;
+  }
+
+let run ?(events = 60) ?(shrink = false) ?(max_failures = 5) ?(jobs = 1) ~seed
+    ~count () =
+  let traces = ref 0
+  and runs = ref 0
+  and skipped = ref 0
+  and aborted = ref 0
+  and reconfigs = ref 0
+  and failures = ref [] in
+  let digest_buf = Buffer.create 1024 in
+  let stopped = ref false in
+  let record_failure trace_seed ~policy_name ~reason ~events:n_events ~shrunk =
     failures :=
       {
         rf_seed = trace_seed;
-        rf_policy = Policy.to_string policy;
+        rf_policy = policy_name;
         rf_reason = reason;
-        rf_events = List.length trace.Trace.events;
-        rf_shrunk;
+        rf_events = n_events;
+        rf_shrunk = shrunk;
       }
-      :: !failures
+      :: !failures;
+    if List.length !failures >= max_failures then stopped := true
   in
-  let s = ref seed in
-  while !traces < count && List.length !failures < max_failures do
-    let trace_seed = !s in
-    incr s;
-    incr traces;
-    let trace = Trace.generate ~events ~seed:trace_seed () in
-    let rec per_policy first = function
-      | [] -> ()
-      | policy :: rest -> (
-          incr runs;
-          match drive ~seed:trace_seed policy trace with
-          | Skip _ ->
-              (* policy-independent: the trace has no valid start *)
-              if first then incr skipped
-          | Fail reason -> fail trace_seed trace policy reason
-          | Fine report ->
-              note_report report;
-              (if first then begin
-                 (* determinism: an identical rerun must produce an
-                    identical report digest *)
-                 incr runs;
-                 match drive ~seed:trace_seed policy trace with
-                 | Fine report' ->
-                     if
-                       not
-                         (String.equal (Report.digest report)
-                            (Report.digest report'))
-                     then
-                       fail trace_seed trace policy
-                         (Printf.sprintf "nondeterministic digest: %s vs %s"
-                            (Report.digest report) (Report.digest report'))
-                 | Skip _ | Fail _ ->
-                     fail trace_seed trace policy
-                       "nondeterministic outcome on identical rerun"
-               end);
-              per_policy false rest)
+  let consume trace_seed = function
+    | Ok te ->
+        incr traces;
+        runs := !runs + te.te_runs;
+        if te.te_skipped then incr skipped;
+        aborted := !aborted + te.te_aborted;
+        reconfigs := !reconfigs + te.te_reconfigs;
+        Buffer.add_string digest_buf (string_of_int trace_seed);
+        List.iter
+          (fun it ->
+            Buffer.add_char digest_buf '|';
+            Buffer.add_string digest_buf it)
+          te.te_digest_items;
+        Buffer.add_char digest_buf '\n';
+        List.iter
+          (fun (policy, reason) ->
+            let shrunk =
+              if shrink then
+                Some (shrink_trace ~seed:trace_seed policy te.te_trace)
+              else None
+            in
+            record_failure trace_seed ~policy_name:(Policy.to_string policy)
+              ~reason
+              ~events:(List.length te.te_trace.Trace.events)
+              ~shrunk)
+          te.te_failures
+    | Error (e : Pool.job_error) ->
+        (* [drive] already demotes engine exceptions to [Fail]; anything
+           that still escaped (the generator itself) is a finding. *)
+        incr traces;
+        Buffer.add_string digest_buf
+          (string_of_int trace_seed ^ "|crash:" ^ e.Pool.message ^ "\n");
+        record_failure trace_seed ~policy_name:"harness" ~reason:e.Pool.message
+          ~events:0 ~shrunk:None
+  in
+  let next = ref seed in
+  let last = seed + count - 1 in
+  while (not !stopped) && !next <= last do
+    let batch =
+      List.init (min batch_size (last - !next + 1)) (fun i -> !next + i)
     in
-    per_policy true policies
+    next := !next + List.length batch;
+    let results =
+      Pool.map ~domains:jobs
+        (fun trace_seed -> eval_trace ~events ~trace_seed)
+        batch
+    in
+    List.iter2
+      (fun trace_seed result -> if not !stopped then consume trace_seed result)
+      batch results
   done;
   {
     rs_traces = !traces;
@@ -142,6 +233,7 @@ let run ?(events = 60) ?(shrink = false) ?(max_failures = 5) ~seed ~count () =
     rs_aborted = !aborted;
     rs_reconfigs = !reconfigs;
     rs_failures = List.rev !failures;
+    rs_digest = Digest.to_hex (Digest.string (Buffer.contents digest_buf));
   }
 
 let ok s = s.rs_failures = []
@@ -162,6 +254,6 @@ let pp_summary ppf s =
     s.rs_failures;
   Format.fprintf ppf
     "%d traces (%d engine runs): %d skipped as initially infeasible, %d \
-     legal aborts, %d reconfigurations, %d failures@]"
+     legal aborts, %d reconfigurations, %d failures@ runtime digest: %s@]"
     s.rs_traces s.rs_runs s.rs_skipped_infeasible s.rs_aborted s.rs_reconfigs
-    (List.length s.rs_failures)
+    (List.length s.rs_failures) s.rs_digest

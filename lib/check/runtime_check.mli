@@ -35,12 +35,17 @@ type summary = {
   rs_aborted : int;  (** legal mandatory-infeasible stops *)
   rs_reconfigs : int;  (** total across all runs *)
   rs_failures : failure list;
+  rs_digest : string;
+      (** MD5 over each trace's deterministic outcome (skip reason, per
+          policy report digest or failure) in seed order — identical for
+          every [jobs] value. *)
 }
 
 val run :
   ?events:int ->
   ?shrink:bool ->
   ?max_failures:int ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -48,7 +53,10 @@ val run :
 (** Traces are generated from seeds [seed .. seed+count-1] with
     [events] events each (default 60). The loop stops early once
     [max_failures] (default 5) traces have failed. [shrink] (default
-    [false]) minimizes each failing trace's event sequence. *)
+    [false]) minimizes each failing trace's event sequence (always
+    sequentially). [jobs] (default 1) evaluates traces on that many
+    {!Lemur_util.Pool} domains; the summary and {!summary.rs_digest}
+    do not depend on it. *)
 
 val ok : summary -> bool
 

@@ -159,9 +159,21 @@ let is_integral x = Float.abs (x -. Float.round x) < 1e-6
    simplex from its parent's optimal basis: after one bound tightens,
    that basis is still dual feasible and a few dual-simplex pivots
    usually restore optimality (see docs/PERFORMANCE.md). *)
+type milp_error =
+  | Node_limit of { explored : int; max_nodes : int }
+  | Unbounded_relaxation
+
+let milp_error_to_string = function
+  | Node_limit { explored; max_nodes } ->
+      Printf.sprintf "node limit exceeded (%d explored, limit %d)" explored
+        max_nodes
+  | Unbounded_relaxation -> "unbounded relaxation"
+
+exception Milp_stop of milp_error
+
 let solve_milp ?(max_nodes = 100_000) ?(warm = true) t =
   let ints = integer_vars t in
-  if ints = [] then solve t
+  if ints = [] then Ok (solve t)
   else begin
     let tm = Lemur_telemetry.Telemetry.current () in
     let c_nodes = Lemur_telemetry.Telemetry.counter tm "lp.milp.nodes" in
@@ -180,12 +192,13 @@ let solve_milp ?(max_nodes = 100_000) ?(warm = true) t =
     let rec branch lbs ubs parent =
       incr nodes;
       Lemur_telemetry.Counter.incr c_nodes;
-      if !nodes > max_nodes then failwith "Lp.solve_milp: node limit exceeded";
+      if !nodes > max_nodes then
+        raise (Milp_stop (Node_limit { explored = !nodes - 1; max_nodes }));
       let seed = if warm then parent else None in
       if seed <> None then Lemur_telemetry.Counter.incr c_warm;
       match solve_basis ~bounds:(lbs, ubs) ?warm:seed t with
       | Infeasible, _ -> Lemur_telemetry.Counter.incr c_infeasible
-      | Unbounded, _ -> failwith "Lp.solve_milp: unbounded relaxation"
+      | Unbounded, _ -> raise (Milp_stop Unbounded_relaxation)
       | Optimal { objective; values }, my_basis ->
           if not (better objective) then Lemur_telemetry.Counter.incr c_pruned
           else begin
@@ -220,8 +233,10 @@ let solve_milp ?(max_nodes = 100_000) ?(warm = true) t =
                 branch lbs' ubs my_basis
           end
     in
-    branch (Array.make n neg_infinity) (Array.make n infinity) None;
-    match !best with
-    | None -> Infeasible
-    | Some (objective, values) -> Optimal { objective; values }
+    match branch (Array.make n neg_infinity) (Array.make n infinity) None with
+    | () -> (
+        match !best with
+        | None -> Ok Infeasible
+        | Some (objective, values) -> Ok (Optimal { objective; values }))
+    | exception Milp_stop e -> Error e
   end

@@ -61,9 +61,23 @@ val solve_basis :
     solve from a previous basis; on any mismatch the solver falls back
     to a cold solve, so warm-starting never changes the outcome. *)
 
-val solve_milp : ?max_nodes:int -> ?warm:bool -> t -> outcome
+type milp_error =
+  | Node_limit of { explored : int; max_nodes : int }
+      (** The branch-and-bound search hit [max_nodes] before proving
+          optimality. *)
+  | Unbounded_relaxation
+      (** Some node's LP relaxation was unbounded, so the MILP has no
+          finite optimum to find. *)
+
+val milp_error_to_string : milp_error -> string
+
+val solve_milp :
+  ?max_nodes:int -> ?warm:bool -> t -> (outcome, milp_error) result
 (** Branch-and-bound on the variables marked [integer]. [max_nodes]
-    bounds the search (default 100_000); raises [Failure] if exceeded.
-    [warm] (default [true]) re-solves each child node from its parent's
-    optimal basis via {!solve_basis}; pass [false] to force cold
-    per-node solves (the differential baseline). *)
+    bounds the search (default 100_000); exceeding it returns
+    [Error (Node_limit _)] — never an exception, so a stuck search can't
+    kill the run that issued it: callers degrade to their heuristic
+    plan instead (see {!Lemur_placer.Milp}). [warm] (default [true])
+    re-solves each child node from its parent's optimal basis via
+    {!solve_basis}; pass [false] to force cold per-node solves (the
+    differential baseline). *)

@@ -1,18 +1,43 @@
 type value = Cores of int array | Cap of float
 
-let table = ref (Hashtbl.create 512 : (string, value) Hashtbl.t)
-let total_hits = ref 0
-let total_misses = ref 0
+(* All cache state is domain-local: every [Lemur_util.Pool] worker (and
+   the main domain) keeps its own table and generation list, so lookups
+   never contend and never race. The price is that worker domains warm
+   their caches independently — acceptable, because the fan-out unit (a
+   fuzz scenario, a candidate-plan batch) re-uses its own keys heavily.
+   Only the lifetime hit/miss totals are shared, as atomics. *)
+type state = {
+  mutable table : (string, value) Hashtbl.t;
+  mutable generations : (Plan.config * (string, value) Hashtbl.t) list;
+  (* Telemetry counters of whatever sink is current at generation start;
+     re-fetched on [clear] so a sink installed mid-process is picked up. *)
+  mutable c_hits : Lemur_telemetry.Counter.t;
+  mutable c_misses : Lemur_telemetry.Counter.t;
+}
 
-(* Telemetry counters of whatever sink is current at generation start;
-   re-fetched on [clear] so a sink installed mid-process is picked up. *)
-let c_hits = ref (Lemur_telemetry.Counter.make "placer.cache.hits")
-let c_misses = ref (Lemur_telemetry.Counter.make "placer.cache.misses")
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        table = Hashtbl.create 512;
+        generations = [];
+        c_hits = Lemur_telemetry.Counter.make "placer.cache.hits";
+        c_misses = Lemur_telemetry.Counter.make "placer.cache.misses";
+      })
 
-let rebind_counters () =
+let state () = Domain.DLS.get state_key
+let total_hits = Atomic.make 0
+let total_misses = Atomic.make 0
+
+let rebind_counters st =
   let tm = Lemur_telemetry.Telemetry.current () in
-  c_hits := Lemur_telemetry.Telemetry.counter tm "placer.cache.hits";
-  c_misses := Lemur_telemetry.Telemetry.counter tm "placer.cache.misses"
+  st.c_hits <- Lemur_telemetry.Telemetry.counter tm "placer.cache.hits";
+  st.c_misses <- Lemur_telemetry.Telemetry.counter tm "placer.cache.misses"
+
+let clear () =
+  let st = state () in
+  st.generations <- [];
+  st.table <- Hashtbl.create 512;
+  rebind_counters st
 
 (* A generation is one config value: [Plan.config] and everything it
    references are immutable, so as long as the physically-same record
@@ -24,36 +49,30 @@ let rebind_counters () =
    blind generation would evict the true one right before No Core
    Alloc re-walks the very coalescing candidates Lemur just
    evaluated. *)
-let generations : (Plan.config * (string, value) Hashtbl.t) list ref = ref []
-
-let clear () =
-  generations := [];
-  table := Hashtbl.create 512;
-  rebind_counters ()
-
 let ensure config =
-  match !generations with
+  let st = state () in
+  match st.generations with
   | (c, _) :: _ when c == config -> ()
   | rest -> (
-      rebind_counters ();
+      rebind_counters st;
       match List.partition (fun (c, _) -> c == config) rest with
       | [ (_, tbl) ], others ->
-          table := tbl;
-          generations := (config, tbl) :: others
+          st.table <- tbl;
+          st.generations <- (config, tbl) :: others
       | _, others ->
           let tbl = Hashtbl.create 512 in
-          table := tbl;
-          generations := (config, tbl) :: Lemur_util.Listx.take 1 others)
+          st.table <- tbl;
+          st.generations <- (config, tbl) :: Lemur_util.Listx.take 1 others)
 
-let hit () =
-  incr total_hits;
-  Lemur_telemetry.Counter.incr !c_hits
+let hit st =
+  Atomic.incr total_hits;
+  Lemur_telemetry.Counter.incr st.c_hits
 
-let miss () =
-  incr total_misses;
-  Lemur_telemetry.Counter.incr !c_misses
+let miss st =
+  Atomic.incr total_misses;
+  Lemur_telemetry.Counter.incr st.c_misses
 
-let stats () = (!total_hits, !total_misses)
+let stats () = (Atomic.get total_hits, Atomic.get total_misses)
 
 let loc_char = function
   | Plan.Server -> 's'
@@ -68,23 +87,25 @@ let plan_sig plan =
   plan.Plan.input.Plan.id ^ ":" ^ Bytes.unsafe_to_string b
 
 let cap key f =
-  match Hashtbl.find_opt !table key with
+  let st = state () in
+  match Hashtbl.find_opt st.table key with
   | Some (Cap v) ->
-      hit ();
+      hit st;
       v
   | Some (Cores _) | None ->
-      miss ();
+      miss st;
       let v = f () in
-      Hashtbl.replace !table key (Cap v);
+      Hashtbl.replace st.table key (Cap v);
       v
 
 let cores key f =
-  match Hashtbl.find_opt !table key with
+  let st = state () in
+  match Hashtbl.find_opt st.table key with
   | Some (Cores v) ->
-      hit ();
+      hit st;
       Array.copy v
   | Some (Cap _) | None ->
-      miss ();
+      miss st;
       let v = f () in
-      Hashtbl.replace !table key (Cores (Array.copy v));
+      Hashtbl.replace st.table key (Cores (Array.copy v));
       v

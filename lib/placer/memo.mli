@@ -23,7 +23,13 @@
     [o]fswitch) — see docs/PERFORMANCE.md. Hits and misses feed both
     the process-lifetime totals ({!stats}, readable without telemetry)
     and the [placer.cache.hits] / [placer.cache.misses] counters of the
-    current telemetry sink. *)
+    current telemetry sink.
+
+    The cache is {e domain-local}: each [Lemur_util.Pool] worker keeps
+    its own table and generation list ([clear] / [ensure] act on the
+    calling domain only), so parallel strategies never contend on or
+    corrupt each other's entries. {!stats} totals are atomic and
+    process-wide across all domains. *)
 
 val clear : unit -> unit
 (** Unconditionally empty the cache and re-bind the telemetry counters

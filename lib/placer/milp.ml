@@ -40,7 +40,7 @@ let add_le lp a b =
     (a.terms @ List.map (fun (c, v) -> (-.c, v)) b.terms)
     `Le (b.const -. a.const)
 
-let solve ?(max_nodes = 200_000) ?(warm = true) config inputs =
+let solve_checked ?(max_nodes = 200_000) ?(warm = true) config inputs =
   let tm = Lemur_telemetry.Telemetry.current () in
   Lemur_telemetry.Telemetry.with_span tm "placer.milp.solve" @@ fun () ->
   let lp = Lemur_lp.Lp.create () in
@@ -255,8 +255,9 @@ let solve ?(max_nodes = 200_000) ?(warm = true) config inputs =
     ~by:(Lemur_lp.Lp.num_constraints lp)
     (Lemur_telemetry.Telemetry.counter tm "placer.milp.constraints");
   match Lemur_lp.Lp.solve_milp ~max_nodes ~warm lp with
-  | Lemur_lp.Lp.Infeasible | Lemur_lp.Lp.Unbounded -> None
-  | Lemur_lp.Lp.Optimal { values; _ } ->
+  | Error e -> Error e
+  | Ok (Lemur_lp.Lp.Infeasible | Lemur_lp.Lp.Unbounded) -> Ok None
+  | Ok (Lemur_lp.Lp.Optimal { values; _ }) ->
       let rates =
         List.map (fun (input, _, r, _, _) -> (input.Plan.id, values.(r) /. gs)) u_sums
       in
@@ -267,30 +268,46 @@ let solve ?(max_nodes = 200_000) ?(warm = true) config inputs =
           0.0 rates
           u_sums
       in
-      Some
-        {
-          objective;
-          rates;
-          server_nfs =
-            List.map
-              (fun (input, nfs, _, _, _) ->
-                ( input.Plan.id,
-                  List.filter_map
-                    (fun nf ->
-                      let on_server =
-                        match nf.placement with
-                        | `Fixed_server -> true
-                        | `Fixed_switch -> false
-                        | `Free v -> values.(v) > 0.5
-                      in
-                      if on_server then
-                        Some nf.node.Graph.instance.Lemur_nf.Instance.name
-                      else None)
-                    nfs ))
-              u_sums;
-          cores =
-            List.map
-              (fun (input, _, _, k, _) ->
-                (input.Plan.id, int_of_float (Float.round values.(k))))
-              u_sums;
-        }
+      Ok
+        (Some
+           {
+             objective;
+             rates;
+             server_nfs =
+               List.map
+                 (fun (input, nfs, _, _, _) ->
+                   ( input.Plan.id,
+                     List.filter_map
+                       (fun nf ->
+                         let on_server =
+                           match nf.placement with
+                           | `Fixed_server -> true
+                           | `Fixed_switch -> false
+                           | `Free v -> values.(v) > 0.5
+                         in
+                         if on_server then
+                           Some nf.node.Graph.instance.Lemur_nf.Instance.name
+                         else None)
+                       nfs ))
+                 u_sums;
+             cores =
+               List.map
+                 (fun (input, _, _, k, _) ->
+                   (input.Plan.id, int_of_float (Float.round values.(k))))
+                 u_sums;
+           })
+
+(* The degrading entry point: a solver give-up is not infeasibility, but
+   the caller can't act on it either — count it and fall back to the
+   heuristic answer (no cross-check), exactly as if the MILP were out of
+   scope. *)
+let solve ?max_nodes ?warm config inputs =
+  match solve_checked ?max_nodes ?warm config inputs with
+  | Ok r -> r
+  | Error e ->
+      let tm = Lemur_telemetry.Telemetry.current () in
+      Lemur_telemetry.Counter.incr
+        (Lemur_telemetry.Telemetry.counter tm "placer.milp.degraded");
+      Logs.debug (fun m ->
+          m "MILP degraded to heuristic: %s" (Lemur_lp.Lp.milp_error_to_string e));
+      None

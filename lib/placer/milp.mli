@@ -39,14 +39,29 @@ exception Unsupported of string
 (** Raised for chains with branches or non-replicable NFs (outside this
     formulation's scope), or NFs with no feasible platform. *)
 
+val solve_checked :
+  ?max_nodes:int ->
+  ?warm:bool ->
+  Plan.config ->
+  Plan.chain_input list ->
+  (result option, Lemur_lp.Lp.milp_error) Stdlib.result
+(** [Ok None] when the MILP is infeasible; [Error] when branch-and-bound
+    gave up (node limit, unbounded relaxation) without deciding either
+    way. [warm] (default [true]) lets branch-and-bound warm-start child
+    nodes from the parent's basis (see {!Lemur_lp.Lp.solve_milp});
+    [~warm:false] forces cold per-node solves — the fuzzer's
+    differential baseline.
+    @raise Unsupported. *)
+
 val solve :
   ?max_nodes:int ->
   ?warm:bool ->
   Plan.config ->
   Plan.chain_input list ->
   result option
-(** [None] when the MILP is infeasible. [warm] (default [true]) lets
-    branch-and-bound warm-start child nodes from the parent's basis
-    (see {!Lemur_lp.Lp.solve_milp}); [~warm:false] forces cold per-node
-    solves — the fuzzer's differential baseline.
+(** {!solve_checked} with solver give-ups degraded to [None]: the caller
+    proceeds on its heuristic plan as if the cross-check were
+    unavailable, and the [placer.milp.degraded] telemetry counter
+    records that a solver error (not infeasibility) was swallowed.
+    Never raises for solver-side reasons.
     @raise Unsupported. *)

@@ -206,7 +206,7 @@ let finalize strategy config policy plans ~elapsed_start =
               | Stagecheck.Fits stages ->
                   Placed
                     (build_placement strategy config allocs lp stages
-                       (Unix.gettimeofday () -. elapsed_start)))))
+                       (Lemur_util.Timing.elapsed elapsed_start)))))
 
 (* ------------------------------------------------------------------ *)
 (* Lemur heuristic                                                      *)
@@ -483,7 +483,7 @@ let lemur_placement ?policy strategy config inputs start =
 
 let evaluate_plans strategy config policy plans =
   Memo.ensure config;
-  finalize strategy config policy plans ~elapsed_start:(Unix.gettimeofday ())
+  finalize strategy config policy plans ~elapsed_start:(Lemur_util.Timing.now ())
 
 (* ------------------------------------------------------------------ *)
 (* Brute-force Optimal                                                  *)
@@ -686,10 +686,18 @@ let optimal_placement config inputs start =
             configs
     in
     enum [] per_chain core_budget;
-    (* Evaluate the LP for each combination, rank by objective. *)
-    let scored =
-      List.filter_map
+    (* Evaluate the LP for each combination, rank by objective. The
+       evaluations are independent and pure given [config], so they fan
+       out across the domain pool; results come back merged by index, so
+       the ranking below sees them in enumeration order and the chosen
+       placement is identical to a sequential run. Each worker re-scopes
+       its domain-local memo cache to [config] (physical identity holds
+       across domains) before touching it. A combination whose
+       evaluation raises is skipped and counted, never fatal. *)
+    let evaluated =
+      Lemur_util.Pool.map
         (fun combo ->
+          Memo.ensure config;
           match
             Alloc.assign_only config
               (List.map (fun c -> (c.oc_plan, c.oc_cores)) combo)
@@ -700,6 +708,18 @@ let optimal_placement config inputs start =
               | None -> None
               | Some lp -> Some (lp.Ratelp.total_marginal, combo, allocs, lp)))
         !combos
+    in
+    let scored =
+      List.filter_map
+        (function
+          | Ok r -> r
+          | Error (_ : Lemur_util.Pool.job_error) ->
+              Lemur_telemetry.Counter.incr
+                (Lemur_telemetry.Telemetry.counter
+                   (Lemur_telemetry.Telemetry.current ())
+                   "placer.optimal.eval_errors");
+              None)
+        evaluated
     in
     let ranked =
       List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare b a) scored
@@ -713,7 +733,7 @@ let optimal_placement config inputs start =
           | Stagecheck.Fits stages ->
               Placed
                 (build_placement Optimal config allocs lp stages
-                   (Unix.gettimeofday () -. start))
+                   (Lemur_util.Timing.elapsed start))
           | Stagecheck.Overflow _ | Stagecheck.Conflict _ -> walk rest)
     in
     if ranked = [] then Infeasible { reason = "SLOs unsatisfiable in any enumerated placement" }
@@ -761,7 +781,7 @@ let reevaluate_with_truth strategy config placement start =
     | Some lp ->
         Placed
           (build_placement strategy config allocs lp placement.stages_used
-             (Unix.gettimeofday () -. start))
+             (Lemur_util.Timing.elapsed start))
 
 (* ------------------------------------------------------------------ *)
 
@@ -771,7 +791,7 @@ let place strategy config inputs =
   @@ fun () ->
   Lemur_telemetry.Counter.incr (Lemur_telemetry.Telemetry.counter tm "placer.places");
   Memo.ensure config;
-  let start = Unix.gettimeofday () in
+  let start = Lemur_util.Timing.now () in
   try
     match strategy with
     | Lemur -> lemur_placement Lemur config inputs start

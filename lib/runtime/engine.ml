@@ -81,6 +81,22 @@ let run cfg (trace : Trace.t) =
   let h_decision =
     Lemur_telemetry.Telemetry.histogram tele "runtime.decision_latency_ns"
   in
+  let c_deploy_errors =
+    Lemur_telemetry.Telemetry.counter tele "runtime.deploy_errors"
+  in
+  (* A placement call must never kill the trace: an escaped exception
+     (a solver bug exposed mid-flight) is demoted to an [Error], which
+     the caller then treats exactly like an infeasible placement —
+     mandatory triggers abort the run legally, deferrable ones journal
+     the failure and keep operating the current deployment. *)
+  let guarded f =
+    match f () with
+    | r -> r
+    | exception ((Abort_run _ | Oracle_fail _) as e) -> raise e
+    | exception exn ->
+        Lemur_telemetry.Counter.incr c_deploy_errors;
+        Error ("placement crashed: " ^ Printexc.to_string exn)
+  in
   match Trace.initial_inputs trace with
   | Error e -> Error (Trace_invalid e)
   | Ok inputs0 -> (
@@ -169,18 +185,29 @@ let run cfg (trace : Trace.t) =
         | Some check -> (
             match check d with
             | Ok () -> ()
-            | Error reason -> raise (Oracle_fail { at; reason }))
+            | Error reason -> raise (Oracle_fail { at; reason })
+            | exception exn ->
+                (* A crashing hook cannot vouch for the deployment:
+                   treat it as a rejection, not a process abort. *)
+                Lemur_telemetry.Counter.incr c_deploy_errors;
+                raise
+                  (Oracle_fail
+                     {
+                       at;
+                       reason = "check hook raised: " ^ Printexc.to_string exn;
+                     }))
       in
       let timed f =
-        let t0 = Unix.gettimeofday () in
+        let t0 = Lemur_util.Timing.now () in
         let r = f () in
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Lemur_util.Timing.elapsed t0 in
         latencies := dt :: !latencies;
         Lemur_telemetry.Histogram.record h_decision (dt *. 1e9);
         r
       in
       let initial =
-        timed (fun () -> Lemur.Deployment.deploy base_config inputs0)
+        timed (fun () ->
+            guarded (fun () -> Lemur.Deployment.deploy base_config inputs0))
       in
       match initial with
       | Error e -> Error (Initial_infeasible e)
@@ -211,7 +238,9 @@ let run cfg (trace : Trace.t) =
             let reconfigure ~at ~mandatory ~reason =
               let result =
                 timed (fun () ->
-                    Lemur.Deployment.deploy !cur_config (effective_inputs ()))
+                    guarded (fun () ->
+                        Lemur.Deployment.deploy !cur_config
+                          (effective_inputs ())))
               in
               match result with
               | Ok d ->
@@ -252,8 +281,9 @@ let run cfg (trace : Trace.t) =
                     in
                     timed (fun () ->
                         match
-                          Lemur.Dynamics.Schedule.precompute !cur_config
-                            (contract_inputs ()) windows
+                          guarded (fun () ->
+                              Lemur.Dynamics.Schedule.precompute !cur_config
+                                (contract_inputs ()) windows)
                         with
                         | Ok s ->
                             schedule := Some s;

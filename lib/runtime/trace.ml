@@ -128,7 +128,11 @@ let slo_kvs (slo : Lemur_slo.Slo.t) =
       (if slo.weight <> 1.0 then [ "weight=" ^ fl slo.weight ] else []);
     ]
 
+(* [Error (token, message)]: [token], when known, is the exact
+   [key=value] token at fault, which lets the parser point the reported
+   column at it. *)
 let slo_of_kvs kvs =
+  let exception Bad of string option * string in
   let num_or parse s =
     match float_of_string_opt s with Some x -> x | None -> parse s
   in
@@ -137,24 +141,32 @@ let slo_of_kvs kvs =
       List.fold_left
         (fun slo kv ->
           match String.index_opt kv '=' with
-          | None -> failwith (Printf.sprintf "expected key=value, got %S" kv)
+          | None ->
+              raise
+                (Bad (Some kv, Printf.sprintf "expected key=value, got %S" kv))
           | Some i -> (
               let key = String.sub kv 0 i in
               let v = String.sub kv (i + 1) (String.length kv - i - 1) in
               let open Lemur_slo.Slo in
-              match key with
-              | "tmin" -> { slo with t_min = num_or rate_of_string v }
-              | "tmax" -> { slo with t_max = num_or rate_of_string v }
-              | "dmax" -> { slo with d_max = num_or duration_of_string v }
-              | "weight" -> { slo with weight = num_or (fun _ -> raise (Invalid "weight")) v }
-              | _ -> failwith (Printf.sprintf "unknown SLO key %S" key)))
+              try
+                match key with
+                | "tmin" -> { slo with t_min = num_or rate_of_string v }
+                | "tmax" -> { slo with t_max = num_or rate_of_string v }
+                | "dmax" -> { slo with d_max = num_or duration_of_string v }
+                | "weight" ->
+                    { slo with weight = num_or (fun _ -> raise (Invalid "weight")) v }
+                | _ ->
+                    raise
+                      (Bad (Some kv, Printf.sprintf "unknown SLO key %S" key))
+              with Lemur_slo.Slo.Invalid m ->
+                raise (Bad (Some kv, "bad SLO: " ^ m))))
         Lemur_slo.Slo.best_effort kvs
     in
     Lemur_slo.Slo.validate slo;
     Ok slo
   with
-  | Failure m -> Error m
-  | Lemur_slo.Slo.Invalid m -> Error ("bad SLO: " ^ m)
+  | Bad (tok, m) -> Error (tok, m)
+  | Lemur_slo.Slo.Invalid m -> Error (None, "bad SLO: " ^ m)
 
 let action_to_string = function
   | Traffic { chain_id; rate } -> Printf.sprintf "traffic %s %s" chain_id (fl rate)
@@ -223,7 +235,40 @@ let strip_head n line =
   in
   String.trim (String.sub line (skip 0 n false) (len - skip 0 n false))
 
-let parse source =
+type parse_error = {
+  pe_file : string option;
+  pe_line : int;  (** 1-based; 0 for whole-trace errors *)
+  pe_col : int;  (** 1-based; 1 when no finer position is known *)
+  pe_message : string;
+}
+
+let parse_error_to_string e =
+  if e.pe_line = 0 then
+    Printf.sprintf "%s: %s"
+      (Option.value e.pe_file ~default:"<trace>")
+      e.pe_message
+  else
+    Printf.sprintf "%s:%d:%d: %s"
+      (Option.value e.pe_file ~default:"<trace>")
+      e.pe_line e.pe_col e.pe_message
+
+(* 1-based column of [tok]'s first whitespace-delimited occurrence in
+   [line]; 1 when it cannot be found (the caller still gets the line). *)
+let token_col line tok =
+  let len = String.length line and tl = String.length tok in
+  let is_ws c = c = ' ' || c = '\t' in
+  let rec search i =
+    if tl = 0 || i + tl > len then 1
+    else if
+      String.sub line i tl = tok
+      && (i = 0 || is_ws line.[i - 1])
+      && (i + tl = len || is_ws line.[i + tl])
+    then i + 1
+    else search (i + 1)
+  in
+  search 0
+
+let parse ?file source =
   let lines = String.split_on_char '\n' source in
   let seed = ref None
   and horizon = ref None
@@ -231,8 +276,13 @@ let parse source =
   and chains = ref []
   and windows = ref []
   and events = ref [] in
-  let err lineno msg = Error (Printf.sprintf "trace line %d: %s" lineno msg) in
-  let parse_action lineno tokens rest =
+  let err ?(col = 1) lineno msg =
+    Error { pe_file = file; pe_line = lineno; pe_col = col; pe_message = msg }
+  in
+  let err_tok line lineno tok msg =
+    err ~col:(match tok with Some t -> token_col line t | None -> 1) lineno msg
+  in
+  let parse_action lineno line tokens rest =
     match tokens with
     | "traffic" :: chain_id :: rate :: [] -> (
         match float_of_string_opt rate with
@@ -244,7 +294,7 @@ let parse source =
     | "slo" :: chain_id :: kvs -> (
         match slo_of_kvs kvs with
         | Ok slo -> Ok (Set_slo { chain_id; slo })
-        | Error m -> err lineno m)
+        | Error (tok, m) -> err_tok line lineno tok m)
     | "add" :: _ :: _ -> Ok (Add_chain { decl = strip_head 1 rest })
     | "remove" :: id :: [] -> Ok (Remove_chain id)
     | "fail" :: el :: [] -> (
@@ -270,7 +320,7 @@ let parse source =
           | None -> err lineno (Printf.sprintf "bad timestamp %S" at)
           | Some at when at < 0.0 -> err lineno "negative timestamp"
           | Some at -> (
-              match parse_action lineno tokens (strip_head 1 body) with
+              match parse_action lineno line tokens (strip_head 1 body) with
               | Ok action ->
                   events := { at; action } :: !events;
                   Ok ()
@@ -305,7 +355,9 @@ let parse source =
                       | "cores", Some n when n > 0 ->
                           topo := { !topo with cores_per_socket = n };
                           Ok ()
-                      | _ -> err lineno (Printf.sprintf "bad topology option %S" opt))
+                      | _ ->
+                          err_tok line lineno (Some opt)
+                            (Printf.sprintf "bad topology option %S" opt))
                   | None -> (
                       match opt with
                       | "smartnic" ->
@@ -320,14 +372,16 @@ let parse source =
                       | "metron" ->
                           topo := { !topo with metron = true };
                           Ok ()
-                      | _ -> err lineno (Printf.sprintf "unknown topology flag %S" opt))))
+                      | _ ->
+                          err_tok line lineno (Some opt)
+                            (Printf.sprintf "unknown topology flag %S" opt))))
             (Ok ()) opts
       | "chain" :: _ :: _ ->
           chains := strip_head 1 trimmed :: !chains;
           Ok ()
       | "window" :: label :: id :: kvs -> (
           match slo_of_kvs kvs with
-          | Error m -> err lineno m
+          | Error (tok, m) -> err_tok line lineno tok m
           | Ok slo ->
               let entry = (id, slo) in
               (windows :=
@@ -364,7 +418,13 @@ let parse source =
             | [] -> 0.05)
       in
       if List.exists (fun e -> e.at > horizon) events then
-        Error "trace has events beyond the horizon"
+        Error
+          {
+            pe_file = file;
+            pe_line = 0;
+            pe_col = 1;
+            pe_message = "trace has events beyond the horizon";
+          }
       else
         Ok
           {

@@ -63,8 +63,23 @@ val dynamics_event : action -> (Lemur.Dynamics.event, string) result option
 (** The {!Lemur.Dynamics.event} behind a structural action ([Set_slo],
     [Add_chain], [Remove_chain]); [None] for the rest. *)
 
-val parse : string -> (t, string) result
-(** Parse the text format; [Error] names the offending line. *)
+type parse_error = {
+  pe_file : string option;  (** the [?file] given to {!parse} *)
+  pe_line : int;  (** 1-based; 0 for whole-trace errors *)
+  pe_col : int;
+      (** 1-based column of the offending token when the parser can
+          point at one (a bad [key=value], an unknown SLO key, a bad
+          topology option); 1 otherwise *)
+  pe_message : string;
+}
+
+val parse_error_to_string : parse_error -> string
+(** [file:line:col: message] — the compiler-style rendering the CLI
+    prints (no backtrace). *)
+
+val parse : ?file:string -> string -> (t, parse_error) result
+(** Parse the text format; [Error] carries file/line/column. [file] is
+    only used for error reporting. *)
 
 val to_string : t -> string
 (** Render to the text format. [parse (to_string t)] re-reads an equal

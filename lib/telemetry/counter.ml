@@ -1,12 +1,13 @@
-type t = { name : string; mutable value : int }
+type t = { name : string; value : int Atomic.t }
 
-let make name = { name; value = 0 }
+let make name = { name; value = Atomic.make 0 }
 let name t = t.name
 
 let incr ?(by = 1) t =
   if by < 0 then invalid_arg "Counter.incr: negative increment";
-  t.value <- t.value + by
+  ignore (Atomic.fetch_and_add t.value by)
 
-let value t = t.value
+let value t = Atomic.get t.value
 
-let to_json t = Json.Obj [ ("name", Json.String t.name); ("value", Json.Int t.value) ]
+let to_json t =
+  Json.Obj [ ("name", Json.String t.name); ("value", Json.Int (value t)) ]

@@ -5,7 +5,11 @@
     pivots performed, batches dropped) rather than gauges. Counters are
     created through {!Telemetry.counter}, which interns them by name in
     a registry; [make] builds an unregistered counter (the disabled
-    sink hands these out so instrumented code never branches). *)
+    sink hands these out so instrumented code never branches).
+
+    Increments are atomic, so counters shared across domains (the
+    placer cache counters under a parallel fuzz run, for instance)
+    never lose updates. *)
 
 type t
 

@@ -2,6 +2,7 @@ type t = {
   name : string;
   bounds : float array;
   counts : int array; (* length = Array.length bounds + 1; last = overflow *)
+  mu : Mutex.t; (* guards every mutable field: recorders may be on any domain *)
   mutable n : int;
   mutable sum : float;
   mutable min_v : float;
@@ -21,6 +22,7 @@ let make ?(bounds = default_bounds) name =
     name;
     bounds;
     counts = Array.make (Array.length bounds + 1) 0;
+    mu = Mutex.create ();
     n = 0;
     sum = 0.0;
     min_v = infinity;
@@ -40,11 +42,13 @@ let bucket_of t v =
 
 let record t v =
   let b = bucket_of t v in
+  Mutex.lock t.mu;
   t.counts.(b) <- t.counts.(b) + 1;
   t.n <- t.n + 1;
   t.sum <- t.sum +. v;
   if v < t.min_v then t.min_v <- v;
-  if v > t.max_v then t.max_v <- v
+  if v > t.max_v then t.max_v <- v;
+  Mutex.unlock t.mu
 
 let count t = t.n
 let sum t = t.sum

@@ -128,15 +128,52 @@ let of_string s =
           | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              let code =
-                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              (* Exactly four hex digits — [int_of_string "0x..."] would
+                 also accept signs and underscores, and a catch-all
+                 handler would mask which digit was wrong. *)
+              let read_hex4 what =
+                if !pos + 4 > n then fail ("truncated " ^ what);
+                let code = ref 0 in
+                for i = !pos to !pos + 3 do
+                  let d =
+                    match s.[i] with
+                    | '0' .. '9' as c -> Char.code c - Char.code '0'
+                    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                    | c ->
+                        fail
+                          (Printf.sprintf "non-hex digit %C in %s" c what)
+                  in
+                  code := (!code * 16) + d
+                done;
+                pos := !pos + 4;
+                !code
               in
-              (* Only BMP code points below 0x80 are reproduced; others
+              let code = read_hex4 "\\u escape" in
+              let cp =
+                if code >= 0xD800 && code <= 0xDBFF then begin
+                  (* A high surrogate is only meaningful as the first
+                     half of a \uXXXX\uXXXX pair. *)
+                  if
+                    not (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                  then
+                    fail (Printf.sprintf "unpaired high surrogate \\u%04X" code);
+                  pos := !pos + 2;
+                  let low = read_hex4 "low surrogate" in
+                  if low < 0xDC00 || low > 0xDFFF then
+                    fail
+                      (Printf.sprintf
+                         "expected low surrogate after \\u%04X, got \\u%04X"
+                         code low);
+                  0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                end
+                else if code >= 0xDC00 && code <= 0xDFFF then
+                  fail (Printf.sprintf "unpaired low surrogate \\u%04X" code)
+                else code
+              in
+              (* Only code points below 0x80 are reproduced; others
                  round-trip as '?' (the printer never emits them). *)
-              Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
-              pos := !pos + 4;
+              Buffer.add_char buf (if cp < 0x80 then Char.chr cp else '?');
               go ()
           | _ -> fail "bad escape")
       | Some c ->

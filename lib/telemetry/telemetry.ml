@@ -12,9 +12,12 @@ type t = {
   on : bool;
   clock : unit -> float;
   epoch : float;
+  mu : Mutex.t; (* guards the intern tables and [roots] across domains *)
   counters_tbl : (string, Counter.t) Hashtbl.t;
   histograms_tbl : (string, Histogram.t) Hashtbl.t;
-  mutable stack : frame list;
+  stack_key : frame list ref Domain.DLS.key;
+      (* open spans nest per domain: each worker gets its own stack, so
+         parallel fan-out can't interleave frames across domains *)
   mutable roots : span list; (* reversed *)
 }
 
@@ -23,9 +26,10 @@ let make ~on ~clock =
     on;
     clock;
     epoch = (if on then clock () else 0.0);
+    mu = Mutex.create ();
     counters_tbl = Hashtbl.create 32;
     histograms_tbl = Hashtbl.create 32;
-    stack = [];
+    stack_key = Domain.DLS.new_key (fun () -> ref []);
     roots = [];
   }
 
@@ -40,35 +44,42 @@ let set_current t = current_sink := t
 (* ------------------------------------------------------------------ *)
 (* Recording *)
 
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let counter t name =
   if not t.on then Counter.make name
   else
-    match Hashtbl.find_opt t.counters_tbl name with
-    | Some c -> c
-    | None ->
-        let c = Counter.make name in
-        Hashtbl.add t.counters_tbl name c;
-        c
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters_tbl name with
+        | Some c -> c
+        | None ->
+            let c = Counter.make name in
+            Hashtbl.add t.counters_tbl name c;
+            c)
 
 let histogram t ?bounds name =
   if not t.on then Histogram.make ?bounds name
   else
-    match Hashtbl.find_opt t.histograms_tbl name with
-    | Some h -> h
-    | None ->
-        let h = Histogram.make ?bounds name in
-        Hashtbl.add t.histograms_tbl name h;
-        h
+    locked t (fun () ->
+        match Hashtbl.find_opt t.histograms_tbl name with
+        | Some h -> h
+        | None ->
+            let h = Histogram.make ?bounds name in
+            Hashtbl.add t.histograms_tbl name h;
+            h)
 
 let with_span t name f =
   if not t.on then f ()
   else begin
+    let stack = Domain.DLS.get t.stack_key in
     let frame = { f_name = name; f_start = t.clock (); f_children = [] } in
-    t.stack <- frame :: t.stack;
+    stack := frame :: !stack;
     let close () =
       let now = t.clock () in
-      (match t.stack with
-      | top :: rest when top == frame -> t.stack <- rest
+      (match !stack with
+      | top :: rest when top == frame -> stack := rest
       | _ ->
           (* A child raised through its own close: drop frames down to
              ours so the stack cannot leak open spans. *)
@@ -77,18 +88,18 @@ let with_span t name f =
             | _ :: rest -> unwind rest
             | [] -> []
           in
-          t.stack <- unwind t.stack);
+          stack := unwind !stack);
       let span =
         {
           span_name = name;
           span_start = frame.f_start -. t.epoch;
-          span_duration = now -. frame.f_start;
+          span_duration = Float.max 0.0 (now -. frame.f_start);
           span_children = List.rev frame.f_children;
         }
       in
-      match t.stack with
+      match !stack with
       | parent :: _ -> parent.f_children <- span :: parent.f_children
-      | [] -> t.roots <- span :: t.roots
+      | [] -> locked t (fun () -> t.roots <- span :: t.roots)
     in
     Fun.protect ~finally:close f
   end
@@ -97,7 +108,10 @@ let time t h f =
   if not t.on then f ()
   else begin
     let t0 = t.clock () in
-    Fun.protect ~finally:(fun () -> Histogram.record h ((t.clock () -. t0) *. 1e9)) f
+    Fun.protect
+      ~finally:(fun () ->
+        Histogram.record h (Float.max 0.0 (t.clock () -. t0) *. 1e9))
+      f
   end
 
 (* ------------------------------------------------------------------ *)
@@ -107,9 +121,15 @@ let sorted_values tbl name_of =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
   |> List.sort (fun a b -> String.compare (name_of a) (name_of b))
 
-let counters t = sorted_values t.counters_tbl Counter.name
-let histograms t = sorted_values t.histograms_tbl Histogram.name
-let spans t = List.rev t.roots
+let counters t =
+  if not t.on then []
+  else locked t (fun () -> sorted_values t.counters_tbl Counter.name)
+
+let histograms t =
+  if not t.on then []
+  else locked t (fun () -> sorted_values t.histograms_tbl Histogram.name)
+
+let spans t = if not t.on then [] else locked t (fun () -> List.rev t.roots)
 
 (* ------------------------------------------------------------------ *)
 (* Output *)

@@ -32,7 +32,12 @@
 
 type t
 (** A telemetry registry: interned counters and histograms plus a stack
-    of open spans. Not thread-safe; Lemur is single-threaded. *)
+    of open spans. Domain-safe: interning and completed-span recording
+    are mutex-guarded, counters are atomic, and the open-span stack is
+    per-domain, so [Lemur_util.Pool] workers can report into the same
+    registry. Span {e nesting} is per domain — a worker's spans become
+    roots (or children of spans that worker opened), never children of
+    another domain's open span. *)
 
 (** {2:spans Spans} *)
 

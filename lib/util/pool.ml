@@ -1,0 +1,150 @@
+type job_error = { job_index : int; message : string; backtrace : string }
+
+let error_to_string e =
+  Printf.sprintf "item %d: %s" e.job_index e.message
+
+(* Worker domains flag themselves so a nested [map] (e.g. the Optimal
+   strategy parallelizing plan evaluation from inside a fuzz worker)
+   degrades to the inline sequential path instead of deadlocking on the
+   pool it is running on. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let hard_cap = 64
+let clamp n = max 1 (min hard_cap n)
+let recommended_domains () = clamp (Domain.recommended_domain_count ())
+let default_domains = ref 1
+let set_default n = default_domains := clamp n
+let get_default () = !default_domains
+
+let capture_error i exn =
+  {
+    job_index = i;
+    message = Printexc.to_string exn;
+    backtrace = Printexc.get_backtrace ();
+  }
+
+let seq_map f xs =
+  List.mapi (fun i x -> try Ok (f x) with exn -> capture_error i exn |> Result.error) xs
+
+(* ------------------------------------------------------------------ *)
+(* The pool proper: [size] worker domains blocking on a shared queue of
+   closures. Tasks write their result slot and tick a per-map
+   completion latch; the submitting domain waits on that latch, so one
+   pool serves any number of successive [map] calls. *)
+
+type pool = {
+  size : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop pool () =
+  Domain.DLS.set in_worker true;
+  let rec next () =
+    Mutex.lock pool.mu;
+    let rec wait () =
+      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+      else if pool.stop then None
+      else begin
+        Condition.wait pool.nonempty pool.mu;
+        wait ()
+      end
+    in
+    let task = wait () in
+    Mutex.unlock pool.mu;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        next ()
+  in
+  next ()
+
+let create_pool size =
+  let pool =
+    {
+      size;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init size (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown_pool pool =
+  Mutex.lock pool.mu;
+  pool.stop <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mu;
+  List.iter Domain.join pool.workers
+
+(* The cached global pool. Only ever touched from outside workers
+   (nested calls short-circuit to [seq_map] above), so plain mutable
+   state is enough. *)
+let global : pool option ref = ref None
+
+let shutdown () =
+  match !global with
+  | None -> ()
+  | Some p ->
+      global := None;
+      shutdown_pool p
+
+let global_pool size =
+  match !global with
+  | Some p when p.size = size -> p
+  | other ->
+      (match other with Some p -> shutdown_pool p | None -> ());
+      let p = create_pool size in
+      global := Some p;
+      p
+
+let pool_map pool f xs =
+  let n = List.length xs in
+  let results = Array.make n None in
+  let left = ref n in
+  let latch_mu = Mutex.create () in
+  let latch_done = Condition.create () in
+  Mutex.lock pool.mu;
+  List.iteri
+    (fun i x ->
+      Queue.push
+        (fun () ->
+          let r = try Ok (f x) with exn -> Error (capture_error i exn) in
+          results.(i) <- Some r;
+          Mutex.lock latch_mu;
+          decr left;
+          if !left = 0 then Condition.signal latch_done;
+          Mutex.unlock latch_mu)
+        pool.queue)
+    xs;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mu;
+  Mutex.lock latch_mu;
+  while !left > 0 do
+    Condition.wait latch_done latch_mu
+  done;
+  Mutex.unlock latch_mu;
+  (* Every slot was filled before the latch opened, and the latch mutex
+     orders those writes before these reads. *)
+  Array.to_list (Array.map Option.get results)
+
+let map ?domains f xs =
+  let domains = clamp (Option.value domains ~default:(get_default ())) in
+  if domains <= 1 || List.compare_length_with xs 1 <= 0 || Domain.DLS.get in_worker
+  then seq_map f xs
+  else pool_map (global_pool domains) f xs
+
+let all results =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Ok x :: rest -> go (x :: acc) rest
+    | Error e :: _ -> Error e
+  in
+  go [] results

@@ -1,0 +1,49 @@
+(** A fixed-size OCaml 5 domain pool with a deterministic, ordered [map].
+
+    [map] farms list items out to worker domains and merges results back
+    {e by index}, so the output list is in input order no matter which
+    domain finished first. Items must carry their own randomness (a
+    per-item seed) rather than read shared mutable state; under that
+    discipline [map ~domains:n] returns bit-identical results for every
+    [n], which is what lets the fuzz harness promise that [-j 4] and
+    [-j 1] digests match byte for byte.
+
+    Workers must never tear down the whole run: each item's exceptions
+    are caught and surfaced as a typed [Error], forcing callers to
+    decide per item instead of crashing mid-corpus.
+
+    The pool behind [map] is process-global, sized on first use and
+    resized when a different [domains] is requested. Calls from inside a
+    worker domain (nested parallelism) run sequentially inline — the
+    pool never deadlocks on itself. [~domains:1] also takes the purely
+    sequential path: no domains are spawned and no locks are taken. *)
+
+type job_error = {
+  job_index : int;  (** position of the failing item in the input list *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+  backtrace : string;
+}
+
+val error_to_string : job_error -> string
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to [\[1; 64\]]. *)
+
+val set_default : int -> unit
+(** Set the domain count used when [map] is called without [~domains]
+    (the CLI [-j] flag lands here). Clamped to [\[1; 64\]]. Initially
+    [1], so library code stays sequential unless a caller opts in. *)
+
+val get_default : unit -> int
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, job_error) result list
+(** Ordered parallel map. [Ok] and [Error] results appear at the index
+    of the item that produced them. [?domains] defaults to
+    {!get_default}. *)
+
+val all : ('b, job_error) result list -> ('b list, job_error) result
+(** [Ok] of every payload in order, or the first [Error]. *)
+
+val shutdown : unit -> unit
+(** Join and discard the cached global pool (idempotent). Subsequent
+    [map] calls re-create it on demand. *)

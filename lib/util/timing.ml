@@ -1,0 +1,3 @@
+let now () = Unix.gettimeofday ()
+let duration ~start ~stop = Float.max 0.0 (stop -. start)
+let elapsed t0 = duration ~start:t0 ~stop:(now ())

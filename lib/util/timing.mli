@@ -1,0 +1,16 @@
+(** Wall-clock timing with non-negative durations.
+
+    [Unix.gettimeofday] can step backwards (NTP slew, VM migration); a
+    raw [t1 -. t0] then records a negative latency into histograms and
+    reports. Every duration measured through this module is clamped at
+    zero, and every subsystem takes its timestamps here so the clamp is
+    in one place. *)
+
+val now : unit -> float
+(** Seconds since the epoch ([Unix.gettimeofday]). *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [max 0 (now () -. t0)]. *)
+
+val duration : start:float -> stop:float -> float
+(** [max 0 (stop -. start)] for timestamps taken with {!now}. *)

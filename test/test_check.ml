@@ -300,6 +300,31 @@ let test_quick_fuzz_clean () =
   Alcotest.(check bool) "placements were actually checked" true
     (summary.Fuzz.placements_checked > 50)
 
+let test_fuzz_parallel_digest () =
+  (* The -j contract: identical summary and digest at any domain count,
+     including when the max-failures cutoff truncates the run. *)
+  let run jobs = Fuzz.run ~quick:true ~sim:true ~jobs ~seed:1 ~count:40 () in
+  let seq = run 1 and par = run 3 in
+  Alcotest.(check string) "digest invariant under -j" seq.Fuzz.digest
+    par.Fuzz.digest;
+  Alcotest.(check int) "same scenario count" seq.Fuzz.scenarios
+    par.Fuzz.scenarios;
+  Alcotest.(check int) "same placements" seq.Fuzz.placements_checked
+    par.Fuzz.placements_checked;
+  Alcotest.(check bool) "digest is non-empty hex" true
+    (String.length seq.Fuzz.digest = 32)
+
+let test_runtime_check_parallel_digest () =
+  let run jobs =
+    Lemur_check.Runtime_check.run ~events:15 ~jobs ~seed:1 ~count:4 ()
+  in
+  let seq = run 1 and par = run 2 in
+  Alcotest.(check string) "runtime digest invariant under -j"
+    seq.Lemur_check.Runtime_check.rs_digest
+    par.Lemur_check.Runtime_check.rs_digest;
+  Alcotest.(check int) "same run count" seq.Lemur_check.Runtime_check.rs_runs
+    par.Lemur_check.Runtime_check.rs_runs
+
 let suite =
   [
     Alcotest.test_case "oracle accepts valid placements" `Quick
@@ -322,4 +347,8 @@ let suite =
     Alcotest.test_case "shrinking preserves the failure" `Quick
       test_shrink_preserves_failure;
     Alcotest.test_case "quick fuzz run is clean" `Quick test_quick_fuzz_clean;
+    Alcotest.test_case "fuzz digest invariant under -j" `Slow
+      test_fuzz_parallel_digest;
+    Alcotest.test_case "runtime digest invariant under -j" `Slow
+      test_runtime_check_parallel_digest;
   ]

@@ -8,6 +8,10 @@ let check_optimal ?(tol = 1e-6) name expected outcome =
   | Lp.Infeasible -> Alcotest.failf "%s: unexpectedly infeasible" name
   | Lp.Unbounded -> Alcotest.failf "%s: unexpectedly unbounded" name
 
+let milp_ok = function
+  | Ok outcome -> outcome
+  | Error e -> Alcotest.failf "milp gave up: %s" (Lp.milp_error_to_string e)
+
 let test_basic_max () =
   (* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12 *)
   let p = Lp.create () in
@@ -144,7 +148,7 @@ let test_milp_knapsack () =
   let a = mk "a" and b = mk "b" and c = mk "c" and d = mk "d" in
   Lp.add_constraint p [ (5.0, a); (7.0, b); (4.0, c); (3.0, d) ] `Le 14.0;
   Lp.set_objective p ~maximize:true [ (8.0, a); (11.0, b); (6.0, c); (4.0, d) ];
-  check_optimal "knapsack" 21.0 (Lp.solve_milp p)
+  check_optimal "knapsack" 21.0 (milp_ok (Lp.solve_milp p))
 
 let test_milp_integrality () =
   (* LP relaxation gives fractional optimum; MILP must round properly.
@@ -154,12 +158,36 @@ let test_milp_integrality () =
   let y = Lp.add_var p ~integer:true ~name:"y" () in
   Lp.add_constraint p [ (2.0, x); (2.0, y) ] `Le 5.0;
   Lp.set_objective p ~maximize:true [ (1.0, x); (1.0, y) ];
-  match Lp.solve_milp p with
+  match milp_ok (Lp.solve_milp p) with
   | Lp.Optimal { objective; values } ->
       Alcotest.(check (float 1e-6)) "objective" 2.0 objective;
       Alcotest.(check bool) "integral" true
         (Array.for_all (fun v -> Float.abs (v -. Float.round v) < 1e-6) values)
   | _ -> Alcotest.fail "expected optimal"
+
+let test_milp_node_limit () =
+  (* The branch-and-bound give-up path must be a typed [Error], not an
+     exception: the caller (Milp.solve) degrades to the heuristic. *)
+  let p = Lp.create () in
+  let mk name = Lp.add_var p ~ub:1.0 ~integer:true ~name () in
+  let a = mk "a" and b = mk "b" and c = mk "c" and d = mk "d" in
+  Lp.add_constraint p [ (5.0, a); (7.0, b); (4.0, c); (3.0, d) ] `Le 14.0;
+  Lp.set_objective p ~maximize:true [ (8.0, a); (11.0, b); (6.0, c); (4.0, d) ];
+  match Lp.solve_milp ~max_nodes:1 p with
+  | Error (Lp.Node_limit { explored; max_nodes }) ->
+      Alcotest.(check int) "limit echoed" 1 max_nodes;
+      Alcotest.(check bool) "explored counted" true (explored >= 1)
+  | Error Lp.Unbounded_relaxation -> Alcotest.fail "wrong error variant"
+  | Ok _ -> Alcotest.fail "expected a node-limit give-up"
+
+let test_milp_unbounded_relaxation () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~integer:true ~name:"x" () in
+  Lp.set_objective p ~maximize:true [ (1.0, x) ];
+  match Lp.solve_milp p with
+  | Error Lp.Unbounded_relaxation -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Lp.milp_error_to_string e)
+  | Ok _ -> Alcotest.fail "expected an unbounded-relaxation error"
 
 (* The standard-form corpus the pricing and warm-start tests sweep:
    every shape the Lp layer emits (Le/Ge/Eq rows, bounds-as-rows,
@@ -299,8 +327,8 @@ let test_milp_warm_matches_cold () =
   in
   List.iter
     (fun (name, mk) ->
-      let cold = Lp.solve_milp ~warm:false (mk ()) in
-      let warm = Lp.solve_milp ~warm:true (mk ()) in
+      let cold = milp_ok (Lp.solve_milp ~warm:false (mk ())) in
+      let warm = milp_ok (Lp.solve_milp ~warm:true (mk ())) in
       match (cold, warm) with
       | Lp.Optimal { objective = oc; _ }, Lp.Optimal { objective = ow; _ } ->
           Alcotest.(check (float 1e-6))
@@ -384,6 +412,9 @@ let suite =
     Alcotest.test_case "mixed-scale regression" `Quick test_mixed_scale_regression;
     Alcotest.test_case "milp knapsack" `Quick test_milp_knapsack;
     Alcotest.test_case "milp integrality" `Quick test_milp_integrality;
+    Alcotest.test_case "milp node limit" `Quick test_milp_node_limit;
+    Alcotest.test_case "milp unbounded relaxation" `Quick
+      test_milp_unbounded_relaxation;
     Alcotest.test_case "dantzig matches bland" `Quick test_dantzig_matches_bland;
     Alcotest.test_case "warm basis reuse" `Quick test_warm_basis_reuse;
     Alcotest.test_case "milp warm matches cold" `Quick test_milp_warm_matches_cold;

@@ -122,6 +122,29 @@ let test_generated_instances () =
     (Printf.sprintf "enough instances compared (%d)" !compared)
     true (!compared >= 20)
 
+let test_node_limit_degrades () =
+  (* A starved branch-and-bound must be a typed give-up, not a crash:
+     [solve_checked] reports it, [solve] degrades to None (the caller
+     falls back to the heuristic placement and the run continues). *)
+  let c = config () in
+  let inputs =
+    [
+      mk "a" "ACL -> Encrypt -> IPv4Fwd" 2e9;
+      mk "b" "BPF -> NAT -> Dedup -> IPv4Fwd" 1e9;
+    ]
+  in
+  (match Milp.solve_checked ~max_nodes:1 c inputs with
+  | Error (Lemur_lp.Lp.Node_limit { explored; max_nodes }) ->
+      Alcotest.(check int) "limit echoed" 1 max_nodes;
+      Alcotest.(check bool) "explored counted" true (explored >= 1)
+  | Error Lemur_lp.Lp.Unbounded_relaxation ->
+      Alcotest.fail "wrong give-up variant"
+  | Ok (Some _) -> Alcotest.fail "one node cannot close this instance"
+  | Ok None -> Alcotest.fail "starved solve must not claim infeasibility");
+  match Milp.solve ~max_nodes:1 c inputs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "degrading wrapper must return None on give-up"
+
 let test_warm_matches_cold_instances () =
   (* Warm-started branch and bound must agree with the cold solver on
      feasibility and objective for every generated instance; the trees
@@ -161,6 +184,8 @@ let suite =
     Alcotest.test_case "bounce accounting" `Quick test_bounce_accounting;
     Alcotest.test_case "rejects unsupported chains" `Quick test_rejects_unsupported;
     Alcotest.test_case "stage budget forces eviction" `Quick test_stage_budget_forces_eviction;
+    Alcotest.test_case "node limit degrades, not crashes" `Quick
+      test_node_limit_degrades;
     Alcotest.test_case "50 generated instances vs search" `Slow test_generated_instances;
     Alcotest.test_case "warm matches cold on generated instances" `Slow
       test_warm_matches_cold_instances;

@@ -82,7 +82,7 @@ let test_trace_roundtrip () =
   let t = Trace.generate ~events:20 ~seed:5 () in
   let text = Trace.to_string t in
   match Trace.parse text with
-  | Error e -> Alcotest.failf "re-parse failed: %s" e
+  | Error e -> Alcotest.failf "re-parse failed: %s" (Trace.parse_error_to_string e)
   | Ok t' ->
       Alcotest.(check string) "print/parse/print fixpoint" text
         (Trace.to_string t');
@@ -93,16 +93,65 @@ let test_trace_parse_errors () =
   (* an empty file parses structurally but declares no chains, which
      initial_inputs rejects — the engine maps that to Trace_invalid *)
   (match Trace.parse "" with
-  | Error e -> Alcotest.failf "empty trace should parse structurally: %s" e
+  | Error e ->
+      Alcotest.failf "empty trace should parse structurally: %s"
+        (Trace.parse_error_to_string e)
   | Ok t -> (
       match Trace.initial_inputs t with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "chainless trace must have no inputs"));
   match Trace.parse "@0.5 frobnicate x\n" with
   | Error e ->
+      let rendered = Trace.parse_error_to_string e in
       Alcotest.(check bool) "error names the verb" true
-        (contains ~needle:"frobnicate" e || contains ~needle:"line" e)
+        (contains ~needle:"frobnicate" rendered)
   | Ok _ -> Alcotest.fail "unknown verb must not parse"
+
+let test_trace_parse_positions () =
+  (* Errors carry 1-based file/line/column; the CLI prints them
+     compiler-style with no backtrace. *)
+  (match Trace.parse ~file:"t.trace" "chain c0 = ACL\n@0.5 frobnicate x\n" with
+  | Error e ->
+      Alcotest.(check (option string)) "file" (Some "t.trace") e.Trace.pe_file;
+      Alcotest.(check int) "line" 2 e.Trace.pe_line;
+      Alcotest.(check bool) "rendered as file:line:col" true
+        (contains ~needle:"t.trace:2:" (Trace.parse_error_to_string e))
+  | Ok _ -> Alcotest.fail "unknown verb must not parse");
+  (* a bad key=value points at the offending token's column *)
+  (match Trace.parse "chain c0 slo(bogus='1') = ACL\n" with
+  | Error e ->
+      Alcotest.(check int) "line 1" 1 e.Trace.pe_line;
+      Alcotest.(check bool) "column past start" true (e.Trace.pe_col >= 1)
+  | Ok _ -> ());
+  (* default file placeholder when none was given *)
+  match Trace.parse "@0.5 frobnicate x\n" with
+  | Error e ->
+      Alcotest.(check bool) "default file tag" true
+        (contains ~needle:"<trace>" (Trace.parse_error_to_string e))
+  | Ok _ -> Alcotest.fail "unknown verb must not parse"
+
+let test_engine_survives_crashing_checker () =
+  (* A check hook that raises mid-run must surface as a structured
+     oracle rejection — the engine never lets the exception escape. *)
+  let trace = Trace.generate ~events:12 ~seed:3 () in
+  let calls = ref 0 in
+  let check _ =
+    incr calls;
+    if !calls > 1 then failwith "checker bug" else Ok ()
+  in
+  let cfg =
+    Engine.default_config ~policy:Policy.Immediate ~seed:3 ~check ()
+  in
+  match Engine.run cfg trace with
+  | Error (Engine.Oracle_rejected { reason; _ }) ->
+      Alcotest.(check bool) "reason names the hook crash" true
+        (contains ~needle:"checker bug" reason)
+  | Error e ->
+      Alcotest.failf "wrong error class: %s" (Engine.error_to_string e)
+  | Ok _ -> Alcotest.fail "second check call should have raised"
+  | exception e ->
+      Alcotest.failf "engine leaked the hook's exception: %s"
+        (Printexc.to_string e)
 
 let test_generator_deterministic () =
   let a = Trace.generate ~events:30 ~seed:7 () in
@@ -185,6 +234,10 @@ let suite =
     Alcotest.test_case "policy parse" `Quick test_policy_parse;
     Alcotest.test_case "trace text round-trip" `Quick test_trace_roundtrip;
     Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
+    Alcotest.test_case "trace parse error positions" `Quick
+      test_trace_parse_positions;
+    Alcotest.test_case "crashing check hook is contained" `Quick
+      test_engine_survives_crashing_checker;
     Alcotest.test_case "generator is deterministic" `Quick
       test_generator_deterministic;
     Alcotest.test_case "engine is deterministic" `Quick

@@ -218,6 +218,42 @@ let test_json_parser () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted malformed document"
 
+let test_json_unicode_escapes () =
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (* the happy path: exactly four hex digits *)
+  (match Json.of_string "\"\\u0041\"" with
+  | Ok (Json.String "A") -> ()
+  | Ok other -> Alcotest.failf "misparsed: %s" (Json.to_string ~pretty:false other)
+  | Error e -> Alcotest.failf "rejected valid escape: %s" e);
+  (* a valid surrogate pair parses (rendered as '?', outside ASCII) *)
+  (match Json.of_string "\"\\uD83D\\uDE00\"" with
+  | Ok (Json.String "?") -> ()
+  | Ok other -> Alcotest.failf "misparsed pair: %s" (Json.to_string ~pretty:false other)
+  | Error e -> Alcotest.failf "rejected valid pair: %s" e);
+  let must_reject ~why ~needle doc =
+    match Json.of_string doc with
+    | Ok _ -> Alcotest.failf "accepted %s" why
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s names the problem (%s)" why e)
+          true (contains ~needle e)
+  in
+  (* too few digits: the terminating quote is not hex *)
+  must_reject ~why:"a 3-digit escape" ~needle:"non-hex" "\"\\u012\"";
+  must_reject ~why:"a non-hex digit" ~needle:"non-hex" "\"\\u01g2\"";
+  must_reject ~why:"a truncated escape" ~needle:"truncated" "\"\\u01";
+  (* surrogate halves are only valid as a high+low pair *)
+  must_reject ~why:"an unpaired high surrogate" ~needle:"unpaired high"
+    "\"\\uD800x\"";
+  must_reject ~why:"a lone low surrogate" ~needle:"unpaired low"
+    "\"\\uDC00\"";
+  must_reject ~why:"a high surrogate followed by a non-surrogate"
+    ~needle:"expected low surrogate" "\"\\uD800\\u0041\""
+
 (* ------------------------------------------------------------------ *)
 
 let suite =
@@ -234,4 +270,5 @@ let suite =
     Alcotest.test_case "disabled sink is inert" `Quick test_disabled_sink;
     Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
   ]

@@ -144,9 +144,62 @@ let test_texttable () =
   Alcotest.(check bool) "pads short rows" true
     (List.length (String.split_on_char '\n' rendered) = 4)
 
+let test_pool_basic () =
+  (* ordered results, typed per-job errors, no early abort *)
+  (match Pool.all (Pool.map ~domains:1 (fun x -> x * x) [ 1; 2; 3 ]) with
+  | Ok l -> Alcotest.(check (list int)) "squares in order" [ 1; 4; 9 ] l
+  | Error e -> Alcotest.failf "sequential map failed: %s" (Pool.error_to_string e));
+  let results =
+    Pool.map ~domains:3
+      (fun x -> if x = 2 then failwith "boom" else x * 10)
+      [ 1; 2; 3 ]
+  in
+  (match results with
+  | [ Ok 10; Error e; Ok 30 ] ->
+      Alcotest.(check int) "error carries job index" 1 e.Pool.job_index;
+      Alcotest.(check bool) "error carries the message" true
+        (let n = "boom" and h = e.Pool.message in
+         let nl = String.length n and hl = String.length h in
+         let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+         go 0)
+  | _ -> Alcotest.fail "one failing job must not poison its neighbours");
+  (match Pool.all results with
+  | Ok _ -> Alcotest.fail "all must surface the first error"
+  | Error e -> Alcotest.(check int) "first error" 1 e.Pool.job_index);
+  (* empty input, and a worker-side nested map (runs inline, no deadlock) *)
+  (match Pool.map ~domains:4 (fun x -> x) [] with
+  | [] -> ()
+  | _ -> Alcotest.fail "empty input maps to empty output");
+  match
+    Pool.all
+      (Pool.map ~domains:2
+         (fun x -> Pool.all (Pool.map ~domains:2 (fun y -> x + y) [ 1; 2 ]))
+         [ 10; 20 ])
+  with
+  | Ok [ Ok [ 11; 12 ]; Ok [ 21; 22 ] ] -> ()
+  | _ -> Alcotest.fail "nested map must run inline and preserve order"
+
+let test_timing_clamp () =
+  Alcotest.(check (float 0.0)) "forward duration" 1.5
+    (Timing.duration ~start:1.0 ~stop:2.5);
+  (* a clock step backwards must clamp to zero, never go negative *)
+  Alcotest.(check (float 0.0)) "backwards clamps to 0" 0.0
+    (Timing.duration ~start:5.0 ~stop:3.0);
+  Alcotest.(check bool) "elapsed is non-negative" true
+    (Timing.elapsed (Timing.now () +. 60.0) >= 0.0)
+
 let qcheck_cases =
   let open QCheck in
   [
+    Test.make ~name:"pool map: domains 1 and 4 agree" ~count:30
+      (pair (list_of_size (Gen.int_range 0 40) small_int) (int_range 0 5))
+      (fun (xs, fail_mod) ->
+        let f x =
+          if fail_mod > 0 && x mod fail_mod = 0 then failwith "planned"
+          else (x * 7) - 3
+        in
+        let strip = List.map (Result.map_error (fun e -> e.Pool.job_index)) in
+        strip (Pool.map ~domains:1 f xs) = strip (Pool.map ~domains:4 f xs));
     Test.make ~name:"compositions sum to n" ~count:100
       (pair (int_range 1 8) (int_range 1 4))
       (fun (n, k) ->
@@ -186,5 +239,7 @@ let suite =
     Alcotest.test_case "linear fit" `Quick test_linear_fit;
     Alcotest.test_case "percentile" `Quick test_percentile;
     Alcotest.test_case "texttable" `Quick test_texttable;
+    Alcotest.test_case "pool map" `Quick test_pool_basic;
+    Alcotest.test_case "timing clamp" `Quick test_timing_clamp;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases
