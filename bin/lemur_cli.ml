@@ -26,7 +26,13 @@ let spec_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc:"Chain specification file.")
 
 let servers =
-  Arg.(value & opt int 1 & info [ "servers" ] ~docv:"N" ~doc:"Number of NF servers in the rack.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "servers" ] ~docv:"N"
+        ~doc:
+          "Number of NF servers in the rack (default 1; with $(b,--fabric), \
+           servers per rack, default 6).")
 
 let cores_per_socket =
   Arg.(value & opt int 8 & info [ "cores-per-socket" ] ~docv:"N" ~doc:"Cores per CPU socket.")
@@ -90,42 +96,229 @@ let strategy =
              (String.concat ", " (List.map fst strategies))))
 
 let topology servers cores_per_socket smartnic ofswitch no_pisa =
+  let num_servers = Option.value ~default:1 servers in
   if no_pisa then Lemur_topology.Topology.no_pisa_testbed ~ofswitch ()
   else
-    Lemur_topology.Topology.testbed ~num_servers:servers ~cores_per_socket
-      ~smartnic ~ofswitch ()
+    Lemur_topology.Topology.testbed ~num_servers ~cores_per_socket ~smartnic
+      ~ofswitch ()
 
 let deploy strategy topo metron file =
   Lemur.Deployment.of_spec ~strategy ~topology:topo ~metron (read_file file)
 
 (* ------------------------------------------------------------------ *)
 
+(* Fabric mode: a spec file's chains become tenant templates — each
+   chain is one tenant, instantiated --replicas times and homed
+   round-robin across the racks. Without a spec file the synthetic
+   tenant population (the same one `bench -- scale` uses) stands in. *)
+let fabric_demands ~fabric ~seed ~tenants ~chains ~replicas file =
+  let module Fabric = Lemur_topology.Fabric in
+  match file with
+  | None ->
+      let tenants =
+        match tenants with
+        | Some t -> t
+        | None -> max 4 (2 * Fabric.num_racks fabric)
+      in
+      Ok
+        (Fabric.expand (Fabric.synthetic_tenants ~seed ~tenants ~chains fabric))
+  | Some file -> (
+      match Lemur_spec.Loader.load (read_file file) with
+      | exception Lemur_spec.Parser.Error { line; message } ->
+          Error (Printf.sprintf "parse error at line %d: %s" line message)
+      | exception Lemur_spec.Lexer.Error { line; col; message } ->
+          Error (Printf.sprintf "lexical error at %d:%d: %s" line col message)
+      | exception Lemur_spec.Graph.Invalid message -> Error message
+      | [] -> Error "specification declares no chains"
+      | chains -> (
+          let rack_names = Fabric.rack_names fabric in
+          let n = List.length rack_names in
+          match
+            List.concat
+              (List.mapi
+                 (fun i (c : Lemur_spec.Loader.chain_spec) ->
+                   let slo =
+                     match c.Lemur_spec.Loader.slo_args with
+                     | None -> Lemur_slo.Slo.best_effort
+                     | Some args -> Lemur_slo.Slo.of_params args
+                   in
+                   let home = List.nth rack_names (i mod n) in
+                   List.init replicas (fun k ->
+                       {
+                         Fabric.d_id =
+                           (if replicas = 1 then c.Lemur_spec.Loader.chain_name
+                            else
+                              Printf.sprintf "%s/%d"
+                                c.Lemur_spec.Loader.chain_name k);
+                         d_tenant = c.Lemur_spec.Loader.chain_name;
+                         d_graph = c.Lemur_spec.Loader.graph;
+                         d_slo = slo;
+                         d_home = Some home;
+                         d_pinned = false;
+                       }))
+                 chains)
+          with
+          | exception Lemur_slo.Slo.Invalid message ->
+              Error ("bad SLO: " ^ message)
+          | demands -> Ok demands))
+
+let place_fabric ~strategy ~servers ~cps ~num_racks ~spines ~uplink_gbps ~seed
+    ~tenants ~chains ~replicas ~jobs file =
+  let module Fabric = Lemur_topology.Fabric in
+  let module Shard = Lemur_placer.Shard in
+  let fabric =
+    Fabric.synthetic ~racks:num_racks
+      ~servers_per_rack:(Option.value ~default:6 servers)
+      ~cores_per_socket:cps ~spines ~uplink_gbps ()
+  in
+  match fabric_demands ~fabric ~seed ~tenants ~chains ~replicas file with
+  | exception Fabric.Invalid message ->
+      Printf.eprintf "error: %s\n" message;
+      1
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok demands -> (
+      let cfg = Shard.default_config ~strategy fabric in
+      match Shard.place ?jobs cfg demands with
+      | Shard.Infeasible _ as outcome ->
+          Format.printf "%a" Shard.pp_outcome outcome;
+          1
+      | Shard.Placed fp as outcome ->
+          Format.printf "%a" Shard.pp_outcome outcome;
+          (match Lemur_check.Fabric_check.check fp with
+          | Ok () -> Format.printf "oracle: clean@."
+          | Error vs ->
+              Format.printf "oracle: %d violation(s)@." (List.length vs);
+              List.iter
+                (fun v ->
+                  Format.printf "  %a@." Lemur_check.Fabric_check.pp_violation
+                    v)
+                vs);
+          Format.printf "digest: %s@." (Shard.digest fp);
+          0)
+
 let place_cmd =
-  let run strategy servers cps smartnic ofswitch no_pisa metron tfile file =
+  let fabric_flag =
+    Arg.(
+      value & flag
+      & info [ "fabric" ]
+          ~doc:
+            "Place across a spine/leaf fabric of racks (the sharded placer) \
+             instead of a single rack. The spec file becomes optional: its \
+             chains are used as tenant templates homed round-robin across \
+             the racks; without one, a synthetic tenant population is \
+             generated (see $(b,--tenants), $(b,--chains), $(b,--seed)).")
+  in
+  let num_racks =
+    Arg.(
+      value & opt int 4
+      & info [ "racks" ] ~docv:"N" ~doc:"Fabric mode: number of racks.")
+  in
+  let spines =
+    Arg.(
+      value & opt int 2
+      & info [ "spines" ] ~docv:"N"
+          ~doc:"Fabric mode: number of spine switches (uplinks per rack).")
+  in
+  let uplink_gbps =
+    Arg.(
+      value & opt float 100.0
+      & info [ "uplink-gbps" ] ~docv:"X"
+          ~doc:"Fabric mode: capacity of each leaf-spine link, Gbps.")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:
+            "Fabric mode, synthetic population: tenant count (default \
+             2 x racks).")
+  in
+  let chains =
+    Arg.(
+      value & opt int 64
+      & info [ "chains" ] ~docv:"N"
+          ~doc:
+            "Fabric mode, synthetic population: total chain instances across \
+             all tenants.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:
+            "Fabric mode, with a spec file: instances of each spec chain \
+             (each carries the chain's full SLO).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Fabric mode: synthetic population seed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Fabric mode: solver domains for the per-rack shards (default: \
+             the pool's session default). Results are byte-identical at any \
+             value.")
+  in
+  let spec_file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"SPEC"
+          ~doc:"Chain specification file (optional with $(b,--fabric)).")
+  in
+  let run strategy servers cps smartnic ofswitch no_pisa metron tfile fabric
+      num_racks spines uplink_gbps tenants chains replicas seed jobs file =
     with_telemetry tfile @@ fun () ->
-    let topo = topology servers cps smartnic ofswitch no_pisa in
-    match deploy strategy topo metron file with
-    | Error e ->
-        Printf.eprintf "error: %s\n" e;
-        1
-    | Ok d ->
-        let p = d.Lemur.Deployment.placement in
-        List.iter
-          (fun r -> Format.printf "%a" Lemur_placer.Plan.pp r.Lemur_placer.Strategy.plan)
-          p.Lemur_placer.Strategy.chain_reports;
-        Format.printf
-          "predicted aggregate %a (marginal %a), %d switch stages, %d cores, %.3fs@."
-          Lemur_util.Units.pp_rate p.Lemur_placer.Strategy.total_rate
-          Lemur_util.Units.pp_rate p.Lemur_placer.Strategy.total_marginal
-          p.Lemur_placer.Strategy.stages_used p.Lemur_placer.Strategy.cores_used
-          p.Lemur_placer.Strategy.elapsed;
-        0
+    if fabric then
+      place_fabric ~strategy ~servers ~cps ~num_racks ~spines ~uplink_gbps
+        ~seed ~tenants ~chains ~replicas ~jobs file
+    else
+      match file with
+      | None ->
+          Printf.eprintf "error: a SPEC file is required without --fabric\n";
+          2
+      | Some file -> (
+          let topo = topology servers cps smartnic ofswitch no_pisa in
+          match deploy strategy topo metron file with
+          | Error e ->
+              Printf.eprintf "error: %s\n" e;
+              1
+          | Ok d ->
+              let p = d.Lemur.Deployment.placement in
+              List.iter
+                (fun r ->
+                  Format.printf "%a" Lemur_placer.Plan.pp
+                    r.Lemur_placer.Strategy.plan)
+                p.Lemur_placer.Strategy.chain_reports;
+              Format.printf
+                "predicted aggregate %a (marginal %a), %d switch stages, %d \
+                 cores, %.3fs@."
+                Lemur_util.Units.pp_rate p.Lemur_placer.Strategy.total_rate
+                Lemur_util.Units.pp_rate p.Lemur_placer.Strategy.total_marginal
+                p.Lemur_placer.Strategy.stages_used
+                p.Lemur_placer.Strategy.cores_used
+                p.Lemur_placer.Strategy.elapsed;
+              0)
   in
   Cmd.v
-    (Cmd.info "place" ~doc:"Compute an SLO-satisfying placement for a chain specification.")
+    (Cmd.info "place"
+       ~doc:
+         "Compute an SLO-satisfying placement for a chain specification, on \
+          a single rack or (with $(b,--fabric)) across a spine/leaf fabric.")
     Term.(
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
-      $ no_pisa $ metron $ telemetry $ spec_file)
+      $ no_pisa $ metron $ telemetry $ fabric_flag $ num_racks $ spines
+      $ uplink_gbps $ tenants $ chains $ replicas $ seed $ jobs
+      $ spec_file_opt)
 
 let compile_cmd =
   let full =

@@ -1,0 +1,193 @@
+open Lemur_topology
+module Shard = Lemur_placer.Shard
+
+type direction = Up | Down
+
+type violation =
+  | Rack_violation of { rack : string; violation : Oracle.violation }
+  | Uplink_overcommit of {
+      rack : string;
+      direction : direction;
+      load : float;
+      capacity : float;
+    }
+  | Unbudgeted_cross_rack of {
+      chain : string;
+      home : string;
+      serving : string;
+    }
+  | Pinned_moved of { chain : string; home : string; serving : string }
+  | Chain_unassigned of { chain : string; rack : string }
+  | Chain_multihomed of { chain : string; racks : string list }
+  | Uplink_loads_inconsistent of {
+      rack : string;
+      direction : direction;
+      reported : float;
+      derived : float;
+    }
+
+let kind_name = function
+  | Rack_violation _ -> "rack_violation"
+  | Uplink_overcommit _ -> "uplink_overcommit"
+  | Unbudgeted_cross_rack _ -> "unbudgeted_cross_rack"
+  | Pinned_moved _ -> "pinned_moved"
+  | Chain_unassigned _ -> "chain_unassigned"
+  | Chain_multihomed _ -> "chain_multihomed"
+  | Uplink_loads_inconsistent _ -> "uplink_loads_inconsistent"
+
+let dir_name = function Up -> "up" | Down -> "down"
+
+let pp_violation ppf = function
+  | Rack_violation { rack; violation } ->
+      Format.fprintf ppf "rack %s: %a" rack Oracle.pp_violation violation
+  | Uplink_overcommit { rack; direction; load; capacity } ->
+      Format.fprintf ppf "uplink %s (%s): load %a exceeds capacity %a" rack
+        (dir_name direction) Lemur_util.Units.pp_rate load
+        Lemur_util.Units.pp_rate capacity
+  | Unbudgeted_cross_rack { chain; home; serving } ->
+      Format.fprintf ppf
+        "chain %s crosses %s -> %s without an uplink reservation" chain home
+        serving
+  | Pinned_moved { chain; home; serving } ->
+      Format.fprintf ppf "pinned chain %s served on %s, not its home %s" chain
+        serving home
+  | Chain_unassigned { chain; rack } ->
+      Format.fprintf ppf "chain %s assigned to %s but absent from its shard"
+        chain rack
+  | Chain_multihomed { chain; racks } ->
+      Format.fprintf ppf "chain %s placed in multiple shards: %s" chain
+        (String.concat ", " racks)
+  | Uplink_loads_inconsistent { rack; direction; reported; derived } ->
+      Format.fprintf ppf
+        "uplink %s (%s): planner reserved %a but assignments imply %a" rack
+        (dir_name direction) Lemur_util.Units.pp_rate reported
+        Lemur_util.Units.pp_rate derived
+
+(* Floats accumulated in a different order than the planner's are equal
+   only up to rounding; a relative epsilon keeps the re-derivation
+   honest without false alarms. *)
+let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max a b)
+
+let check (fp : Shard.fabric_placement) =
+  let cfg = fp.Shard.config in
+  let fabric = cfg.Shard.fabric in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Where does each chain actually live, per the rack reports? *)
+  let shard_of : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (rk : Shard.rack_report) ->
+      List.iter
+        (fun id ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt shard_of id) in
+          Hashtbl.replace shard_of id (rk.Shard.rk_rack :: prev))
+        rk.Shard.rk_chain_ids)
+    fp.Shard.rack_reports;
+  (* Assignment-level constraints, re-derived uplink loads alongside. *)
+  let loads : (string, float ref * float ref) Hashtbl.t = Hashtbl.create 64 in
+  let load_of rack =
+    match Hashtbl.find_opt loads rack with
+    | Some l -> l
+    | None ->
+        let l = (ref 0.0, ref 0.0) in
+        Hashtbl.add loads rack l;
+        l
+  in
+  let charge rack floor =
+    let up, down = load_of rack in
+    up := !up +. floor;
+    down := !down +. floor
+  in
+  List.iter
+    (fun (a : Shard.assignment) ->
+      let d = a.Shard.a_demand in
+      let id = d.Fabric.d_id in
+      let serving = a.Shard.a_rack in
+      (match Hashtbl.find_opt shard_of id with
+      | None -> add (Chain_unassigned { chain = id; rack = serving })
+      | Some [ rack ] when String.equal rack serving -> ()
+      | Some [ rack ] ->
+          (* present exactly once, but in a different rack than claimed *)
+          add (Chain_unassigned { chain = id; rack = serving });
+          add (Chain_multihomed { chain = id; racks = [ rack; serving ] })
+      | Some racks ->
+          add (Chain_multihomed { chain = id; racks = List.rev racks }));
+      match d.Fabric.d_home with
+      | Some home when not (String.equal home serving) ->
+          if d.Fabric.d_pinned then
+            add (Pinned_moved { chain = id; home; serving });
+          if not a.Shard.a_cross then
+            add (Unbudgeted_cross_rack { chain = id; home; serving })
+          else begin
+            (* Round-trip accounting: the floor loads both directions of
+               both racks' uplink bundles (docs/TOPOLOGY.md). *)
+            let floor = d.Fabric.d_slo.Lemur_slo.Slo.t_min in
+            charge home floor;
+            charge serving floor
+          end
+      | _ ->
+          if a.Shard.a_cross then
+            (* cross-flagged without a home rack: bookkeeping nonsense *)
+            add
+              (Unbudgeted_cross_rack
+                 { chain = id; home = "(none)"; serving }))
+    fp.Shard.assignments;
+  (* Re-derived loads vs. the planner's books and the capacities. *)
+  List.iter
+    (fun (rack, rep_up, rep_down) ->
+      let der_up, der_down =
+        match Hashtbl.find_opt loads rack with
+        | Some (u, d) -> (!u, !d)
+        | None -> (0.0, 0.0)
+      in
+      if not (close rep_up der_up) then
+        add
+          (Uplink_loads_inconsistent
+             { rack; direction = Up; reported = rep_up; derived = der_up });
+      if not (close rep_down der_down) then
+        add
+          (Uplink_loads_inconsistent
+             { rack; direction = Down; reported = rep_down; derived = der_down });
+      match Fabric.find_rack fabric rack with
+      | exception Not_found -> ()
+      | r ->
+          if der_up > r.Fabric.uplink_up *. (1.0 +. 1e-9) then
+            add
+              (Uplink_overcommit
+                 {
+                   rack;
+                   direction = Up;
+                   load = der_up;
+                   capacity = r.Fabric.uplink_up;
+                 });
+          if der_down > r.Fabric.uplink_down *. (1.0 +. 1e-9) then
+            add
+              (Uplink_overcommit
+                 {
+                   rack;
+                   direction = Down;
+                   load = der_down;
+                   capacity = r.Fabric.uplink_down;
+                 }))
+    fp.Shard.uplink_loads;
+  let fabric_violations = List.rev !violations in
+  (* Every shard through the single-rack oracle, in rack order. *)
+  let rack_violations =
+    List.concat_map
+      (fun (rk : Shard.rack_report) ->
+        match Fabric.find_rack fabric rk.Shard.rk_rack with
+        | exception Not_found -> []
+        | rack -> (
+            let config = Shard.rack_config cfg rack in
+            match Oracle.check config rk.Shard.rk_placement with
+            | Ok () -> []
+            | Error vs ->
+                List.map
+                  (fun v ->
+                    Rack_violation { rack = rk.Shard.rk_rack; violation = v })
+                  vs))
+      fp.Shard.rack_reports
+  in
+  match fabric_violations @ rack_violations with
+  | [] -> Ok ()
+  | vs -> Error vs

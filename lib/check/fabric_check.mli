@@ -1,0 +1,66 @@
+(** Independent re-verification of fabric placements — the
+    datacenter-scale companion to {!Oracle}.
+
+    {!Lemur_placer.Shard} decomposes the fabric problem per rack; this
+    checker re-derives the fabric-level coupling constraints from the
+    assignment list alone — without trusting the planner's own
+    bookkeeping — and then hands every rack's placement to the
+    single-rack {!Oracle}:
+
+    - every demand is served by exactly one rack, and that rack's
+      shard actually contains it;
+    - pinned demands are served at their home rack;
+    - every chain served away from its home rack is flagged as
+      cross-rack (budgeted) — a split without a reservation is exactly
+      the coupling violation the decomposition must never produce;
+    - uplink loads re-derived from the assignments (round-trip floor
+      accounting, docs/TOPOLOGY.md) match the planner's reserved loads
+      and stay within every rack's per-direction uplink capacity;
+    - each rack's placement passes the full single-rack {!Oracle}
+      under the same {!Lemur_placer.Plan.config} the shard was solved
+      with.
+
+    Like {!Oracle}: deliberately slow and redundant. *)
+
+type direction = Up | Down
+
+type violation =
+  | Rack_violation of { rack : string; violation : Oracle.violation }
+      (** a single-rack constraint failed inside this shard *)
+  | Uplink_overcommit of {
+      rack : string;
+      direction : direction;
+      load : float;
+      capacity : float;
+    }
+  | Unbudgeted_cross_rack of {
+      chain : string;
+      home : string;
+      serving : string;
+    }
+      (** served away from home without a cross-rack reservation *)
+  | Pinned_moved of { chain : string; home : string; serving : string }
+  | Chain_unassigned of { chain : string; rack : string }
+      (** assigned to a rack whose shard placement does not contain it *)
+  | Chain_multihomed of { chain : string; racks : string list }
+      (** appears in more than one rack's shard *)
+  | Uplink_loads_inconsistent of {
+      rack : string;
+      direction : direction;
+      reported : float;
+      derived : float;
+    }
+
+val kind_name : violation -> string
+(** Stable constructor name, e.g. ["uplink_overcommit"] — used by tests
+    to assert that a mutation is rejected with the expected
+    diagnostic. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  Lemur_placer.Shard.fabric_placement -> (unit, violation list) result
+(** Every violation found, fabric-level constraints first, then
+    per-rack oracle findings in rack order. [Ok ()] means the sharded
+    placement satisfies both the single-rack constraints of every
+    shard and the inter-rack coupling constraints. *)

@@ -1,0 +1,570 @@
+open Lemur_topology
+module Pool = Lemur_util.Pool
+
+type config = {
+  fabric : Fabric.t;
+  strategy : Strategy.t;
+  pkt_bytes : int;
+  metron_steering : bool;
+  headroom : float;
+  max_repair_rounds : int;
+}
+
+let default_config ?(strategy = Strategy.Lemur) ?(pkt_bytes = 1500) fabric =
+  {
+    fabric;
+    strategy;
+    pkt_bytes;
+    metron_steering = false;
+    headroom = 1.25;
+    max_repair_rounds = 8;
+  }
+
+let rack_config cfg (r : Fabric.rack) =
+  {
+    (Plan.default_config r.Fabric.rack) with
+    Plan.pkt_bytes = cfg.pkt_bytes;
+    metron_steering = cfg.metron_steering;
+  }
+
+type shard_error =
+  | Shard_infeasible of { rack : string; reason : string }
+  | Shard_crashed of { rack : string; error : Pool.job_error }
+  | Chain_evicted of { chain : string; rack : string; reason : string }
+
+let error_to_string = function
+  | Shard_infeasible { rack; reason } ->
+      Printf.sprintf "shard %s: infeasible: %s" rack reason
+  | Shard_crashed { rack; error } ->
+      Printf.sprintf "shard %s: crashed: %s" rack (Pool.error_to_string error)
+  | Chain_evicted { chain; rack; reason } ->
+      Printf.sprintf "chain %s evicted from %s: %s" chain rack reason
+
+type assignment = {
+  a_demand : Fabric.demand;
+  a_rack : string;
+  a_cross : bool;
+}
+
+type rack_report = {
+  rk_rack : string;
+  rk_chain_ids : string list;
+  rk_placement : Strategy.placement;
+}
+
+type repair = {
+  rp_round : int;
+  rp_chain : string;
+  rp_from : string;
+  rp_to : string;
+}
+
+type fabric_placement = {
+  config : config;
+  assignments : assignment list;
+  rack_reports : rack_report list;
+  repairs : repair list;
+  uplink_loads : (string * float * float) list;
+  total_rate : float;
+  total_marginal : float;
+  cores_used : int;
+  elapsed : float;
+}
+
+type outcome =
+  | Placed of fabric_placement
+  | Infeasible of { errors : shard_error list; repairs : repair list }
+
+(* ------------------------------------------------------------------ *)
+(* Partition state                                                     *)
+
+(* One rack's mutable slot during partition and repair. Loads track
+   only SLO floors (t_min): the floor is what the fabric must carry in
+   the worst case, and what the uplink budgets reserve. *)
+type slot = {
+  s_rack : Fabric.rack;
+  s_cores : float;  (* NF cores, the bin-pack capacity proxy *)
+  mutable s_demands : Fabric.demand list;  (* reverse assignment order *)
+  mutable s_floor : float;  (* Σ t_min assigned here *)
+  mutable s_up : float;  (* reserved leaf->spine floor traffic *)
+  mutable s_down : float;
+}
+
+let floor_of (d : Fabric.demand) = d.Fabric.d_slo.Lemur_slo.Slo.t_min
+
+let relative_load ?(extra = 0.0) s = (s.s_floor +. extra) /. s.s_cores
+
+(* Rate is not the only capacity: every chain with a software subgroup
+   pins at least one core, so a rack holding as many chains as it has
+   NF cores cannot take another one no matter how small its floor. *)
+let count_full s = List.length s.s_demands >= int_of_float s.s_cores
+
+(* Round-trip accounting: a chain served away from its home rack loads
+   both directions of both racks' uplink bundles with its floor (see
+   docs/TOPOLOGY.md). *)
+let cross_fits home serving floor =
+  home.s_up +. floor <= home.s_rack.Fabric.uplink_up
+  && home.s_down +. floor <= home.s_rack.Fabric.uplink_down
+  && serving.s_up +. floor <= serving.s_rack.Fabric.uplink_up
+  && serving.s_down +. floor <= serving.s_rack.Fabric.uplink_down
+
+let reserve_cross home serving floor =
+  home.s_up <- home.s_up +. floor;
+  home.s_down <- home.s_down +. floor;
+  serving.s_up <- serving.s_up +. floor;
+  serving.s_down <- serving.s_down +. floor
+
+let release_cross home serving floor =
+  home.s_up <- home.s_up -. floor;
+  home.s_down <- home.s_down -. floor;
+  serving.s_up <- serving.s_up -. floor;
+  serving.s_down <- serving.s_down -. floor
+
+let assign slot d =
+  slot.s_demands <- d :: slot.s_demands;
+  slot.s_floor <- slot.s_floor +. floor_of d
+
+let unassign slot d =
+  slot.s_demands <-
+    List.filter
+      (fun (d' : Fabric.demand) -> not (String.equal d'.Fabric.d_id d.Fabric.d_id))
+      slot.s_demands;
+  slot.s_floor <- slot.s_floor -. floor_of d
+
+(* Racks ordered by projected relative load after accepting [floor],
+   ties broken by name so the greedy choice is deterministic. *)
+let by_projected_load slots floor =
+  List.sort
+    (fun a b ->
+      let c =
+        Float.compare (relative_load ~extra:floor a)
+          (relative_load ~extra:floor b)
+      in
+      if c <> 0 then c
+      else String.compare a.s_rack.Fabric.rack_name b.s_rack.Fabric.rack_name)
+    slots
+
+(* Serve [d]: pinned demands stay home; unpinned ones prefer home while
+   it is not overloaded relative to the fabric-wide fair share, then
+   fall back to the least-loaded rack whose uplinks accept the floor
+   (home always qualifies, so assignment never fails). Returns the
+   serving slot. *)
+let place_demand cfg slots ~fair_share (d : Fabric.demand) =
+  let floor = floor_of d in
+  let home =
+    Option.map
+      (fun h ->
+        List.find (fun s -> String.equal s.s_rack.Fabric.rack_name h) slots)
+      d.Fabric.d_home
+  in
+  let serving =
+    match home with
+    | Some h when d.Fabric.d_pinned -> h
+    | Some h
+      when (not (count_full h))
+           && relative_load ~extra:floor h <= cfg.headroom *. fair_share ->
+        h
+    | _ -> (
+        let candidates = by_projected_load slots floor in
+        let fits s =
+          (not (count_full s))
+          &&
+          match home with
+          | None -> true (* no ingress rack: no fabric crossing to budget *)
+          | Some h when s == h -> true
+          | Some h -> cross_fits h s floor
+        in
+        match List.find_opt fits candidates with
+        | Some s -> s
+        | None -> Option.get home (* uplinks full: serve at the ingress *))
+  in
+  (match home with
+  | Some h when h != serving -> reserve_cross h serving floor
+  | _ -> ());
+  assign serving d;
+  serving
+
+(* ------------------------------------------------------------------ *)
+(* Per-rack solving                                                    *)
+
+type solve_result =
+  | Rack_placed of Strategy.placement
+  | Rack_infeasible of string
+  | Rack_crashed of Pool.job_error
+
+let inputs_of slot =
+  List.rev_map
+    (fun (d : Fabric.demand) ->
+      { Plan.id = d.Fabric.d_id; graph = d.Fabric.d_graph; slo = d.Fabric.d_slo })
+    slot.s_demands
+
+(* Solve every listed rack's shard, fanned out over the pool; results
+   come back in the order of [slots] (Pool.map is order-preserving), so
+   the merge is deterministic at any job count. *)
+let solve_shards ?jobs cfg slots =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.get_default ()
+  in
+  let work =
+    List.map (fun slot -> (slot.s_rack, inputs_of slot)) slots
+  in
+  let results =
+    Pool.map ~domains:jobs
+      (fun (rack, inputs) ->
+        let config = rack_config cfg rack in
+        Strategy.place cfg.strategy config inputs)
+      work
+  in
+  List.map2
+    (fun slot result ->
+      let r =
+        match result with
+        | Ok (Strategy.Placed p) -> Rack_placed p
+        | Ok (Strategy.Infeasible { reason }) -> Rack_infeasible reason
+        | Error e -> Rack_crashed e
+      in
+      (slot, r))
+    slots results
+
+(* ------------------------------------------------------------------ *)
+(* Repair                                                              *)
+
+(* Shed the smallest-floor unpinned chain of an infeasible shard to the
+   least-loaded rack whose uplinks accept it. Returns the chosen
+   (demand, target) or an eviction error when the shard cannot shed. *)
+let shed_candidate slots from reason =
+  let movable =
+    List.filter (fun (d : Fabric.demand) -> not d.Fabric.d_pinned)
+      from.s_demands
+  in
+  let smallest =
+    List.fold_left
+      (fun acc d ->
+        match acc with
+        | None -> Some d
+        | Some best ->
+            let c = Float.compare (floor_of d) (floor_of best) in
+            if c < 0 || (c = 0 && String.compare d.Fabric.d_id best.Fabric.d_id < 0)
+            then Some d
+            else acc)
+      None movable
+  in
+  match smallest with
+  | None ->
+      Error (Shard_infeasible { rack = from.s_rack.Fabric.rack_name; reason })
+  | Some d -> (
+      let floor = floor_of d in
+      let home =
+        Option.map
+          (fun h ->
+            List.find (fun s -> String.equal s.s_rack.Fabric.rack_name h) slots)
+          d.Fabric.d_home
+      in
+      let fits s =
+        s != from
+        && (not (count_full s))
+        &&
+        match home with
+        | None -> true
+        | Some h when s == h -> true
+        | Some h -> cross_fits h s floor
+      in
+      match List.find_opt fits (by_projected_load slots floor) with
+      | Some target -> Ok (d, home, target)
+      | None ->
+          Error
+            (Chain_evicted
+               {
+                 chain = d.Fabric.d_id;
+                 rack = from.s_rack.Fabric.rack_name;
+                 reason = "no rack with spare uplink budget";
+               }))
+
+(* ------------------------------------------------------------------ *)
+
+let place ?jobs cfg demands =
+  let t0 = Lemur_util.Timing.now () in
+  let ids = Hashtbl.create (List.length demands) in
+  List.iter
+    (fun (d : Fabric.demand) ->
+      if Hashtbl.mem ids d.Fabric.d_id then
+        invalid_arg (Printf.sprintf "Shard.place: duplicate demand id %s" d.Fabric.d_id);
+      Hashtbl.add ids d.Fabric.d_id ();
+      match d.Fabric.d_home with
+      | Some h when not (List.mem h (Fabric.rack_names cfg.fabric)) ->
+          invalid_arg
+            (Printf.sprintf "Shard.place: demand %s homed on unknown rack %s"
+               d.Fabric.d_id h)
+      | _ -> ())
+    demands;
+  let slots =
+    List.map
+      (fun (r : Fabric.rack) ->
+        {
+          s_rack = r;
+          s_cores = float_of_int (max 1 (Topology.total_nf_cores r.Fabric.rack));
+          s_demands = [];
+          s_floor = 0.0;
+          s_up = 0.0;
+          s_down = 0.0;
+        })
+      cfg.fabric.Fabric.racks
+  in
+  let fair_share =
+    Fabric.total_demand demands
+    /. float_of_int (max 1 (Fabric.total_nf_cores cfg.fabric))
+  in
+  (* Phase 1: partition, largest floors first so the greedy bin-pack
+     spreads the heavy aggregates before the long tail fills gaps. *)
+  let ordered =
+    List.stable_sort
+      (fun (a : Fabric.demand) b ->
+        let c = Float.compare (floor_of b) (floor_of a) in
+        if c <> 0 then c else String.compare a.Fabric.d_id b.Fabric.d_id)
+      demands
+  in
+  List.iter (fun d -> ignore (place_demand cfg slots ~fair_share d)) ordered;
+  (* Phase 2 + 3: solve all shards, then bounded repair rounds that
+     re-home chains out of infeasible shards and re-solve only the
+     racks whose assignment changed. *)
+  let results : (string, solve_result) Hashtbl.t = Hashtbl.create 64 in
+  let busy_slots () = List.filter (fun s -> s.s_demands <> []) slots in
+  let record solved =
+    List.iter
+      (fun (slot, r) ->
+        Hashtbl.replace results slot.s_rack.Fabric.rack_name r)
+      solved
+  in
+  record (solve_shards ?jobs cfg (busy_slots ()));
+  let repairs = ref [] in
+  let errors = ref [] in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue && !round < cfg.max_repair_rounds do
+    incr round;
+    let infeasible =
+      List.filter
+        (fun s ->
+          match Hashtbl.find_opt results s.s_rack.Fabric.rack_name with
+          | Some (Rack_infeasible _) -> true
+          | _ -> false)
+        (busy_slots ())
+    in
+    if infeasible = [] then continue := false
+    else begin
+      let dirty = ref [] in
+      let mark s =
+        if not (List.memq s !dirty) then dirty := s :: !dirty
+      in
+      List.iter
+        (fun from ->
+          let reason =
+            match Hashtbl.find_opt results from.s_rack.Fabric.rack_name with
+            | Some (Rack_infeasible reason) -> reason
+            | _ -> assert false
+          in
+          match shed_candidate slots from reason with
+          | Error e ->
+              if not (List.mem e !errors) then errors := e :: !errors
+          | Ok (d, home, target) ->
+              let floor = floor_of d in
+              unassign from d;
+              (match home with
+              | Some h when h != from -> release_cross h from floor
+              | _ -> ());
+              (match home with
+              | Some h when h != target -> reserve_cross h target floor
+              | _ -> ());
+              assign target d;
+              repairs :=
+                {
+                  rp_round = !round;
+                  rp_chain = d.Fabric.d_id;
+                  rp_from = from.s_rack.Fabric.rack_name;
+                  rp_to = target.s_rack.Fabric.rack_name;
+                }
+                :: !repairs;
+              mark from;
+              mark target)
+        infeasible;
+      match !dirty with
+      | [] -> continue := false (* every infeasible shard is stuck *)
+      | dirty ->
+          let dirty =
+            List.sort
+              (fun a b ->
+                String.compare a.s_rack.Fabric.rack_name
+                  b.s_rack.Fabric.rack_name)
+              dirty
+          in
+          List.iter
+            (fun s ->
+              if s.s_demands = [] then
+                Hashtbl.remove results s.s_rack.Fabric.rack_name)
+            dirty;
+          record
+            (solve_shards ?jobs cfg
+               (List.filter (fun s -> s.s_demands <> []) dirty))
+    end
+  done;
+  (* Phase 4: merge, in rack order. *)
+  let final_errors =
+    List.filter_map
+      (fun s ->
+        match Hashtbl.find_opt results s.s_rack.Fabric.rack_name with
+        | Some (Rack_infeasible reason) ->
+            Some
+              (Shard_infeasible
+                 { rack = s.s_rack.Fabric.rack_name; reason })
+        | Some (Rack_crashed error) ->
+            Some (Shard_crashed { rack = s.s_rack.Fabric.rack_name; error })
+        | _ -> None)
+      (busy_slots ())
+    @ List.rev !errors
+  in
+  let repairs = List.rev !repairs in
+  if final_errors <> [] then Infeasible { errors = final_errors; repairs }
+  else begin
+    let rack_reports =
+      List.filter_map
+        (fun s ->
+          match Hashtbl.find_opt results s.s_rack.Fabric.rack_name with
+          | Some (Rack_placed p) ->
+              Some
+                {
+                  rk_rack = s.s_rack.Fabric.rack_name;
+                  rk_chain_ids =
+                    List.rev_map (fun (d : Fabric.demand) -> d.Fabric.d_id)
+                      s.s_demands;
+                  rk_placement = p;
+                }
+          | _ -> None)
+        slots
+    in
+    let serving_of =
+      let tbl = Hashtbl.create (List.length demands) in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (d : Fabric.demand) ->
+              Hashtbl.replace tbl d.Fabric.d_id s.s_rack.Fabric.rack_name)
+            s.s_demands)
+        slots;
+      tbl
+    in
+    let assignments =
+      List.map
+        (fun (d : Fabric.demand) ->
+          let rack = Hashtbl.find serving_of d.Fabric.d_id in
+          {
+            a_demand = d;
+            a_rack = rack;
+            a_cross =
+              (match d.Fabric.d_home with
+              | Some h -> not (String.equal h rack)
+              | None -> false);
+          })
+        demands
+    in
+    let sum f =
+      List.fold_left (fun acc r -> acc +. f r.rk_placement) 0.0 rack_reports
+    in
+    Placed
+      {
+        config = cfg;
+        assignments;
+        rack_reports;
+        repairs;
+        uplink_loads =
+          List.map
+            (fun s -> (s.s_rack.Fabric.rack_name, s.s_up, s.s_down))
+            slots;
+        total_rate = sum (fun p -> p.Strategy.total_rate);
+        total_marginal = sum (fun p -> p.Strategy.total_marginal);
+        cores_used =
+          List.fold_left
+            (fun acc r -> acc + r.rk_placement.Strategy.cores_used)
+            0 rack_reports;
+        elapsed = Lemur_util.Timing.elapsed t0;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* The digest covers exactly the deterministic placement content —
+   assignments, per-chain patterns/cores/rates, reserved uplink floors
+   and the repair history — and none of the wall-clock fields, so it is
+   byte-identical at any [-j] (the same contract as the fuzz digest). *)
+let digest fp =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "A|%s|%s|%b\n" a.a_demand.Fabric.d_id a.a_rack
+           a.a_cross))
+    fp.assignments;
+  List.iter
+    (fun rk ->
+      List.iter
+        (fun (r : Strategy.chain_report) ->
+          Buffer.add_string buf
+            (Printf.sprintf "C|%s|%s|%s|%.17g\n" rk.rk_rack
+               (Memo.plan_sig r.Strategy.plan)
+               (String.concat ","
+                  (Array.to_list (Array.map string_of_int r.Strategy.cores)))
+               r.Strategy.rate))
+        rk.rk_placement.Strategy.chain_reports)
+    fp.rack_reports;
+  List.iter
+    (fun (rack, up, down) ->
+      Buffer.add_string buf (Printf.sprintf "U|%s|%.17g|%.17g\n" rack up down))
+    fp.uplink_loads;
+  List.iter
+    (fun rp ->
+      Buffer.add_string buf
+        (Printf.sprintf "P|%d|%s|%s|%s\n" rp.rp_round rp.rp_chain rp.rp_from
+           rp.rp_to))
+    fp.repairs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let pp_outcome ppf = function
+  | Infeasible { errors; repairs } ->
+      Format.fprintf ppf "fabric placement infeasible:@.";
+      List.iter
+        (fun e -> Format.fprintf ppf "  %s@." (error_to_string e))
+        errors;
+      if repairs <> [] then
+        Format.fprintf ppf "  (%d repair move(s) attempted)@."
+          (List.length repairs)
+  | Placed fp ->
+      let cross =
+        List.length (List.filter (fun a -> a.a_cross) fp.assignments)
+      in
+      Format.fprintf ppf
+        "fabric placement: %d chain(s) on %d rack(s), %d cross-rack, %d \
+         repair move(s)@."
+        (List.length fp.assignments)
+        (List.length fp.rack_reports)
+        cross
+        (List.length fp.repairs);
+      List.iter
+        (fun rk ->
+          Format.fprintf ppf
+            "  %s: %d chain(s), rate %a (marginal %a), %d cores, %d stages@."
+            rk.rk_rack
+            (List.length rk.rk_chain_ids)
+            Lemur_util.Units.pp_rate rk.rk_placement.Strategy.total_rate
+            Lemur_util.Units.pp_rate rk.rk_placement.Strategy.total_marginal
+            rk.rk_placement.Strategy.cores_used
+            rk.rk_placement.Strategy.stages_used)
+        fp.rack_reports;
+      List.iter
+        (fun (rack, up, down) ->
+          if up > 0.0 || down > 0.0 then
+            Format.fprintf ppf "  uplink %s: %a up / %a down reserved@." rack
+              Lemur_util.Units.pp_rate up Lemur_util.Units.pp_rate down)
+        fp.uplink_loads;
+      Format.fprintf ppf
+        "fabric aggregate %a (marginal %a), %d cores, %.3fs@."
+        Lemur_util.Units.pp_rate fp.total_rate Lemur_util.Units.pp_rate
+        fp.total_marginal fp.cores_used fp.elapsed

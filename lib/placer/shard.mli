@@ -1,0 +1,119 @@
+(** Sharded per-rack placement over a spine/leaf fabric.
+
+    The global datacenter placement problem — thousands of chains over
+    many racks — decomposes into per-rack subproblems coupled only by
+    the inter-rack uplink budgets ({!Lemur_topology.Fabric}): once each
+    chain is assigned a serving rack and its cross-rack floor traffic
+    is reserved on the uplinks, every rack is exactly the single-rack
+    problem {!Strategy.place} already solves. The planner therefore
+    runs in four deterministic phases:
+
+    + {b Partition}: demands are sorted by descending floor ([t_min],
+      ties by id) and greedily bin-packed onto racks. Pinned demands go
+      to their home rack unconditionally; unpinned demands prefer their
+      home rack while its relative load (assigned floor per NF core)
+      stays below the fabric average, and otherwise go to the
+      least-loaded rack whose uplink budget still accepts the chain's
+      floor. A demand served away from its home rack reserves its floor
+      on both directions of both racks' uplinks (round-trip
+      accounting; see docs/TOPOLOGY.md).
+    + {b Solve}: each rack's chains are placed by the configured
+      single-rack strategy, racks fanned out over
+      {!Lemur_util.Pool.map} — results merge back in rack order, so
+      the outcome (and {!digest}) is byte-identical at any job count.
+    + {b Repair}: racks whose shard came back infeasible shed their
+      smallest-floor unpinned chain to the least-loaded rack with
+      uplink budget, and only the affected racks re-solve; bounded by
+      [max_repair_rounds].
+    + {b Merge}: per-rack placements, assignments, reserved uplink
+      loads and repair history combine into one {!fabric_placement}.
+
+    What the decomposition preserves vs. relaxes — uplink floors are
+    enforced, above-floor (marginal) cross-rack traffic is not
+    budgeted, and no chain is split across racks — is spelled out in
+    docs/TOPOLOGY.md and re-verified independently by
+    {!Lemur_check.Fabric_check}. *)
+
+open Lemur_topology
+
+type config = {
+  fabric : Fabric.t;
+  strategy : Strategy.t;  (** the single-rack solver for each shard *)
+  pkt_bytes : int;
+  metron_steering : bool;
+  headroom : float;
+      (** fraction of a rack's fair share of fabric load above which
+          the partitioner stops preferring a demand's home rack;
+          default 1.25 *)
+  max_repair_rounds : int;  (** default 8 *)
+}
+
+val default_config : ?strategy:Strategy.t -> ?pkt_bytes:int -> Fabric.t -> config
+(** Lemur strategy, 1500-byte packets, no Metron steering. *)
+
+val rack_config : config -> Fabric.rack -> Plan.config
+(** The single-rack {!Plan.config} a shard is solved under. *)
+
+type shard_error =
+  | Shard_infeasible of { rack : string; reason : string }
+      (** the rack's strategy found no feasible placement, after repair *)
+  | Shard_crashed of { rack : string; error : Lemur_util.Pool.job_error }
+      (** the rack's solve raised; carries the pool's typed job error *)
+  | Chain_evicted of { chain : string; rack : string; reason : string }
+      (** repair could not re-home this chain anywhere *)
+
+val error_to_string : shard_error -> string
+
+type assignment = {
+  a_demand : Fabric.demand;
+  a_rack : string;  (** serving rack *)
+  a_cross : bool;
+      (** served away from home; floor reserved on the uplinks *)
+}
+
+type rack_report = {
+  rk_rack : string;
+  rk_chain_ids : string list;  (** demand ids, placement input order *)
+  rk_placement : Strategy.placement;
+}
+
+type repair = {
+  rp_round : int;  (** 1-based repair round *)
+  rp_chain : string;
+  rp_from : string;
+  rp_to : string;  (** the rack the chain was re-homed to *)
+}
+
+type fabric_placement = {
+  config : config;
+  assignments : assignment list;  (** demand input order *)
+  rack_reports : rack_report list;  (** rack-name order *)
+  repairs : repair list;  (** chronological *)
+  uplink_loads : (string * float * float) list;
+      (** per rack (name order): reserved (up, down) floor traffic *)
+  total_rate : float;  (** Σ rack predicted aggregate, bit/s *)
+  total_marginal : float;
+  cores_used : int;
+  elapsed : float;  (** wall-clock seconds, all phases *)
+}
+
+type outcome =
+  | Placed of fabric_placement
+  | Infeasible of { errors : shard_error list; repairs : repair list }
+      (** [errors] is non-empty, in rack order; [repairs] records the
+          re-homing attempted before giving up *)
+
+val place : ?jobs:int -> config -> Fabric.demand list -> outcome
+(** Place every demand on the fabric. [jobs] is the domain count for
+    the per-rack fan-out (default {!Lemur_util.Pool.get_default}); the
+    result is byte-identical for every value of [jobs].
+    @raise Invalid_argument on duplicate demand ids or a pinned demand
+    whose home rack is not in the fabric. *)
+
+val digest : fabric_placement -> string
+(** Hex digest over the deterministic content — every assignment,
+    every chain's plan pattern, core vector and allocated rate, the
+    reserved uplink loads and the repair history — and none of the
+    wall-clock fields. The byte-identity contract behind [-j N]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -20,6 +20,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("dataplane", Test_dataplane.suite);
       ("check", Test_check.suite);
+      ("fabric", Test_fabric.suite);
       ("runtime", Test_runtime.suite);
       ("telemetry", Test_telemetry.suite);
       ("core", Test_core.suite);
