@@ -818,6 +818,7 @@ let () =
   | _ :: "runtime" :: rest -> exit (Runtime_bench.main rest)
   | _ :: "parallel" :: rest -> exit (Parallel_bench.main rest)
   | _ :: "scale" :: rest -> exit (Scale_bench.main rest)
+  | _ :: "packets" :: rest -> exit (Packet_bench.main rest)
   | _ -> ());
   let telemetry_dir, argv_rest =
     match Array.to_list Sys.argv with

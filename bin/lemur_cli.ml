@@ -4,6 +4,7 @@
      lemur compile <spec.lemur>   run the meta-compiler, print artifacts
      lemur run     <spec.lemur>   place, compile, simulate, report SLOs
      lemur run     --trace FILE   drive the online control loop over a trace
+     lemur exec    <spec.lemur>   execute packet-by-packet, check vs the rate model
      lemur trace                  generate / echo runtime traces
      lemur nfs                    list the NF vocabulary (Table 3)
 
@@ -534,6 +535,110 @@ let run_cmd =
       $ trace_events_arg $ policy_arg $ engine_seed $ sample_ms $ no_check
       $ report_file $ telemetry $ spec_opt)
 
+let exec_cmd =
+  let duration =
+    Arg.(
+      value & opt float 10.0
+      & info [ "duration" ] ~docv:"MS" ~doc:"Simulated measurement window (ms).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Generator seed, shared by both executors so they measure the \
+             same workload.")
+  in
+  let overdrive =
+    Arg.(
+      value & opt float 1.08
+      & info [ "overdrive" ] ~docv:"X"
+          ~doc:"Drive each chain at $(docv) times its accepted rate.")
+  in
+  let elements =
+    Arg.(
+      value & flag
+      & info [ "elements" ]
+          ~doc:
+            "Also print per-element ring statistics (pulled / pushed / \
+             dropped / still queued).")
+  in
+  let no_converge =
+    Arg.(
+      value & flag
+      & info [ "no-converge" ]
+          ~doc:
+            "Skip the differential check against the batch-rate simulator \
+             (the engine alone still verifies packet conservation).")
+  in
+  let run strategy servers cps smartnic ofswitch no_pisa metron duration seed
+      overdrive elements no_converge tfile file =
+    with_telemetry tfile @@ fun () ->
+    let topo = topology servers cps smartnic ofswitch no_pisa in
+    match deploy strategy topo metron file with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok d ->
+        let config = d.Lemur.Deployment.config in
+        let placement = d.Lemur.Deployment.placement in
+        let duration = Lemur_util.Units.ms duration in
+        let er =
+          Lemur_dataplane.Engine.run ~seed ~duration ~overdrive ~config
+            ~placement ()
+        in
+        Format.printf "%a" Lemur_dataplane.Engine.pp_result er;
+        if elements then
+          List.iter
+            (fun (e : Lemur_dataplane.Engine.element_stat) ->
+              Printf.printf
+                "  el %-40s pulled %7d pushed %7d dropped %7d queued %5d\n"
+                e.Lemur_dataplane.Engine.el_name
+                e.Lemur_dataplane.Engine.el_pulled
+                e.Lemur_dataplane.Engine.el_pushed
+                e.Lemur_dataplane.Engine.el_dropped
+                e.Lemur_dataplane.Engine.el_queued)
+            er.Lemur_dataplane.Engine.elements;
+        let conserved = Lemur_dataplane.Engine.conserved er in
+        if no_converge then if conserved then 0 else 2
+        else begin
+          let sr =
+            Lemur_dataplane.Sim.run ~seed ~duration ~overdrive ~config
+              ~placement ()
+          in
+          let verdict =
+            Lemur_check.Convergence.check
+              ~pkt_bytes:config.Lemur_placer.Plan.pkt_bytes ~engine:er ~sim:sr
+              ()
+          in
+          Format.printf "convergence vs sim: %d chain(s) compared, %d exempt@."
+            verdict.Lemur_check.Convergence.compared
+            verdict.Lemur_check.Convergence.exempt;
+          match verdict.Lemur_check.Convergence.divergences with
+          | [] ->
+              Format.printf "convergence: ok@.";
+              if conserved then 0 else 2
+          | ds ->
+              List.iter
+                (fun dvg ->
+                  Format.printf "  DIVERGENCE %a@."
+                    Lemur_check.Convergence.pp_divergence dvg)
+                ds;
+              2
+        end
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Place a chain specification and execute it packet-by-packet on the \
+          element-graph engine, then hold the measured per-chain rates to the \
+          batch-rate simulator's within the documented convergence tolerance \
+          (see docs/DATAPLANE.md).")
+    Term.(
+      const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
+      $ no_pisa $ metron $ duration $ seed $ overdrive $ elements
+      $ no_converge $ telemetry $ spec_file)
+
 let trace_cmd =
   let seed =
     Arg.(
@@ -775,6 +880,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            place_cmd; compile_cmd; run_cmd; trace_cmd; failover_cmd; fuzz_cmd;
-            nfs_cmd;
+            place_cmd; compile_cmd; run_cmd; exec_cmd; trace_cmd; failover_cmd;
+            fuzz_cmd; nfs_cmd;
           ]))

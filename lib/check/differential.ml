@@ -11,6 +11,7 @@ type failure =
   | Baseline_gap of { baseline : string; lemur : float; baseline_obj : float }
   | Milp_divergence of { milp : float; search : float }
   | Sim_shortfall of { chain : string; delivered : float; floor : float }
+  | Engine_divergence of Convergence.divergence
 
 let pp_failure ppf = function
   | Crash { strategy; exn } -> Fmt.pf ppf "%s crashed: %s" strategy exn
@@ -35,6 +36,8 @@ let pp_failure ppf = function
   | Sim_shortfall { chain; delivered; floor } ->
       Fmt.pf ppf "sim delivered %a on %s, below the SLO floor %a" Units.pp_rate
         delivered chain Units.pp_rate floor
+  | Engine_divergence d ->
+      Fmt.pf ppf "engine diverges from sim: %a" Convergence.pp_divergence d
 
 type report = {
   scenario : Scenario.t;
@@ -43,13 +46,11 @@ type report = {
   infeasible : string list;
   milp_checked : bool;
   sim_checked : bool;
+  engine_checked : bool;
   failures : failure list;
 }
 
-(* At 32 x 1500 B batches over a ~20 ms window the simulator resolves
-   rates in ~20 Mbit/s steps; chains with floors below this threshold
-   would fail on measurement granularity, not on placement bugs. *)
-let sim_floor_threshold = 100e6
+let sim_floor_threshold = Convergence.sim_floor_threshold
 
 (* The classic comparison baselines of §5.1 — not the two ablations,
    which are *meant* to underperform Lemur's full heuristic but may
@@ -59,7 +60,7 @@ let baselines =
 
 let obj_tol x = (0.01 *. Float.abs x) +. 1e6
 
-let run ?(quick = true) ?(sim = true) scenario =
+let run ?(quick = true) ?(sim = true) ?(engine = true) scenario =
   let failures = ref [] in
   let fail f = failures := f :: !failures in
   let cfg = Scenario.config scenario in
@@ -180,6 +181,24 @@ let run ?(quick = true) ?(sim = true) scenario =
           ~duration:(Units.ms (if quick then 20.0 else 50.0))
           ~overdrive:1.0 ~config:cfg ~placement:p ()
       in
+      (* Convergence: execute the same placement at the same offered
+         rates packet-by-packet and hold the two executors' measured
+         rates together. Runs inside the sim stage because the check
+         is exactly a comparison against [result]. *)
+      if engine then begin
+        let er =
+          Lemur_dataplane.Engine.run
+            ~seed:(scenario.Scenario.sc_seed + 13)
+            ~overdrive:1.0 ~config:cfg ~placement:p ()
+        in
+        let verdict =
+          Convergence.check ~pkt_bytes:cfg.Plan.pkt_bytes ~engine:er
+            ~sim:result ()
+        in
+        List.iter
+          (fun d -> fail (Engine_divergence d))
+          verdict.Convergence.divergences
+      end;
       (* The simulator counts whole 32-packet batches over the measure
          window, so delivered rates quantize in batch_bits/duration
          steps; allow two steps of slack on top of the 2% tolerance or
@@ -222,6 +241,7 @@ let run ?(quick = true) ?(sim = true) scenario =
         outcomes;
     milp_checked;
     sim_checked = sim_targets <> [];
+    engine_checked = engine && sim_targets <> [];
     failures = List.rev !failures;
   }
 

@@ -26,7 +26,13 @@
       {!sim_floor_threshold} are exempt: at 32-packet batch granularity
       the simulated measurement window is too coarse to resolve them
       (documented in docs/TESTING.md), and the exemption is explicit
-      here rather than silent in the data. *)
+      here rather than silent in the data;
+    - executing the same placement packet-by-packet on
+      {!Lemur_dataplane.Engine} converges to the Sim rate model:
+      per-chain throughput within {!Convergence.rel_tol}, engine p99
+      latency bounded by Sim's (structurally inflated) p99 plus
+      {!Convergence.latency_slack}, and packet conservation exact
+      (docs/DATAPLANE.md). *)
 
 type failure =
   | Crash of { strategy : string; exn : string }
@@ -37,6 +43,7 @@ type failure =
   | Baseline_gap of { baseline : string; lemur : float; baseline_obj : float }
   | Milp_divergence of { milp : float; search : float }
   | Sim_shortfall of { chain : string; delivered : float; floor : float }
+  | Engine_divergence of Convergence.divergence
 
 val pp_failure : Format.formatter -> failure -> unit
 
@@ -49,15 +56,18 @@ type report = {
   infeasible : string list;
   milp_checked : bool;
   sim_checked : bool;
+  engine_checked : bool;
   failures : failure list;
 }
 
 val sim_floor_threshold : float
-(** Minimum [t_min] (bit/s) for the simulator-delivery check. *)
+(** Minimum [t_min] (bit/s) for the simulator-delivery check — an
+    alias of {!Convergence.sim_floor_threshold}. *)
 
-val run : ?quick:bool -> ?sim:bool -> Scenario.t -> report
+val run : ?quick:bool -> ?sim:bool -> ?engine:bool -> Scenario.t -> report
 (** [quick] (default [true]) shortens the simulated window and executes
     only the Lemur placement; [sim] (default [true]) gates the
-    simulator stage entirely. *)
+    simulator stage entirely; [engine] (default [true]) gates the
+    packet-engine convergence check inside that stage. *)
 
 val failed : report -> bool

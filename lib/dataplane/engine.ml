@@ -1,0 +1,673 @@
+open Lemur_placer
+open Lemur_util
+
+type chain_result = {
+  chain_id : string;
+  offered : float;
+  delivered : float;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  max_latency : float;
+  injected_pkts : int;
+  delivered_pkts : int;
+  dropped_pkts : int;
+  shaped_pkts : int;
+  in_flight_pkts : int;
+}
+
+type element_stat = {
+  el_name : string;
+  el_pulled : int;
+  el_pushed : int;
+  el_dropped : int;
+  el_queued : int;
+}
+
+type result = {
+  chains : chain_result list;
+  elements : element_stat list;
+  aggregate_throughput : float;
+  duration : float;
+  breaths : int;
+  total_served : int;
+  pool_exhausted : int;
+  wall_s : float;
+  hops_per_sec : float;
+}
+
+let wire_delay = 350.0 (* ns one way, same constant as Sim *)
+let demux_cycles_per_pkt = 150.0
+let drain_slack = Units.ms 5.0
+
+(* An element is a ring plus the per-packet work its owning worker does
+   when it pulls from that ring. [cost] returns service ns and may
+   tick NF telemetry counters; [wire] is propagation added after
+   service; [lead] is latency charged on entry (the ToR traversal in
+   front of downlink and OpenFlow hops). *)
+type element = {
+  name : string;
+  ring : Packet.t Ring.t;
+  cost : Packet.t -> float;
+  wire : float;
+  lead : float;
+  mutable pulled : int;
+  mutable ring_drops : int;
+  tm_pulled : Lemur_telemetry.Counter.t;
+  tm_ring_drops : Lemur_telemetry.Counter.t;
+}
+
+(* A worker owns a virtual clock and the elements it breathes over.
+   [serialize = false] marks pure-delay resources (the SmartNIC's
+   inline datapath, which Sim also models without contention). *)
+type worker = {
+  w_name : string;
+  w_serialize : bool;
+  mutable w_busy : float;
+  mutable w_rev : element list;
+  mutable w_elems : element array;
+}
+
+type chain_rt = {
+  idx : int;
+  id : string;
+  hops : element array array array;  (* route -> hop -> replicas *)
+  fractions : float array;
+  sw_nodes : int list array;  (* per route: NFs absorbed into the ToR *)
+  offered_rate : float;
+  interval : float;  (* ns between generated packets *)
+  t_max : float;
+  mutable next_gen : float;
+  mutable tokens : float;
+  mutable last_refill : float;
+  mutable injected : int;
+  mutable delivered_pkts : int;
+  mutable dropped : int;
+  mutable shaped : int;
+  mutable in_flight : int;
+  mutable delivered_bits : float;
+  mutable lat_sum : float;
+  mutable lat_max : float;
+  mutable lat_samples : float list;
+  tm_injected : Lemur_telemetry.Counter.t;
+  tm_delivered : Lemur_telemetry.Counter.t;
+  tm_dropped : Lemur_telemetry.Counter.t;
+  tm_shaped : Lemur_telemetry.Counter.t;
+  tm_latency : Lemur_telemetry.Histogram.t;
+  tm_nf_pkts : Lemur_telemetry.Counter.t array;
+}
+
+let run ?(seed = 7) ?(duration = Units.ms 10.0) ?(warmup = Units.ms 1.0)
+    ?(batch_pkts = 32) ?(ring_capacity = 512) ?(pool_capacity = 16384)
+    ?(slice = 50_000.0) ?(overdrive = 1.08) ?(offered = []) ~config ~placement
+    () =
+  let tm = Lemur_telemetry.Telemetry.current () in
+  Lemur_telemetry.Telemetry.with_span tm "dataplane.engine.run" @@ fun () ->
+  let prng = Prng.create ~seed in
+  let pool = Packet.create_pool ~capacity:pool_capacity in
+  let topo = config.Plan.topology in
+  let tor_latency = topo.Lemur_topology.Topology.tor.Lemur_platform.Pisa.latency in
+  let port_cap =
+    topo.Lemur_topology.Topology.tor.Lemur_platform.Pisa.port_capacity
+  in
+  let pkt_bits = Units.bytes_to_bits config.Plan.pkt_bytes in
+  let bucket_quantum = pkt_bits *. float_of_int batch_pkts in
+  let workers_rev = ref [] in
+  let new_worker ?(serialize = true) name =
+    let w =
+      { w_name = name; w_serialize = serialize; w_busy = 0.0; w_rev = [];
+        w_elems = [||] }
+    in
+    workers_rev := w :: !workers_rev;
+    w
+  in
+  let total_served = ref 0 in
+  let pool_exhausted = ref 0 in
+  let elements_rev = ref [] in
+  let new_element ~worker ~name ~cost ~wire ~lead =
+    let e =
+      {
+        name;
+        ring = Ring.create ~capacity:ring_capacity ~dummy:(Packet.dummy ());
+        cost;
+        wire;
+        lead;
+        pulled = 0;
+        ring_drops = 0;
+        tm_pulled =
+          Lemur_telemetry.Telemetry.counter tm
+            (Printf.sprintf "dataplane.engine.el.%s.pulled" name);
+        tm_ring_drops =
+          Lemur_telemetry.Telemetry.counter tm
+            (Printf.sprintf "dataplane.engine.el.%s.dropped" name);
+      }
+    in
+    worker.w_rev <- e :: worker.w_rev;
+    elements_rev := e :: !elements_rev;
+    e
+  in
+  (* Per-server workers, then per-placement subgroup cores with the same
+     core-assignment order as Sim and the BESS code generator (core 0 =
+     demux; NF cores from 1), so NUMA-dependent cycle sampling matches. *)
+  let servers = Hashtbl.create 4 in
+  List.iter
+    (fun s ->
+      let name = s.Lemur_platform.Server.name in
+      Hashtbl.replace servers name
+        ( new_worker (name ^ ".link_in"),
+          new_worker (name ^ ".link_out"),
+          new_worker (name ^ ".demux"),
+          new_worker ~serialize:false (name ^ ".nic"),
+          Lemur_platform.Server.nic_capacity s,
+          s.Lemur_platform.Server.clock_hz ))
+    topo.Lemur_topology.Topology.servers;
+  let nic_socket = 0 in
+  let sg_cores : (string * int, (worker * int) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let next_core = Hashtbl.create 4 in
+  List.iter
+    (fun report ->
+      let chain_id = report.Strategy.plan.Plan.input.Plan.id in
+      List.iteri
+        (fun sg_index sg ->
+          let server = List.assoc sg.Plan.sg_segment report.Strategy.seg_server in
+          let s_decl = Lemur_topology.Topology.find_server topo server in
+          let cores =
+            List.init report.Strategy.cores.(sg_index) (fun _ ->
+                let c =
+                  Option.value (Hashtbl.find_opt next_core server) ~default:1
+                in
+                Hashtbl.replace next_core server (c + 1);
+                ( new_worker (Printf.sprintf "%s.core%d" server c),
+                  c / s_decl.Lemur_platform.Server.cores_per_socket ))
+          in
+          Hashtbl.replace sg_cores (chain_id, sg_index) cores)
+        report.Strategy.plan.Plan.subgroups)
+    placement.Strategy.chain_reports;
+  let of_link = new_worker "of_link" in
+  (* Sampled per-packet cycles of one NF on a given socket — the same
+     truncated-gaussian law as Sim (long-lived traffic). *)
+  let sample_cycles node socket =
+    let instance = node.Lemur_spec.Graph.instance in
+    let numa =
+      if socket = nic_socket then Lemur_nf.Datasheet.Same else Lemur_nf.Datasheet.Diff
+    in
+    let size =
+      match Lemur_nf.Instance.state_size instance with
+      | Some s -> s
+      | None ->
+          Option.value
+            (Lemur_nf.Datasheet.reference_size instance.Lemur_nf.Instance.kind)
+            ~default:0
+    in
+    let cost =
+      Lemur_nf.Datasheet.cycle_cost_sized instance.Lemur_nf.Instance.kind numa ~size
+    in
+    let sigma = (cost.Lemur_nf.Datasheet.max -. cost.Lemur_nf.Datasheet.min) /. 5.0 in
+    Prng.truncated_gaussian prng ~mu:cost.Lemur_nf.Datasheet.mean ~sigma
+      ~lo:cost.Lemur_nf.Datasheet.min ~hi:cost.Lemur_nf.Datasheet.max
+  in
+  (* Compile each chain's routes into hop arrays of replica elements. *)
+  let nic_host =
+    match topo.Lemur_topology.Topology.smartnics with
+    | nic :: _ -> Some nic.Lemur_platform.Smartnic.host
+    | [] -> None
+  in
+  let chains =
+    Array.of_list
+      (List.mapi
+         (fun idx report ->
+           let chain_id = report.Strategy.plan.Plan.input.Plan.id in
+           let graph = report.Strategy.plan.Plan.input.Plan.graph in
+           let slo = report.Strategy.plan.Plan.input.Plan.slo in
+           let offered_rate =
+             match List.assoc_opt chain_id offered with
+             | Some r ->
+                 Float.min (Float.min (Float.max r 0.0) slo.Lemur_slo.Slo.t_max)
+                   port_cap
+             | None ->
+                 Float.min
+                   (Float.min (report.Strategy.rate *. overdrive)
+                      slo.Lemur_slo.Slo.t_max)
+                   port_cap
+           in
+           let routes = Route.build ?nic_host report in
+           let tm_nf_pkts =
+             let arr =
+               Array.init (Lemur_spec.Graph.size graph) (fun _ ->
+                   Lemur_telemetry.Counter.make "unplaced")
+             in
+             List.iter
+               (fun node ->
+                 arr.(node.Lemur_spec.Graph.id) <-
+                   Lemur_telemetry.Telemetry.counter tm
+                     (Printf.sprintf "dataplane.nf.%s.%d.%s.pkts" chain_id
+                        node.Lemur_spec.Graph.id
+                        node.Lemur_spec.Graph.instance.Lemur_nf.Instance.name))
+               (Lemur_spec.Graph.nodes graph);
+             arr
+           in
+           let compile_route ri route =
+             let el ~worker ~role = new_element ~worker
+               ~name:(Printf.sprintf "%s:%s.r%d.%s" worker.w_name chain_id ri role)
+             in
+             let hops = ref [] in
+             List.iter
+               (fun visit ->
+                 match visit with
+                 | Route.Of_visit -> (
+                     match topo.Lemur_topology.Topology.ofswitch with
+                     | None -> ()
+                     | Some sw ->
+                         let cap = sw.Lemur_platform.Ofswitch.capacity in
+                         hops :=
+                           [| el ~worker:of_link ~role:"of"
+                                ~cost:(fun p -> p.Packet.bits /. cap *. 1e9)
+                                ~wire:((2.0 *. wire_delay)
+                                       +. sw.Lemur_platform.Ofswitch.latency)
+                                ~lead:tor_latency |]
+                           :: !hops)
+                 | Route.Server_visit { server; nic_nodes; subgroups } ->
+                     let link_in, link_out, demux, nic, capacity, clock =
+                       Hashtbl.find servers server
+                     in
+                     let tx p = p.Packet.bits /. capacity *. 1e9 in
+                     hops :=
+                       [| el ~worker:link_in ~role:"down" ~cost:tx
+                            ~wire:wire_delay ~lead:tor_latency |]
+                       :: !hops;
+                     if nic_nodes <> [] then begin
+                       let nodes =
+                         List.map
+                           (fun id ->
+                             let node = Lemur_spec.Graph.node graph id in
+                             let kind =
+                               node.Lemur_spec.Graph.instance
+                                 .Lemur_nf.Instance.kind
+                             in
+                             (id, node, Lemur_nf.Datasheet.ebpf_speedup kind))
+                           nic_nodes
+                       in
+                       let cost _ =
+                         List.fold_left
+                           (fun acc (id, node, speed) ->
+                             Lemur_telemetry.Counter.incr tm_nf_pkts.(id);
+                             acc
+                             +. (sample_cycles node nic_socket
+                                 /. (clock *. speed) *. 1e9))
+                           0.0 nodes
+                       in
+                       hops :=
+                         [| el ~worker:nic ~role:"nic" ~cost ~wire:0.0 ~lead:0.0 |]
+                         :: !hops
+                     end;
+                     if subgroups <> [] && not config.Plan.metron_steering then begin
+                       let service =
+                         demux_cycles_per_pkt /. clock *. 1e9
+                       in
+                       hops :=
+                         [| el ~worker:demux ~role:"demux"
+                              ~cost:(fun _ -> service) ~wire:0.0 ~lead:0.0 |]
+                         :: !hops
+                     end;
+                     List.iter
+                       (fun sg_index ->
+                         let cores = Hashtbl.find sg_cores (chain_id, sg_index) in
+                         let multi = List.length cores > 1 in
+                         let sg =
+                           List.nth report.Strategy.plan.Plan.subgroups sg_index
+                         in
+                         let nodes =
+                           List.map
+                             (fun id -> (id, Lemur_spec.Graph.node graph id))
+                             sg.Plan.sg_nodes
+                         in
+                         let replicas =
+                           List.map
+                             (fun (core, socket) ->
+                               let cost _ =
+                                 let nf_cycles =
+                                   List.fold_left
+                                     (fun acc (id, node) ->
+                                       Lemur_telemetry.Counter.incr
+                                         tm_nf_pkts.(id);
+                                       acc +. sample_cycles node socket)
+                                     0.0 nodes
+                                 in
+                                 Lemur_bess.Cost.subgroup_cycles
+                                   ~core_tagging:config.Plan.metron_steering
+                                   ~nf_cycles:[ nf_cycles ] ~multi_core:multi ()
+                                 /. clock *. 1e9
+                               in
+                               el ~worker:core
+                                 ~role:(Printf.sprintf "sg%d" sg_index)
+                                 ~cost ~wire:0.0 ~lead:0.0)
+                             cores
+                         in
+                         hops := Array.of_list replicas :: !hops)
+                       subgroups;
+                     hops :=
+                       [| el ~worker:link_out ~role:"up" ~cost:tx
+                            ~wire:wire_delay ~lead:0.0 |]
+                       :: !hops)
+               route.Route.visits;
+             Array.of_list (List.rev !hops)
+           in
+           {
+             idx;
+             id = chain_id;
+             hops = Array.of_list (List.mapi compile_route routes);
+             fractions =
+               Array.of_list (List.map (fun r -> r.Route.fraction) routes);
+             sw_nodes =
+               Array.of_list (List.map (fun r -> r.Route.sw_nodes) routes);
+             offered_rate;
+             interval =
+               (if offered_rate <= 0.0 then infinity
+                else pkt_bits /. offered_rate *. 1e9);
+             t_max = slo.Lemur_slo.Slo.t_max;
+             next_gen = 0.0;
+             tokens = bucket_quantum *. 4.0;
+             last_refill = 0.0;
+             injected = 0;
+             delivered_pkts = 0;
+             dropped = 0;
+             shaped = 0;
+             in_flight = 0;
+             delivered_bits = 0.0;
+             lat_sum = 0.0;
+             lat_max = 0.0;
+             lat_samples = [];
+             tm_injected =
+               Lemur_telemetry.Telemetry.counter tm
+                 (Printf.sprintf "dataplane.engine.chain.%s.injected" chain_id);
+             tm_delivered =
+               Lemur_telemetry.Telemetry.counter tm
+                 (Printf.sprintf "dataplane.engine.chain.%s.delivered" chain_id);
+             tm_dropped =
+               Lemur_telemetry.Telemetry.counter tm
+                 (Printf.sprintf "dataplane.engine.chain.%s.dropped" chain_id);
+             tm_shaped =
+               Lemur_telemetry.Telemetry.counter tm
+                 (Printf.sprintf "dataplane.engine.chain.%s.shaped" chain_id);
+             tm_latency =
+               Lemur_telemetry.Telemetry.histogram tm
+                 (Printf.sprintf "dataplane.engine.chain.%s.latency_ns" chain_id);
+             tm_nf_pkts;
+           })
+         placement.Strategy.chain_reports)
+  in
+  let workers = Array.of_list (List.rev !workers_rev) in
+  Array.iter
+    (fun w ->
+      w.w_elems <- Array.of_list (List.rev w.w_rev);
+      w.w_rev <- [])
+    workers;
+  (* Same per-chain random phase as Sim's first Generate event. *)
+  Array.iter
+    (fun c ->
+      if c.interval < infinity then c.next_gen <- Prng.float prng c.interval)
+    chains;
+  let horizon = warmup +. duration in
+  (* Sources inject a whole slice's arrivals before anyone breathes, so
+     a slice must never carry more packets than a ring can hold or
+     ingress drops become an artifact of the slice width rather than of
+     queueing. Clamp the slice to half a ring at the fastest chain's
+     packet rate. *)
+  let slice =
+    Array.fold_left
+      (fun s c ->
+        if c.interval < infinity then
+          Float.min s (0.5 *. float_of_int ring_capacity *. c.interval)
+        else s)
+      slice chains
+  in
+  let deliver c (p : Packet.t) =
+    c.delivered_pkts <- c.delivered_pkts + 1;
+    Lemur_telemetry.Counter.incr c.tm_delivered;
+    if p.Packet.t > warmup && p.Packet.t_ingress > warmup then begin
+      c.delivered_bits <- c.delivered_bits +. p.Packet.bits;
+      let lat = p.Packet.t -. p.Packet.t_ingress in
+      c.lat_sum <- c.lat_sum +. lat;
+      c.lat_samples <- lat :: c.lat_samples;
+      Lemur_telemetry.Histogram.record c.tm_latency lat;
+      if lat > c.lat_max then c.lat_max <- lat
+    end;
+    Packet.free pool p
+  in
+  let drop_at c e (p : Packet.t) =
+    e.ring_drops <- e.ring_drops + 1;
+    Lemur_telemetry.Counter.incr e.tm_ring_drops;
+    c.dropped <- c.dropped + 1;
+    Lemur_telemetry.Counter.incr c.tm_dropped;
+    Packet.free pool p
+  in
+  (* Route a packet into a hop: flow-consistent replica choice (HashLB),
+     tail-drop when the replica's ring is full. *)
+  let enqueue c (p : Packet.t) hop =
+    let e = hop.(p.Packet.flow mod Array.length hop) in
+    p.Packet.t <- p.Packet.t +. e.lead;
+    if not (Ring.push e.ring p) then drop_at c e p
+  in
+  let advance c (p : Packet.t) =
+    let hops = c.hops.(p.Packet.route) in
+    p.Packet.step <- p.Packet.step + 1;
+    if p.Packet.step >= Array.length hops then deliver c p
+    else enqueue c p hops.(p.Packet.step)
+  in
+  (* Generate the packets due before [slice_end] for one chain. *)
+  let inject c slice_end =
+    if c.interval < infinity then
+      while c.next_gen < slice_end && c.next_gen < horizon do
+        let now = c.next_gen in
+        if c.t_max < infinity then begin
+          c.tokens <-
+            Float.min (bucket_quantum *. 8.0)
+              (c.tokens +. ((now -. c.last_refill) /. 1e9 *. c.t_max));
+          c.last_refill <- now
+        end;
+        if c.t_max = infinity || c.tokens >= pkt_bits then begin
+          if c.t_max < infinity then c.tokens <- c.tokens -. pkt_bits;
+          let r = Prng.float prng 1.0 in
+          let n_routes = Array.length c.fractions in
+          let route = ref (n_routes - 1) in
+          let acc = ref 0.0 in
+          (try
+             for i = 0 to n_routes - 1 do
+               if r < !acc +. c.fractions.(i) then begin
+                 route := i;
+                 raise Exit
+               end;
+               acc := !acc +. c.fractions.(i)
+             done
+           with Exit -> ());
+          List.iter
+            (fun nid -> Lemur_telemetry.Counter.incr c.tm_nf_pkts.(nid))
+            c.sw_nodes.(!route);
+          let flow = Prng.int prng 40 in
+          c.injected <- c.injected + 1;
+          Lemur_telemetry.Counter.incr c.tm_injected;
+          match Packet.alloc pool with
+          | None ->
+              (* ingress drop for want of a buffer: the offered packet
+                 still counts so conservation holds *)
+              incr pool_exhausted;
+              c.dropped <- c.dropped + 1;
+              Lemur_telemetry.Counter.incr c.tm_dropped
+          | Some p ->
+              p.Packet.chain <- c.idx;
+              p.Packet.route <- !route;
+              p.Packet.step <- 0;
+              p.Packet.flow <- flow;
+              p.Packet.bits <- pkt_bits;
+              p.Packet.t_ingress <- now;
+              p.Packet.t <- now;
+              let hops = c.hops.(!route) in
+              if Array.length hops = 0 then begin
+                (* all-hardware path: ToR in, ToR out *)
+                p.Packet.t <- now +. tor_latency;
+                deliver c p
+              end
+              else enqueue c p hops.(0)
+        end
+        else begin
+          c.shaped <- c.shaped + 1;
+          Lemur_telemetry.Counter.incr c.tm_shaped
+        end;
+        c.next_gen <- c.next_gen +. c.interval
+      done
+  in
+  (* One breath of one worker: pull up to [batch_pkts] packets whose
+     service can start inside the slice, always taking the eligible
+     head with the earliest service start across the worker's rings —
+     the same time-ordered resource discipline Sim gets from its event
+     heap. Round-robin here would let a late packet in one ring jump
+     the busy clock over earlier packets queued in a sibling ring,
+     wasting real capacity as idle time. Ties go to the lowest ring
+     index, which keeps the order deterministic. *)
+  let breathe w slice_end =
+    let n = Array.length w.w_elems in
+    if n = 0 then false
+    else begin
+      let served = ref 0 in
+      let go = ref true in
+      while !go && !served < batch_pkts do
+        let best = ref (-1) in
+        let best_start = ref infinity in
+        for i = 0 to n - 1 do
+          let e = w.w_elems.(i) in
+          match Ring.peek e.ring with
+          | None -> ()
+          | Some p ->
+              let start =
+                if w.w_serialize then Float.max p.Packet.t w.w_busy
+                else p.Packet.t
+              in
+              if start < slice_end && start < !best_start then begin
+                best := i;
+                best_start := start
+              end
+        done;
+        if !best < 0 then go := false
+        else begin
+          let e = w.w_elems.(!best) in
+          let p = Option.get (Ring.pop e.ring) in
+          let fin = !best_start +. e.cost p in
+          if w.w_serialize then w.w_busy <- fin;
+          p.Packet.t <- fin +. e.wire;
+          e.pulled <- e.pulled + 1;
+          Lemur_telemetry.Counter.incr e.tm_pulled;
+          incr total_served;
+          incr served;
+          advance chains.(p.Packet.chain) p
+        end
+      done;
+      !served > 0
+    end
+  in
+  let t0_wall = Timing.now () in
+  let breaths = ref 0 in
+  let t = ref 0.0 in
+  (let stop = ref false in
+   while (not !stop) && !t < horizon +. drain_slack do
+     let slice_end = !t +. slice in
+     Array.iter (fun c -> inject c slice_end) chains;
+     let progress = ref true in
+     while !progress do
+       progress := false;
+       Array.iter (fun w -> if breathe w slice_end then progress := true) workers
+     done;
+     incr breaths;
+     t := slice_end;
+     if !t >= horizon && Packet.in_flight pool = 0 then stop := true
+   done);
+  let wall_s = Timing.now () -. t0_wall in
+  (* Whatever is still queued is in flight; cross-check the pool. *)
+  List.iter
+    (fun e ->
+      Ring.iter
+        (fun (p : Packet.t) ->
+          let c = chains.(p.Packet.chain) in
+          c.in_flight <- c.in_flight + 1)
+        e.ring)
+    !elements_rev;
+  let chain_results =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           {
+             chain_id = c.id;
+             offered = c.offered_rate;
+             delivered = c.delivered_bits /. duration *. 1e9;
+             mean_latency =
+               (if c.lat_samples = [] then 0.0
+                else c.lat_sum /. float_of_int (List.length c.lat_samples));
+             p50_latency =
+               (if c.lat_samples = [] then 0.0
+                else Stats.percentile 50.0 c.lat_samples);
+             p99_latency =
+               (if c.lat_samples = [] then 0.0
+                else Stats.percentile 99.0 c.lat_samples);
+             max_latency = c.lat_max;
+             injected_pkts = c.injected;
+             delivered_pkts = c.delivered_pkts;
+             dropped_pkts = c.dropped;
+             shaped_pkts = c.shaped;
+             in_flight_pkts = c.in_flight;
+           })
+         chains)
+  in
+  let element_stats =
+    List.rev_map
+      (fun e ->
+        {
+          el_name = e.name;
+          el_pulled = e.pulled;
+          el_pushed = Ring.pushed e.ring;
+          el_dropped = e.ring_drops;
+          el_queued = Ring.length e.ring;
+        })
+      !elements_rev
+  in
+  Lemur_telemetry.Counter.incr ~by:!breaths
+    (Lemur_telemetry.Telemetry.counter tm "dataplane.engine.breaths");
+  Lemur_telemetry.Counter.incr ~by:!total_served
+    (Lemur_telemetry.Telemetry.counter tm "dataplane.engine.served");
+  Lemur_telemetry.Counter.incr ~by:!pool_exhausted
+    (Lemur_telemetry.Telemetry.counter tm "dataplane.engine.pool_exhausted");
+  {
+    chains = chain_results;
+    elements = element_stats;
+    aggregate_throughput = Listx.sum_by (fun r -> r.delivered) chain_results;
+    duration;
+    breaths = !breaths;
+    total_served = !total_served;
+    pool_exhausted = !pool_exhausted;
+    wall_s;
+    hops_per_sec =
+      (if wall_s > 0.0 then float_of_int !total_served /. wall_s else 0.0);
+  }
+
+let conserved r =
+  List.for_all
+    (fun c ->
+      c.injected_pkts = c.delivered_pkts + c.dropped_pkts + c.in_flight_pkts)
+    r.chains
+
+let pp_result ppf r =
+  Format.fprintf ppf "aggregate measured: %a (%d breaths, %d packet-hops)@."
+    Units.pp_rate r.aggregate_throughput r.breaths r.total_served;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %-8s offered %a delivered %a latency %.1f us (p99 %.1f, max %.1f) \
+         pkts %d/%d drop %d shaped %d in-flight %d@."
+        c.chain_id Units.pp_rate c.offered Units.pp_rate c.delivered
+        (Units.to_us c.mean_latency) (Units.to_us c.p99_latency)
+        (Units.to_us c.max_latency) c.delivered_pkts c.injected_pkts
+        c.dropped_pkts c.shaped_pkts c.in_flight_pkts)
+    r.chains;
+  Format.fprintf ppf "  conservation %s; pool exhaustion %d@."
+    (if conserved r then "ok" else "VIOLATED")
+    r.pool_exhausted

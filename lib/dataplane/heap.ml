@@ -1,6 +1,19 @@
-type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+(* Entries carry an insertion sequence number so that equal keys pop
+   in FIFO order — simultaneous simulator events (e.g. two batches
+   released by the same link at the same instant) must be served in
+   the order they were scheduled, or downstream queue occupancy
+   becomes sensitive to heap internals. *)
+type 'a entry = { key : float; seq : int; value : 'a }
 
-let create () = { data = [||]; len = 0 }
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
 let grow t =
   let cap = max 16 (2 * Array.length t.data) in
@@ -18,7 +31,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if fst t.data.(i) < fst t.data.(parent) then begin
+    if before t.data.(i) t.data.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -27,17 +40,19 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && fst t.data.(l) < fst t.data.(!smallest) then smallest := l;
-  if r < t.len && fst t.data.(r) < fst t.data.(!smallest) then smallest := r;
+  if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t key value =
-  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 16 (key, value);
+  let entry = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
   if t.len >= Array.length t.data then grow t;
-  t.data.(t.len) <- (key, value);
+  t.data.(t.len) <- entry;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
@@ -50,7 +65,7 @@ let pop t =
       t.data.(0) <- t.data.(t.len);
       sift_down t 0
     end;
-    Some top
+    Some (top.key, top.value)
   end
 
 let size t = t.len

@@ -5,7 +5,9 @@ type 'a t
 val create : unit -> 'a t
 val push : 'a t -> float -> 'a -> unit
 val pop : 'a t -> (float * 'a) option
-(** Smallest key first; ties in insertion order are not guaranteed. *)
+(** Smallest key first; equal keys pop in insertion (FIFO) order, so
+    simultaneous events are served in the order they were scheduled —
+    the simulators' determinism depends on it, not just on the seed. *)
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool

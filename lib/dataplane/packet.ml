@@ -1,0 +1,44 @@
+type t = {
+  mutable chain : int;
+  mutable route : int;
+  mutable step : int;
+  mutable flow : int;
+  mutable bits : float;
+  mutable t_ingress : float;
+  mutable t : float;
+}
+
+type pool = { free : t array; mutable n_free : int; cap : int }
+
+let fresh () =
+  { chain = 0; route = 0; step = 0; flow = 0; bits = 0.0; t_ingress = 0.0; t = 0.0 }
+
+let dummy = fresh
+
+let create_pool ~capacity =
+  if capacity < 1 then invalid_arg "Packet.create_pool: capacity < 1";
+  { free = Array.init capacity (fun _ -> fresh ()); n_free = capacity; cap = capacity }
+
+let capacity p = p.cap
+let available p = p.n_free
+let in_flight p = p.cap - p.n_free
+
+let alloc p =
+  if p.n_free = 0 then None
+  else begin
+    p.n_free <- p.n_free - 1;
+    let pkt = p.free.(p.n_free) in
+    pkt.chain <- 0;
+    pkt.route <- 0;
+    pkt.step <- 0;
+    pkt.flow <- 0;
+    pkt.bits <- 0.0;
+    pkt.t_ingress <- 0.0;
+    pkt.t <- 0.0;
+    Some pkt
+  end
+
+let free p pkt =
+  if p.n_free >= p.cap then invalid_arg "Packet.free: pool overflow (double free?)";
+  p.free.(p.n_free) <- pkt;
+  p.n_free <- p.n_free + 1

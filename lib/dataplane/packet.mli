@@ -1,0 +1,45 @@
+(** Preallocated packet buffers with a freelist (snabb's
+    [core.packet]).
+
+    The engine never allocates a packet on the hot path: a fixed pool
+    is carved up front and every injected packet is drawn from its
+    freelist and returned on delivery or drop. Exhaustion is a
+    first-class outcome — [alloc] returns [None] and the engine counts
+    it as an ingress drop — so a leak shows up as sustained
+    [in_flight] instead of unbounded memory.
+
+    [capacity pool - available pool = in_flight pool] always holds;
+    the conservation test cross-checks it against the per-chain
+    injected/delivered/dropped tallies. *)
+
+type t = {
+  mutable chain : int;  (** index into the engine's chain table *)
+  mutable route : int;  (** which service path the packet took *)
+  mutable step : int;  (** next hop index on that path *)
+  mutable flow : int;  (** 5-tuple hash: flow-consistent replica choice *)
+  mutable bits : float;  (** wire size *)
+  mutable t_ingress : float;  (** virtual ns at generation *)
+  mutable t : float;  (** current virtual timestamp (ns) *)
+}
+
+val dummy : unit -> t
+(** A detached zeroed packet — a ring-slot filler, never enqueued and
+    never part of any pool. *)
+
+type pool
+
+val create_pool : capacity:int -> pool
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : pool -> int
+val available : pool -> int
+
+val in_flight : pool -> int
+(** Packets currently allocated: [capacity - available]. *)
+
+val alloc : pool -> t option
+(** A zeroed packet off the freelist, or [None] when exhausted. *)
+
+val free : pool -> t -> unit
+(** Return a packet to the freelist. The engine guarantees each packet
+    is freed exactly once (delivery and drop are the only exits). *)

@@ -1,0 +1,61 @@
+type 'a t = {
+  buf : 'a array;
+  dummy : 'a;
+  cap : int;
+  mutable head : int;  (* monotonic: total popped *)
+  mutable tail : int;  (* monotonic: total pushed *)
+}
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  { buf = Array.make capacity dummy; dummy; cap = capacity; head = 0; tail = 0 }
+
+let capacity t = t.cap
+let length t = t.tail - t.head
+let is_empty t = t.head = t.tail
+let is_full t = t.tail - t.head = t.cap
+let pushed t = t.tail
+let popped t = t.head
+
+let push t x =
+  if is_full t then false
+  else begin
+    t.buf.(t.tail mod t.cap) <- x;
+    t.tail <- t.tail + 1;
+    true
+  end
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let i = t.head mod t.cap in
+    let x = t.buf.(i) in
+    t.buf.(i) <- t.dummy;
+    t.head <- t.head + 1;
+    Some x
+  end
+
+let peek t = if is_empty t then None else Some t.buf.(t.head mod t.cap)
+
+let push_batch t xs =
+  let n = min (Array.length xs) (t.cap - length t) in
+  for i = 0 to n - 1 do
+    t.buf.((t.tail + i) mod t.cap) <- xs.(i)
+  done;
+  t.tail <- t.tail + n;
+  n
+
+let pop_batch t out =
+  let n = min (Array.length out) (length t) in
+  for i = 0 to n - 1 do
+    let j = (t.head + i) mod t.cap in
+    out.(i) <- t.buf.(j);
+    t.buf.(j) <- t.dummy
+  done;
+  t.head <- t.head + n;
+  n
+
+let iter f t =
+  for i = t.head to t.tail - 1 do
+    f t.buf.(i mod t.cap)
+  done

@@ -1,0 +1,53 @@
+(** Fixed-capacity single-producer/single-consumer ring buffer — the
+    engine's link primitive (snabb's [core.link]).
+
+    A ring never grows: [push] on a full ring refuses the element and
+    the caller decides what dropping means (the engine frees the packet
+    back to its pool and charges the destination element's drop
+    counter). Head and tail are monotonic counters, so total
+    pushed/popped tallies come for free and
+    [pushed t - popped t = length t] is an invariant test hooks rely
+    on.
+
+    The engine is single-threaded over virtual time, so no memory
+    fences are needed; the SPSC discipline (one pushing element, one
+    pulling worker per ring) is what keeps FIFO order meaningful. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** A ring holding at most [capacity] elements. [dummy] fills vacated
+    slots so the ring never retains references to popped elements.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [false] iff the ring is full (the element was not enqueued). *)
+
+val pop : 'a t -> 'a option
+(** Oldest element first (FIFO). *)
+
+val peek : 'a t -> 'a option
+(** The element [pop] would return, without removing it. *)
+
+val push_batch : 'a t -> 'a array -> int
+(** Enqueue the array front-to-back until the ring fills; returns how
+    many were accepted (a prefix of the array). *)
+
+val pop_batch : 'a t -> 'a array -> int
+(** Dequeue into the array until it is full or the ring empties;
+    returns how many were written (FIFO order from index 0). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Visit queued elements oldest-first without consuming them — the
+    engine's end-of-run in-flight accounting. *)
+
+val pushed : 'a t -> int
+(** Total elements ever accepted by [push]/[push_batch]. *)
+
+val popped : 'a t -> int
+(** Total elements ever removed by [pop]/[pop_batch]. *)

@@ -1,0 +1,34 @@
+(** Static service-path structure shared by both dataplane executors.
+
+    A placed chain's linearized graph paths collapse into {e routes}: a
+    traffic fraction, the ordered physical sites the packet visits
+    (server visits with their inline SmartNIC NFs and run-to-completion
+    subgroups, OpenFlow hops), and the PISA-resident NFs that run at
+    ToR line rate without ever becoming events. The batch-level
+    {!Sim} and the packet-level {!Engine} both execute these routes, so
+    a divergence between them is a timing/queueing difference, never a
+    routing one — which is what makes the convergence check in
+    [lemur_check] meaningful. *)
+
+type visit =
+  | Server_visit of {
+      server : string;
+      nic_nodes : Lemur_spec.Graph.node_id list;  (** inline SmartNIC NFs *)
+      subgroups : int list;  (** indices into the report's subgroups *)
+    }
+  | Of_visit
+
+type t = {
+  fraction : float;
+  visits : visit list;
+  sw_nodes : int list;
+      (** PISA-resident NFs on this path: they run at ToR line rate and
+          never appear as events, so executors credit them at ingress. *)
+}
+
+val build : ?nic_host:string -> Lemur_placer.Strategy.chain_report -> t list
+(** One route per linearized path. Adjacent hops fuse into one visit
+    only when they share a physical site; segments of the same chain
+    placed on different servers traverse the ToR between them.
+    [nic_host] (default ["server0"]) is where SmartNIC-resident NFs
+    execute. *)

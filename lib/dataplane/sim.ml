@@ -19,28 +19,12 @@ type result = {
   duration : float;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Static route structure *)
-
-type visit =
-  | Server_visit of {
-      server : string;
-      nic_nodes : Lemur_spec.Graph.node_id list;  (** inline SmartNIC NFs *)
-      subgroups : int list;  (** indices into the report's subgroups *)
-    }
-  | Of_visit
-
-type route = {
-  fraction : float;
-  visits : visit list;
-  sw_nodes : int list;
-      (** PISA-resident NFs on this path: they run at ToR line rate and
-          never appear as events, so batches credit them at ingress. *)
-}
+(* The static route structure lives in {!Route}, shared with the
+   packet-level Engine so both executors walk identical service paths. *)
 
 type chain_rt = {
   report : Strategy.chain_report;
-  routes : route list;
+  routes : Route.t list;
   offered_rate : float;
   batch_interval : float;
   (* token bucket for t_max *)
@@ -75,69 +59,6 @@ type server_rt = {
   sg_cores : (string * int, core list) Hashtbl.t;
 }
 
-let build_routes ?nic_host report =
-  let plan = report.Strategy.plan in
-  let graph = plan.Plan.input.Plan.graph in
-  let sg_index_of_node =
-    let tbl = Hashtbl.create 16 in
-    List.iteri
-      (fun i sg -> List.iter (fun n -> Hashtbl.replace tbl n i) sg.Plan.sg_nodes)
-      plan.Plan.subgroups;
-    tbl
-  in
-  let server_of_sg i =
-    let sg = List.nth plan.Plan.subgroups i in
-    List.assoc sg.Plan.sg_segment report.Strategy.seg_server
-  in
-  let nic_host = Option.value nic_host ~default:"server0" in
-  (* Each hop resolves to a physical site: SmartNIC work happens on the
-     NIC's host, server work on the segment's assigned server. Adjacent
-     hops fuse into one visit only when they share a site — segments of
-     the same chain placed on different servers must traverse the ToR
-     between them, never borrow each other's cores. *)
-  let site id =
-    match plan.Plan.locs.(id) with
-    | Plan.Switch -> `Sw
-    | Plan.Ofswitch -> `Of
-    | Plan.Smartnic -> `Host nic_host
-    | Plan.Server ->
-        `Host
-          (match Hashtbl.find_opt sg_index_of_node id with
-          | Some i -> server_of_sg i
-          | None -> nic_host)
-  in
-  List.map
-    (fun path ->
-      let groups =
-        Listx.group_consecutive
-          (fun a b -> site a = site b)
-          path.Lemur_spec.Graph.path_nodes
-      in
-      let visits =
-        List.filter_map
-          (fun group ->
-            match site (List.hd group) with
-            | `Sw -> None
-            | `Of -> Some Of_visit
-            | `Host server ->
-                let nic_nodes =
-                  List.filter (fun id -> plan.Plan.locs.(id) = Plan.Smartnic) group
-                in
-                let subgroups =
-                  List.filter_map (Hashtbl.find_opt sg_index_of_node) group
-                  |> Listx.uniq ( = )
-                in
-                Some (Server_visit { server; nic_nodes; subgroups }))
-          groups
-      in
-      let sw_nodes =
-        List.filter
-          (fun id -> site id = `Sw)
-          path.Lemur_spec.Graph.path_nodes
-      in
-      { fraction = path.Lemur_spec.Graph.fraction; visits; sw_nodes })
-    (Lemur_spec.Graph.linearize graph)
-
 (* ------------------------------------------------------------------ *)
 
 type event = Generate of int | Step of batch
@@ -148,7 +69,7 @@ and batch = {
   bits : float;
   pkts : int;
   flow : int;  (* 5-tuple hash: keeps replica choice flow-consistent *)
-  mutable remaining : visit list;
+  mutable remaining : Route.visit list;
 }
 
 let link_queue_limit = Units.ms 1.0
@@ -235,7 +156,7 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
            {
              report;
              routes =
-               build_routes
+               Route.build
                  ?nic_host:
                    (match topo.Lemur_topology.Topology.smartnics with
                    | nic :: _ -> Some nic.Lemur_platform.Smartnic.host
@@ -342,7 +263,7 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
     let c = chains.(batch.chain) in
     match batch.remaining with
     | [] -> deliver c batch now
-    | Of_visit :: rest -> (
+    | Route.Of_visit :: rest -> (
         match topo.Lemur_topology.Topology.ofswitch with
         | None ->
             batch.remaining <- rest;
@@ -359,7 +280,7 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
                 in
                 batch.remaining <- rest;
                 Heap.push events t (Step batch)))
-    | Server_visit { server; nic_nodes; subgroups } :: rest -> (
+    | Route.Server_visit { server; nic_nodes; subgroups } :: rest -> (
         let srv = Hashtbl.find servers server in
         (* ToR then downlink serialization *)
         let t0 = now +. tor_latency in
@@ -479,13 +400,13 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
       let rec pick acc = function
         | [ route ] -> route
         | route :: rest ->
-            if r < acc +. route.fraction then route else pick (acc +. route.fraction) rest
+            if r < acc +. route.Route.fraction then route else pick (acc +. route.Route.fraction) rest
         | [] -> assert false
       in
       let route = pick 0.0 c.routes in
       List.iter
         (fun nid -> Lemur_telemetry.Counter.incr ~by:batch_pkts c.tm_nf_pkts.(nid))
-        route.sw_nodes;
+        route.Route.sw_nodes;
       (* a few dozen concurrent flows per chain (footnote 6) *)
       let batch =
         {
@@ -494,7 +415,7 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
           bits = batch_bits;
           pkts = batch_pkts;
           flow = Prng.int prng 40;
-          remaining = route.visits;
+          remaining = route.Route.visits;
         }
       in
       (* ingress ToR traversal then walk the route *)

@@ -325,6 +325,150 @@ let test_runtime_check_parallel_digest () =
   Alcotest.(check int) "same run count" seq.Lemur_check.Runtime_check.rs_runs
     par.Lemur_check.Runtime_check.rs_runs
 
+(* ------------------------------------------------------------------ *)
+(* Engine-vs-sim convergence: the real check on real runs, then
+   mutation tests that hand-corrupt an engine result one field at a
+   time and assert the check reports exactly that corruption — same
+   discipline as the oracle mutation tests above. *)
+
+module Convergence = Lemur_check.Convergence
+module Engine = Lemur_dataplane.Engine
+module Sim = Lemur_dataplane.Sim
+
+(* One placed testbed chain executed both ways — the fixture every
+   mutation below corrupts. *)
+let converged_pair () =
+  let c = cfg () in
+  let input = mk "c" "Encrypt -> IPv4Fwd" (slo 4e9 100e9) in
+  let p = place_lemur c [ input ] in
+  let er = Engine.run ~seed:9 ~overdrive:1.0 ~config:c ~placement:p () in
+  let sr = Sim.run ~seed:9 ~overdrive:1.0 ~config:c ~placement:p () in
+  (c, er, sr)
+
+let divergence_kinds v =
+  List.map
+    (function
+      | Convergence.Throughput_mismatch _ -> "throughput"
+      | Convergence.Latency_blowup _ -> "latency"
+      | Convergence.Conservation_violation _ -> "conservation")
+    v.Convergence.divergences
+
+let check_diverges c er sr kind =
+  let v =
+    Convergence.check ~pkt_bytes:c.Plan.pkt_bytes ~engine:er ~sim:sr ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "divergence %s reported (got: %s)" kind
+       (String.concat "," (divergence_kinds v)))
+    true
+    (List.mem kind (divergence_kinds v))
+
+let mutate_chain er f =
+  { er with Engine.chains = List.map f er.Engine.chains }
+
+let test_convergence_accepts_real_run () =
+  let c, er, sr = converged_pair () in
+  let v =
+    Convergence.check ~pkt_bytes:c.Plan.pkt_bytes ~engine:er ~sim:sr ()
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "clean verdict:@ %a"
+       (Fmt.list Convergence.pp_divergence)
+       v.Convergence.divergences)
+    true (Convergence.ok v);
+  Alcotest.(check int) "the chain was actually compared" 1
+    v.Convergence.compared
+
+let test_convergence_detects_inflated_rate () =
+  (* An engine that claims more than Sim plus everything Sim admits to
+     having dropped is lying about its own deliveries. *)
+  let c, er, sr = converged_pair () in
+  let broken =
+    mutate_chain er (fun cr ->
+        { cr with Engine.delivered = cr.Engine.delivered *. 1.6 })
+  in
+  check_diverges c broken sr "throughput"
+
+let test_convergence_detects_shortfall () =
+  (* Below Sim the band is tight: a 20% shortfall is a capacity bug. *)
+  let c, er, sr = converged_pair () in
+  let broken =
+    mutate_chain er (fun cr ->
+        { cr with Engine.delivered = cr.Engine.delivered *. 0.8 })
+  in
+  check_diverges c broken sr "throughput"
+
+let test_convergence_detects_corrupt_counter () =
+  (* Losing one packet from a counter breaks the identity — the check
+     must catch an off-by-one, not just gross corruption. *)
+  let c, er, sr = converged_pair () in
+  let broken =
+    mutate_chain er (fun cr ->
+        { cr with Engine.delivered_pkts = cr.Engine.delivered_pkts - 1 })
+  in
+  check_diverges c broken sr "conservation"
+
+let test_convergence_detects_latency_blowup () =
+  let c, er, sr = converged_pair () in
+  let broken =
+    mutate_chain er (fun cr ->
+        {
+          cr with
+          Engine.p99_latency =
+            cr.Engine.p99_latency +. Lemur_util.Units.ms 5.0;
+        })
+  in
+  check_diverges c broken sr "latency"
+
+let test_convergence_floor_exemption () =
+  (* Below the measurability floor the rate comparison is off — but
+     conservation still applies. *)
+  let c, er, sr = converged_pair () in
+  let faint =
+    mutate_chain er (fun cr ->
+        { cr with Engine.offered = 50e6; delivered = cr.Engine.delivered *. 3.0 })
+  in
+  let v =
+    Convergence.check ~pkt_bytes:c.Plan.pkt_bytes ~engine:faint ~sim:sr ()
+  in
+  Alcotest.(check bool) "no throughput flag below the floor" false
+    (List.mem "throughput" (divergence_kinds v));
+  Alcotest.(check int) "chain counted exempt" 1 v.Convergence.exempt;
+  let faint_broken =
+    mutate_chain faint (fun cr ->
+        { cr with Engine.injected_pkts = cr.Engine.injected_pkts + 7 })
+  in
+  check_diverges c faint_broken sr "conservation"
+
+let test_engine_conservation_on_fuzzed_scenarios () =
+  (* The conservation identity on generator output, not hand-picked
+     chains: every feasible quick scenario in a seed range, per chain
+     and in aggregate. *)
+  let checked = ref 0 in
+  for seed = 1 to 10 do
+    let scenario = Scenario.generate ~quick:true ~seed () in
+    let c = Scenario.config scenario in
+    match Strategy.place Strategy.Lemur c (Scenario.inputs scenario) with
+    | Strategy.Infeasible _ -> ()
+    | Strategy.Placed p ->
+        let r =
+          Engine.run ~seed:(seed + 13) ~overdrive:1.0 ~config:c ~placement:p
+            ()
+        in
+        incr checked;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: per-chain identity" seed)
+          true (Engine.conserved r);
+        let sum f = List.fold_left (fun a cr -> a + f cr) 0 r.Engine.chains in
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: aggregate identity" seed)
+          (sum (fun cr -> cr.Engine.injected_pkts))
+          (sum (fun cr -> cr.Engine.delivered_pkts)
+          + sum (fun cr -> cr.Engine.dropped_pkts)
+          + sum (fun cr -> cr.Engine.in_flight_pkts))
+  done;
+  Alcotest.(check bool) "scenarios were actually executed" true (!checked >= 5)
+
 let suite =
   [
     Alcotest.test_case "oracle accepts valid placements" `Quick
@@ -346,6 +490,20 @@ let suite =
       test_scenario_inputs_well_formed;
     Alcotest.test_case "shrinking preserves the failure" `Quick
       test_shrink_preserves_failure;
+    Alcotest.test_case "convergence accepts a real run" `Quick
+      test_convergence_accepts_real_run;
+    Alcotest.test_case "convergence rejects: inflated rate" `Quick
+      test_convergence_detects_inflated_rate;
+    Alcotest.test_case "convergence rejects: shortfall" `Quick
+      test_convergence_detects_shortfall;
+    Alcotest.test_case "convergence rejects: corrupt counter" `Quick
+      test_convergence_detects_corrupt_counter;
+    Alcotest.test_case "convergence rejects: latency blowup" `Quick
+      test_convergence_detects_latency_blowup;
+    Alcotest.test_case "convergence floor exemption" `Quick
+      test_convergence_floor_exemption;
+    Alcotest.test_case "engine conservation on fuzzed scenarios" `Slow
+      test_engine_conservation_on_fuzzed_scenarios;
     Alcotest.test_case "quick fuzz run is clean" `Quick test_quick_fuzz_clean;
     Alcotest.test_case "fuzz digest invariant under -j" `Slow
       test_fuzz_parallel_digest;

@@ -43,6 +43,50 @@ let test_heap_property () =
   drain ();
   Alcotest.(check bool) "pops in order" true !sorted
 
+let test_heap_fifo_ties () =
+  (* Equal keys must pop in insertion order: simultaneous events are
+     served in the order they were scheduled. *)
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 5.0 v) [ "first"; "second"; "third" ];
+  Heap.push h 1.0 "early";
+  List.iter (fun v -> Heap.push h 5.0 v) [ "fourth"; "fifth" ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "ties pop FIFO"
+    [ "early"; "first"; "second"; "third"; "fourth"; "fifth" ]
+    (List.rev !order)
+
+let test_heap_fifo_property () =
+  (* Random interleaving of a few key values: among equal keys,
+     insertion order is preserved in the pop sequence. *)
+  let prng = Lemur_util.Prng.create ~seed:3 in
+  let h = Heap.create () in
+  for i = 0 to 499 do
+    Heap.push h (float_of_int (Lemur_util.Prng.int prng 5)) i
+  done;
+  let prev_key = ref neg_infinity and prev_seq = ref (-1) in
+  let ok = ref true in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (k, seq) ->
+        if k < !prev_key then ok := false;
+        if k = !prev_key && seq < !prev_seq then ok := false;
+        prev_key := k;
+        prev_seq := seq;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "sorted, FIFO within equal keys" true !ok
+
 let test_determinism () =
   let c = config () in
   let p = simple_placement c in
@@ -185,10 +229,227 @@ let test_smartnic_path () =
   let cr = List.hd r.Sim.chains in
   Alcotest.(check bool) "delivers through the NIC" true (cr.Sim.delivered > 1e9)
 
+(* ------------------------------------------------------------------ *)
+(* The packet-at-a-time engine                                          *)
+
+let chain_counters (c : Engine.chain_result) =
+  ( c.Engine.injected_pkts, c.Engine.delivered_pkts, c.Engine.dropped_pkts,
+    c.Engine.shaped_pkts, c.Engine.in_flight_pkts )
+
+let test_engine_determinism () =
+  let c = config () in
+  let p = simple_placement c in
+  let r1 = Engine.run ~seed:5 ~config:c ~placement:p () in
+  let r2 = Engine.run ~seed:5 ~config:c ~placement:p () in
+  Alcotest.(check (float 1e-6)) "same aggregate" r1.Engine.aggregate_throughput
+    r2.Engine.aggregate_throughput;
+  Alcotest.(check int) "same hop count" r1.Engine.total_served
+    r2.Engine.total_served;
+  List.iter2
+    (fun a b ->
+      Alcotest.(check (pair (pair int int) (pair int (pair int int))))
+        "same per-chain counters"
+        (let i, d, dr, s, f = chain_counters a in ((i, d), (dr, (s, f))))
+        (let i, d, dr, s, f = chain_counters b in ((i, d), (dr, (s, f)))))
+    r1.Engine.chains r2.Engine.chains
+
+let test_engine_tracks_sim () =
+  (* The tentpole invariant, smoke-sized: on the paper's testbed the
+     packet engine and the batch-rate model measure the same chains
+     within a few percent. The full-tolerance check lives in
+     Lemur_check.Convergence (test_check.ml) and in `lemur fuzz`. *)
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 1; 2; 3 ] in
+  let p = place c inputs in
+  let er = Engine.run ~seed:9 ~overdrive:1.0 ~config:c ~placement:p () in
+  let sr = Sim.run ~seed:9 ~overdrive:1.0 ~config:c ~placement:p () in
+  List.iter
+    (fun (ec : Engine.chain_result) ->
+      match
+        List.find_opt
+          (fun (sc : Sim.chain_result) -> sc.Sim.chain_id = ec.Engine.chain_id)
+          sr.Sim.chains
+      with
+      | None -> Alcotest.failf "chain %s missing from sim" ec.Engine.chain_id
+      | Some sc ->
+          let rel =
+            Float.abs (ec.Engine.delivered -. sc.Sim.delivered)
+            /. Float.max 1.0 sc.Sim.delivered
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: engine %.3fG vs sim %.3fG (rel %.3f)"
+               ec.Engine.chain_id
+               (ec.Engine.delivered /. 1e9)
+               (sc.Sim.delivered /. 1e9)
+               rel)
+            true (rel < 0.08))
+    er.Engine.chains
+
+let test_engine_overload_conserves () =
+  (* Overdriven far past capacity the engine must tail-drop — and the
+     conservation identity must survive the carnage. *)
+  let c = config () in
+  let p = simple_placement c in
+  let r = Engine.run ~overdrive:3.0 ~config:c ~placement:p () in
+  let cr = List.hd r.Engine.chains in
+  Alcotest.(check bool) "drops occurred" true (cr.Engine.dropped_pkts > 0);
+  Alcotest.(check bool) "identity holds under overload" true
+    (Engine.conserved r);
+  (* The placer's capacity is worst-case-cycle pessimistic, so the
+     engine (sampling the profiled distribution) can legitimately beat
+     it — but at 3x drive it must shed most of the offered load. *)
+  Alcotest.(check bool) "delivered well below offered" true
+    (cr.Engine.delivered < cr.Engine.offered *. 0.75)
+
+let test_engine_conservation_aggregate () =
+  (* injected = delivered + dropped + in_flight per chain AND summed,
+     at both gentle and punishing drive. *)
+  let c = config () in
+  let inputs = Lemur.Chains.inputs_for_delta c ~delta:0.5 [ 1; 2; 4 ] in
+  let p = place c inputs in
+  List.iter
+    (fun overdrive ->
+      let r = Engine.run ~overdrive ~config:c ~placement:p () in
+      Alcotest.(check bool)
+        (Printf.sprintf "per-chain identity at overdrive %.1f" overdrive)
+        true (Engine.conserved r);
+      let sum f = List.fold_left (fun a cr -> a + f cr) 0 r.Engine.chains in
+      Alcotest.(check int)
+        (Printf.sprintf "aggregate identity at overdrive %.1f" overdrive)
+        (sum (fun cr -> cr.Engine.injected_pkts))
+        (sum (fun cr -> cr.Engine.delivered_pkts)
+        + sum (fun cr -> cr.Engine.dropped_pkts)
+        + sum (fun cr -> cr.Engine.in_flight_pkts)))
+    [ 1.0; 2.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring properties                                                      *)
+
+(* A random op tape: [true] = push the next integer from a counter,
+   [false] = pop. Checked against a plain FIFO queue model. *)
+let ring_qcheck_cases =
+  let open QCheck in
+  let ops_gen =
+    Gen.(pair (int_range 1 8) (list_size (int_range 0 200) bool))
+  in
+  [
+    Test.make ~name:"ring agrees with a queue model (FIFO + conservation)"
+      ~count:200 (make ops_gen)
+      (fun (capacity, ops) ->
+        let r = Ring.create ~capacity ~dummy:(-1) in
+        let model = Queue.create () in
+        let next = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun op ->
+            if op then begin
+              let accepted = Ring.push r !next in
+              let model_accepts = Queue.length model < capacity in
+              if accepted <> model_accepts then ok := false;
+              if accepted then Queue.add !next model;
+              incr next
+            end
+            else begin
+              let popped = Ring.pop r in
+              let expected =
+                if Queue.is_empty model then None else Some (Queue.pop model)
+              in
+              if popped <> expected then ok := false
+            end;
+            if Ring.length r <> Queue.length model then ok := false;
+            if Ring.pushed r - Ring.popped r <> Ring.length r then ok := false;
+            if Ring.is_empty r <> (Queue.length model = 0) then ok := false;
+            if Ring.is_full r <> (Queue.length model = capacity) then
+              ok := false)
+          ops;
+        !ok);
+    Test.make ~name:"ring wrap-around preserves FIFO" ~count:100
+      (make Gen.(pair (int_range 1 6) (int_range 10 300)))
+      (fun (capacity, rounds) ->
+        (* Fill/drain cycles force head/tail to wrap many times. *)
+        let r = Ring.create ~capacity ~dummy:(-1) in
+        let next = ref 0 and expect = ref 0 in
+        let ok = ref true in
+        for _ = 1 to rounds do
+          while Ring.push r !next do
+            incr next
+          done;
+          (match Ring.peek r with
+          | Some v when v = !expect -> ()
+          | _ -> ok := false);
+          let rec drain () =
+            match Ring.pop r with
+            | None -> ()
+            | Some v ->
+                if v <> !expect then ok := false;
+                incr expect;
+                drain ()
+          in
+          drain ()
+        done;
+        !ok && !next = !expect);
+    Test.make ~name:"ring full/empty edges" ~count:50
+      (make Gen.(int_range 1 8))
+      (fun capacity ->
+        let r = Ring.create ~capacity ~dummy:0 in
+        let filled = ref 0 in
+        while Ring.push r !filled do
+          incr filled
+        done;
+        (* exactly capacity accepted, then refusal without corruption *)
+        !filled = capacity && Ring.is_full r
+        && (not (Ring.push r 999))
+        && Ring.peek r = Some 0
+        && Ring.length r = capacity
+        &&
+        (for _ = 1 to capacity do
+           ignore (Ring.pop r)
+         done;
+         Ring.is_empty r && Ring.pop r = None && Ring.peek r = None
+         && Ring.pushed r = capacity
+         && Ring.popped r = capacity));
+    Test.make ~name:"ring batch ops agree with 1-at-a-time" ~count:100
+      (make
+         Gen.(
+           triple (int_range 1 8)
+             (list_size (int_range 0 20) (int_range 0 15))
+             (int_range 1 16)))
+      (fun (capacity, pushes, batch) ->
+        (* push_batch/pop_batch must accept/return exactly the prefix
+           the scalar ops would. *)
+        let a = Ring.create ~capacity ~dummy:(-1) in
+        let b = Ring.create ~capacity ~dummy:(-1) in
+        let arr = Array.of_list pushes in
+        let accepted_batch = Ring.push_batch a arr in
+        let accepted_scalar = ref 0 in
+        (try
+           Array.iter
+             (fun v ->
+               if Ring.push b v then incr accepted_scalar
+               else raise Exit)
+             arr
+         with Exit -> ());
+        let out = Array.make batch (-1) in
+        let popped_batch = Ring.pop_batch a out in
+        let popped_scalar = ref [] in
+        for _ = 1 to batch do
+          match Ring.pop b with
+          | Some v -> popped_scalar := v :: !popped_scalar
+          | None -> ()
+        done;
+        accepted_batch = !accepted_scalar
+        && popped_batch = List.length !popped_scalar
+        && Array.to_list (Array.sub out 0 popped_batch)
+           = List.rev !popped_scalar
+        && Ring.length a = Ring.length b);
+  ]
+
 let suite =
   [
     Alcotest.test_case "event heap" `Quick test_heap;
     Alcotest.test_case "heap ordering property" `Quick test_heap_property;
+    Alcotest.test_case "heap FIFO on equal keys" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap FIFO property" `Quick test_heap_fifo_property;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "measured tracks predicted" `Slow test_measured_tracks_predicted;
     Alcotest.test_case "SLOs hold on the dataplane" `Slow test_slo_satisfied;
@@ -199,4 +460,11 @@ let suite =
     Alcotest.test_case "traffic modes" `Quick test_traffic_modes;
     Alcotest.test_case "ofswitch contention" `Quick test_ofswitch_contention;
     Alcotest.test_case "smartnic path" `Quick test_smartnic_path;
+    Alcotest.test_case "engine determinism" `Quick test_engine_determinism;
+    Alcotest.test_case "engine tracks sim" `Slow test_engine_tracks_sim;
+    Alcotest.test_case "engine overload conserves" `Quick
+      test_engine_overload_conserves;
+    Alcotest.test_case "engine conservation aggregate" `Slow
+      test_engine_conservation_aggregate;
   ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) ring_qcheck_cases
