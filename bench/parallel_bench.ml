@@ -27,6 +27,77 @@ let timed_fuzz ~jobs ~seed ~count =
   let wall = Lemur_util.Timing.duration ~start:t0 ~stop:(now ()) in
   (s, wall)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarially skewed synthetic corpus: one ~100x-cost item first and
+   one last, cheap items between. Under the old queue-per-item pool a
+   worker that drew a heavy item serialized everything queued behind
+   it; chunked work-stealing bounds the damage to the heavy item
+   itself. The spin kernel is a pure integer recurrence, so results —
+   and the digest over them — are identical at any -j. *)
+
+let spin iters x =
+  let h = ref x in
+  for _ = 1 to iters do
+    h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF;
+    h := !h lxor (!h lsr 13)
+  done;
+  !h
+
+let skew_items = 64
+let skew_base_iters = 400_000
+let skew_heavy_factor = 100
+
+let skewed_corpus () =
+  List.init skew_items (fun i ->
+      let iters =
+        if i = 0 || i = skew_items - 1 then skew_heavy_factor * skew_base_iters
+        else skew_base_iters
+      in
+      (i, iters))
+
+(* max/mean busy time across the executors that actually ran items: 1.0
+   is a perfectly level run, [executors] is one executor doing
+   everything. *)
+let imbalance busy =
+  let active = List.filter (fun b -> b > 0) (Array.to_list busy) in
+  match active with
+  | [] -> 1.0
+  | _ ->
+      let sum = List.fold_left ( + ) 0 active in
+      let mean = float_of_int sum /. float_of_int (List.length active) in
+      float_of_int (List.fold_left max 0 active) /. mean
+
+let run_skewed ~jobs =
+  Pool.reset_busy ();
+  let t0 = now () in
+  let results =
+    Pool.map ~domains:jobs (fun (i, iters) -> spin iters (i + 1)) (skewed_corpus ())
+  in
+  let wall = Lemur_util.Timing.duration ~start:t0 ~stop:(now ()) in
+  let busy = Pool.busy_ns () in
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ","
+            (List.map
+               (function
+                 | Ok v -> string_of_int v
+                 | Error (e : Pool.job_error) -> "error:" ^ e.Pool.message)
+               results)))
+  in
+  (digest, wall, busy)
+
+let skewed_json ~jobs digest wall busy =
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("wall_s", Json.Float wall);
+      ("digest", Json.String digest);
+      ("imbalance", Json.Float (imbalance busy));
+      ( "busy_ns",
+        Json.List (List.map (fun b -> Json.Int b) (Array.to_list busy)) );
+    ]
+
 let run_json ~jobs (s : Fuzz.summary) wall =
   Json.Obj
     [
@@ -96,6 +167,24 @@ let main args =
       let speedup = if par_wall > 0.0 then seq_wall /. par_wall else 0.0 in
       let speedup_ok = !min_speedup <= 0.0 || speedup >= !min_speedup in
       Printf.printf
+        "## parallel: skewed corpus, %d items with 2 x %dx outliers (first \
+         and last), -j 1 vs -j %d\n\
+         %!"
+        skew_items skew_heavy_factor jobs;
+      let sk_seq_digest, sk_seq_wall, sk_seq_busy = run_skewed ~jobs:1 in
+      Printf.printf "  -j 1: %.2fs, digest %s\n%!" sk_seq_wall sk_seq_digest;
+      let sk_par_digest, sk_par_wall, sk_par_busy = run_skewed ~jobs in
+      Printf.printf "  -j %d: %.2fs, digest %s, imbalance %.2f\n%!" jobs
+        sk_par_wall sk_par_digest (imbalance sk_par_busy);
+      let skew_digests_equal = String.equal sk_seq_digest sk_par_digest in
+      let skew_speedup =
+        if sk_par_wall > 0.0 then sk_seq_wall /. sk_par_wall else 0.0
+      in
+      Printf.printf "skewed determinism: %s\nskewed speedup: %.2fx\n"
+        (if skew_digests_equal then "ok, digests identical"
+         else "DIGEST MISMATCH")
+        skew_speedup;
+      Printf.printf
         "determinism: %s\nspeedup: %.2fx (threshold %.2fx: %s)\n"
         (if digests_equal then "ok, digests identical" else "DIGEST MISMATCH")
         speedup !min_speedup
@@ -115,6 +204,19 @@ let main args =
             ("speedup", Json.Float speedup);
             ("min_speedup", Json.Float !min_speedup);
             ("speedup_ok", Json.Bool speedup_ok);
+            ( "skewed",
+              Json.Obj
+                [
+                  ("items", Json.Int skew_items);
+                  ("heavy_factor", Json.Int skew_heavy_factor);
+                  ( "sequential",
+                    skewed_json ~jobs:1 sk_seq_digest sk_seq_wall sk_seq_busy
+                  );
+                  ( "parallel",
+                    skewed_json ~jobs sk_par_digest sk_par_wall sk_par_busy );
+                  ("digests_equal", Json.Bool skew_digests_equal);
+                  ("speedup", Json.Float skew_speedup);
+                ] );
           ]
       in
       let oc = open_out !out in
@@ -122,4 +224,4 @@ let main args =
       output_string oc "\n";
       close_out oc;
       Printf.printf "wrote %s\n" !out;
-      if digests_equal && speedup_ok then 0 else 1
+      if digests_equal && skew_digests_equal && speedup_ok then 0 else 1

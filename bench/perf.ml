@@ -282,40 +282,118 @@ let bench_milp ~seeds =
 
 (* ------------------------------------------------------------------ *)
 
+(* Canonical placement rendering for the cached-vs-uncached equivalence
+   check: everything the solver decided, nothing wall-clock. *)
+let render_outcome = function
+  | Lemur_placer.Strategy.Infeasible { reason } -> "infeasible:" ^ reason
+  | Lemur_placer.Strategy.Placed p ->
+      let module S = Lemur_placer.Strategy in
+      String.concat ";"
+        (Printf.sprintf "%h|%h|%d|%d" p.S.total_rate p.S.total_marginal
+           p.S.stages_used p.S.cores_used
+        :: List.map
+             (fun (r : S.chain_report) ->
+               Printf.sprintf "%s|%h|%h|%h|%d|%s"
+                 (Lemur_placer.Memo.plan_sig r.S.plan)
+                 r.S.rate r.S.capacity r.S.latency r.S.bounces
+                 (String.concat ","
+                    (List.map string_of_int (Array.to_list r.S.cores))))
+             p.S.chain_reports)
+
+(* Demand-capped SLO variants of a scenario's inputs, the way the
+   runtime engine derives effective SLOs from observed demand: t_max
+   shrinks, t_min (the contract) and the structure stay put. Placing
+   the same scenario across these levels is the paper's core loop —
+   re-solving as conditions change — and is precisely what the
+   SLO-free structural memo keys are built to accelerate. *)
+let demand_levels = [ 1.0; 0.75; 0.5 ]
+
+let at_demand factor (inputs : Lemur_placer.Plan.chain_input list) =
+  if factor >= 1.0 then inputs
+  else
+    List.map
+      (fun (i : Lemur_placer.Plan.chain_input) ->
+        let slo = i.Lemur_placer.Plan.slo in
+        let t_max = slo.Lemur_slo.Slo.t_max in
+        if Float.is_finite t_max then
+          {
+            i with
+            Lemur_placer.Plan.slo =
+              {
+                slo with
+                Lemur_slo.Slo.t_max =
+                  Float.max slo.Lemur_slo.Slo.t_min (t_max *. factor);
+              };
+          }
+        else i)
+      inputs
+
 let bench_strategy ~seeds =
+  let strategies = [ Lemur_placer.Strategy.Lemur; Lemur_placer.Strategy.Optimal ] in
+  let pass ~fresh =
+    List.concat_map
+      (fun seed ->
+        (* full-size scenarios: quick ones have chains too small to ever
+           repeat a candidate evaluation, so they exercise only the
+           cache's miss path *)
+        let sc = Scenario.generate ~quick:false ~seed () in
+        let cfg = Scenario.config sc in
+        let inputs = Scenario.inputs sc in
+        List.concat_map
+          (fun factor ->
+            let inputs = at_demand factor inputs in
+            List.map
+              (fun strategy ->
+                if fresh then Lemur_placer.Memo.clear ();
+                render_outcome
+                  (Lemur_placer.Strategy.place strategy cfg inputs))
+              strategies)
+          demand_levels)
+      seeds
+  in
   let hits0, misses0 = Lemur_placer.Memo.stats () in
+  let evictions0 = Lemur_placer.Memo.evictions () in
+  let vc_hits0, vc_misses0 = Lemur_placer.Strategy.variant_cache_stats () in
   let t0 = now () in
-  let places = ref 0 in
-  List.iter
-    (fun seed ->
-      (* full-size scenarios: quick ones have chains too small to ever
-         repeat a candidate evaluation, so they exercise only the
-         cache's miss path *)
-      let sc = Scenario.generate ~quick:false ~seed () in
-      let cfg = Scenario.config sc in
-      let inputs = Scenario.inputs sc in
-      List.iter
-        (fun strategy ->
-          incr places;
-          ignore (Lemur_placer.Strategy.place strategy cfg inputs))
-        [ Lemur_placer.Strategy.Lemur; Lemur_placer.Strategy.Optimal ])
-    seeds;
+  let cached = pass ~fresh:false in
   let wall = now () -. t0 in
   let hits1, misses1 = Lemur_placer.Memo.stats () in
+  let vc_hits1, vc_misses1 = Lemur_placer.Strategy.variant_cache_stats () in
+  let evictions = Lemur_placer.Memo.evictions () - evictions0 in
   let hits = hits1 - hits0 and misses = misses1 - misses0 in
-  Json.Obj
-    [
-      ("seeds", Json.Int (List.length seeds));
-      ("places", Json.Int !places);
-      ("wall_s", Json.Float wall);
-      ("places_per_sec", Json.Float (float_of_int !places /. wall));
-      ("cache_hits", Json.Int hits);
-      ("cache_misses", Json.Int misses);
-      ( "cache_hit_rate",
-        Json.Float
-          (if hits + misses = 0 then 0.0
-           else float_of_int hits /. float_of_int (hits + misses)) );
-    ]
+  (* The same corpus with every cache dropped before each placement:
+     structural memoization must be invisible in the results, or the
+     cache is wrong, not fast. *)
+  Lemur_placer.Strategy.set_variant_cache false;
+  let tu0 = now () in
+  let uncached = pass ~fresh:true in
+  let uncached_wall = now () -. tu0 in
+  Lemur_placer.Strategy.set_variant_cache true;
+  let placements_match = List.for_all2 String.equal cached uncached in
+  let places = List.length cached in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let json =
+    Json.Obj
+      [
+        ("seeds", Json.Int (List.length seeds));
+        ("places", Json.Int places);
+        ("wall_s", Json.Float wall);
+        ("places_per_sec", Json.Float (float_of_int places /. wall));
+        ("cache_hits", Json.Int hits);
+        ("cache_misses", Json.Int misses);
+        ("cache_hit_rate", Json.Float hit_rate);
+        ("cache_evictions", Json.Int evictions);
+        ("varcache_hits", Json.Int (vc_hits1 - vc_hits0));
+        ("varcache_misses", Json.Int (vc_misses1 - vc_misses0));
+        ("uncached_wall_s", Json.Float uncached_wall);
+        ("wall_speedup_vs_uncached", Json.Float (uncached_wall /. wall));
+        ("placements_match", Json.Bool placements_match);
+      ]
+  in
+  (json, hit_rate, placements_match)
 
 let bench_fuzz ~jobs ~count =
   let t0 = now () in
@@ -332,6 +410,7 @@ let bench_fuzz ~jobs ~count =
       ("digest", Json.String s.Fuzz.digest);
       ("cache_hits", Json.Int s.Fuzz.cache_hits);
       ("cache_misses", Json.Int s.Fuzz.cache_misses);
+      ("cache_evictions", Json.Int s.Fuzz.cache_evictions);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -353,14 +432,16 @@ let read_baseline path =
 
 let usage () =
   prerr_endline
-    "usage: bench -- perf [--quick] [-j N] [--out FILE] [--baseline FILE]";
+    "usage: bench -- perf [--quick] [-j N] [--out FILE] [--baseline FILE] \
+     [--min-hit-rate R]";
   2
 
 let main args =
   let quick = ref false
   and jobs = ref 1
   and out = ref "BENCH_perf.json"
-  and baseline = ref None in
+  and baseline = ref None
+  and min_hit_rate = ref None in
   let rec parse = function
     | [] -> true
     | "--quick" :: rest ->
@@ -378,6 +459,12 @@ let main args =
     | "--baseline" :: file :: rest ->
         baseline := Some file;
         parse rest
+    | "--min-hit-rate" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some r when r >= 0.0 && r <= 1.0 ->
+            min_hit_rate := Some r;
+            parse rest
+        | _ -> false)
     | _ -> false
   in
   if not (parse args) then usage ()
@@ -405,7 +492,12 @@ let main args =
     Printf.printf "  objectives match: %b\n%!" milp_agree;
     Printf.printf "perf: strategy cache (%d seeds)...\n%!"
       (List.length strat_seeds);
-    let strategy_json = bench_strategy ~seeds:strat_seeds in
+    let strategy_json, hit_rate, placements_match =
+      bench_strategy ~seeds:strat_seeds
+    in
+    Printf.printf
+      "  hit rate %.1f%%; cached placements match uncached: %b\n%!"
+      (100.0 *. hit_rate) placements_match;
     Printf.printf "perf: fuzz workload (%d scenarios, %d job(s))...\n%!"
       fuzz_count !jobs;
     let fuzz_json = bench_fuzz ~jobs:!jobs ~count:fuzz_count in
@@ -431,6 +523,20 @@ let main args =
     Printf.printf "perf: wrote %s\n%!" !out;
     if not (agree && milp_agree) then begin
       prerr_endline "perf: FAIL — optimized solver diverged from baseline";
+      1
+    end
+    else if not placements_match then begin
+      prerr_endline
+        "perf: FAIL — cached placements differ from uncached (memo unsound)";
+      1
+    end
+    else if
+      match !min_hit_rate with Some r -> hit_rate < r | None -> false
+    then begin
+      Printf.eprintf
+        "perf: FAIL — strategy cache hit rate %.1f%% below the %.1f%% floor\n"
+        (100.0 *. hit_rate)
+        (100.0 *. Option.get !min_hit_rate);
       1
     end
     else

@@ -119,6 +119,70 @@ let main args =
                 | Error e -> Error (name ^ ": " ^ e)))
           (Ok []) policies
       in
+      (* Incremental re-placement vs from-scratch: a dedicated
+         demand-churn trace — longer chains than the policy trace, so a
+         re-solve actually has pattern search and coalescing to redo —
+         driven twice under the immediate policy (oracle on), caches
+         dropped before each run so neither inherits warmth. The
+         incremental engine keeps the structural memo and variant cache
+         across re-placements (demand events leave every chain clean,
+         so the whole pattern search replays from cache); the
+         from-scratch one clears them inside every timed decision.
+         Placements — and therefore report digests — must be
+         byte-identical: the caches only change how fast the same
+         answer is derived. *)
+      let resolve_trace =
+        let topo =
+          {
+            Trace.servers = 3;
+            cores_per_socket = 8;
+            smartnic = true;
+            ofswitch = false;
+            no_pisa = false;
+            metron = false;
+          }
+        in
+        let chains =
+          [
+            "r0 slo(tmin='2.0Gbps', tmax='40Gbps') = ACL -> Monitor -> NAT \
+             -> Encrypt -> Tunnel -> IPv4Fwd";
+            "r1 slo(tmin='1.5Gbps', tmax='40Gbps') = BPF -> ACL -> Monitor \
+             -> NAT -> Tunnel -> IPv4Fwd";
+            "r2 slo(tmin='1.0Gbps', tmax='40Gbps') = Monitor -> ACL -> NAT \
+             -> Encrypt -> IPv4Fwd";
+          ]
+        in
+        let prng = Lemur_util.Prng.create ~seed:!seed in
+        let t = ref 0.0 in
+        let events =
+          List.init 120 (fun i ->
+              t := !t +. 0.005;
+              let chain_id = Printf.sprintf "r%d" (i mod 3) in
+              let rate =
+                float_of_int (5 + Lemur_util.Prng.int prng 200) *. 1e8
+              in
+              { Trace.at = !t; action = Trace.Traffic { chain_id; rate } })
+        in
+        {
+          Trace.seed = None;
+          topo;
+          chains;
+          windows = [];
+          events;
+          horizon = !t +. 0.01;
+        }
+      in
+      let drive_incremental ~incremental =
+        Lemur_placer.Memo.clear ();
+        Lemur_placer.Strategy.clear_variant_cache ();
+        let cfg =
+          Engine.default_config ~policy:Policy.Immediate ~seed:!seed
+            ~check:Lemur_check.Runtime_check.checker ~incremental ()
+        in
+        match Engine.run cfg resolve_trace with
+        | Ok (report, _) -> Ok report
+        | Error e -> Error (Engine.error_to_string e)
+      in
       match run_all with
       | Error e ->
           Printf.eprintf "bench runtime: %s\n" e;
@@ -155,6 +219,46 @@ let main args =
           let imm = List.assoc "immediate" results in
           let deb = List.assoc "debounced" results in
           let deterministic = String.equal (digest "immediate") replay_digest in
+          let incremental_section =
+            match
+              (drive_incremental ~incremental:true,
+               drive_incremental ~incremental:false)
+            with
+            | Error e, _ | _, Error e -> Error e
+            | Ok inc, Ok scratch ->
+                let inc_mean, _, _ =
+                  latency_stats inc.Report.decision_latency_s
+                in
+                let scratch_mean, _, _ =
+                  latency_stats scratch.Report.decision_latency_s
+                in
+                let resolve_speedup =
+                  if inc_mean > 0.0 then scratch_mean /. inc_mean else 0.0
+                in
+                let digests_equal =
+                  String.equal (Report.digest inc) (Report.digest scratch)
+                in
+                Printf.printf
+                  "incremental re-placement: mean decision %.2f ms vs %.2f \
+                   ms from scratch (%.2fx), digests %s\n"
+                  (inc_mean *. 1000.0) (scratch_mean *. 1000.0)
+                  resolve_speedup
+                  (if digests_equal then "identical" else "MISMATCH");
+                Ok
+                  ( digests_equal,
+                    Json.Obj
+                      [
+                        ("reconfigs", Json.Int inc.Report.reconfigs);
+                        ( "incremental_decision_mean_s",
+                          Json.Float inc_mean );
+                        ( "scratch_decision_mean_s",
+                          Json.Float scratch_mean );
+                        ("resolve_speedup", Json.Float resolve_speedup);
+                        ("digests_equal", Json.Bool digests_equal);
+                        ( "incremental_digest",
+                          Json.String (Report.digest inc) );
+                      ] )
+          in
           let ratio_ok =
             deb.Report.reconfigs * 2 <= imm.Report.reconfigs
           in
@@ -171,6 +275,13 @@ let main args =
             (if ratio_ok then "ok, >=2x fewer" else "FAILED: < 2x")
             deb.Report.total_violation_s budget
             (if premium_ok then "ok" else "FAILED");
+          let incremental_ok, incremental_json =
+            match incremental_section with
+            | Ok (equal, json) -> (equal, json)
+            | Error e ->
+                ( false,
+                  Json.Obj [ ("error", Json.String e) ] )
+          in
           let doc =
             Json.Obj
               [
@@ -186,6 +297,7 @@ let main args =
                 ("deterministic", Json.Bool deterministic);
                 ("reconfig_ratio_ok", Json.Bool ratio_ok);
                 ("violation_premium_ok", Json.Bool premium_ok);
+                ("incremental", incremental_json);
               ]
           in
           let oc = open_out !out in
@@ -193,4 +305,5 @@ let main args =
           output_string oc "\n";
           close_out oc;
           Printf.printf "wrote %s\n" !out;
-          if deterministic && ratio_ok && premium_ok then 0 else 1)
+          if deterministic && ratio_ok && premium_ok && incremental_ok then 0
+          else 1)

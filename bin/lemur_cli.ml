@@ -407,13 +407,15 @@ let load_trace trace_file trace_seed trace_events =
       Ok (Lemur_runtime.Trace.generate ~events:trace_events ~seed ())
   | None, None -> Error "no trace: pass --trace FILE or --trace-seed N"
 
-let runtime_run ~policy ~engine_seed ~sample_ms ~no_check ~report_file trace =
+let runtime_run ~policy ~engine_seed ~sample_ms ~no_check ~no_incremental
+    ~report_file trace =
   let check =
     if no_check then None else Some Lemur_check.Runtime_check.checker
   in
   let cfg =
     Lemur_runtime.Engine.default_config ~policy ~seed:engine_seed
-      ~sample:(Lemur_util.Units.ms sample_ms) ?check ()
+      ~sample:(Lemur_util.Units.ms sample_ms) ?check
+      ~incremental:(not no_incremental) ()
   in
   match Lemur_runtime.Engine.run cfg trace with
   | Error e ->
@@ -475,6 +477,16 @@ let run_cmd =
             "Skip the placement-oracle check on intermediate deployments \
              (trace mode; the check is on by default).")
   in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Drop the placer's structural memo and variant cache before \
+             every re-placement instead of keeping them warm across events \
+             (trace mode). Placements and the report digest are identical \
+             either way; only decision latency changes.")
+  in
   let report_file =
     Arg.(
       value
@@ -484,7 +496,7 @@ let run_cmd =
   in
   let run strategy servers cps smartnic ofswitch no_pisa metron duration
       trace_file trace_seed trace_events policy engine_seed sample_ms no_check
-      report_file tfile file =
+      no_incremental report_file tfile file =
     with_telemetry tfile @@ fun () ->
     match (trace_file, trace_seed, file) with
     | (Some _, _, _ | _, Some _, _) when file <> None ->
@@ -496,8 +508,8 @@ let run_cmd =
             Printf.eprintf "error: %s\n" e;
             1
         | Ok trace ->
-            runtime_run ~policy ~engine_seed ~sample_ms ~no_check ~report_file
-              trace)
+            runtime_run ~policy ~engine_seed ~sample_ms ~no_check
+              ~no_incremental ~report_file trace)
     | None, None, None ->
         Printf.eprintf "error: pass a SPEC file, or --trace / --trace-seed\n";
         1
@@ -533,7 +545,7 @@ let run_cmd =
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
       $ no_pisa $ metron $ duration $ trace_file $ trace_seed_arg
       $ trace_events_arg $ policy_arg $ engine_seed $ sample_ms $ no_check
-      $ report_file $ telemetry $ spec_opt)
+      $ no_incremental $ report_file $ telemetry $ spec_opt)
 
 let exec_cmd =
   let duration =

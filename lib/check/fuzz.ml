@@ -18,6 +18,7 @@ type summary = {
   strategy_times : (string * float) list;
   cache_hits : int;
   cache_misses : int;
+  cache_evictions : int;
   failures : failure_report list;
   digest : string;
 }
@@ -70,6 +71,7 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
   let c_infeasible = Telemetry.counter tm "fuzz.all_infeasible" in
   let c_failures = Telemetry.counter tm "fuzz.failures" in
   let hits0, misses0 = Lemur_placer.Memo.stats () in
+  let evictions0 = Lemur_placer.Memo.evictions () in
   let digest_buf = Buffer.create 1024 in
   let summary =
     ref
@@ -83,6 +85,7 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
         strategy_times = [];
         cache_hits = 0;
         cache_misses = 0;
+        cache_evictions = 0;
         failures = [];
         digest = "";
       }
@@ -185,6 +188,7 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
       List.sort (fun (a, _) (b, _) -> compare a b) acc.strategy_times;
     cache_hits = hits1 - hits0;
     cache_misses = misses1 - misses0;
+    cache_evictions = Lemur_placer.Memo.evictions () - evictions0;
     failures = List.rev acc.failures;
     digest = Digest.to_hex (Digest.string (Buffer.contents digest_buf));
   }
@@ -219,6 +223,8 @@ let pp_summary ppf s =
       s.strategy_times;
   let lookups = s.cache_hits + s.cache_misses in
   if lookups > 0 then
-    Fmt.pf ppf "placer cache: %d hits / %d misses (%.1f%% hit rate)@."
+    Fmt.pf ppf
+      "placer cache: %d hits / %d misses (%.1f%% hit rate), %d evictions@."
       s.cache_hits s.cache_misses
       (100.0 *. float_of_int s.cache_hits /. float_of_int lookups)
+      s.cache_evictions

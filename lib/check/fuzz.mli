@@ -28,6 +28,7 @@ type summary = {
           strategy name — the fuzzing loop doubles as a perf canary *)
   cache_hits : int;  (** {!Lemur_placer.Memo} hits during this run *)
   cache_misses : int;
+  cache_evictions : int;  (** entries dropped by clock rotations *)
   failures : failure_report list;
   digest : string;
       (** MD5 over the deterministic per-scenario outcomes in seed

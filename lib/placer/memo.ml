@@ -1,68 +1,253 @@
-type value = Cores of int array | Cap of float
+type value =
+  | Cores of int array
+  | Cap of float
+  | Elab of Plan.plan
+  | Elab_invalid of string
 
 (* All cache state is domain-local: every [Lemur_util.Pool] worker (and
-   the main domain) keeps its own table and generation list, so lookups
-   never contend and never race. The price is that worker domains warm
-   their caches independently — acceptable, because the fan-out unit (a
-   fuzz scenario, a candidate-plan batch) re-uses its own keys heavily.
-   Only the lifetime hit/miss totals are shared, as atomics. *)
+   the main domain) keeps its own tables, so lookups never contend and
+   never race. The price is that worker domains warm their caches
+   independently — acceptable, because the fan-out unit (a fuzz
+   scenario, a candidate-plan batch) re-uses its own keys heavily.
+   Only the lifetime hit/miss/eviction totals are shared, as atomics.
+
+   Entries are scoped by a *structural* signature of the config (see
+   [config_sig]): every stored key is prefixed with the digest of the
+   config content that was current at store time, so structurally
+   identical configs — across scenarios, across the fuzz corpus, across
+   `{ config with ... }` ablation copies that happen to coincide —
+   share entries, while any config difference that could change a
+   cached value changes the prefix and misses.
+
+   Eviction is a two-generation clock (a segmented LRU): lookups search
+   [hot] then [cold], promoting cold hits into [hot]; once [hot]
+   exceeds [max_hot] entries, [cold] is dropped and [hot] becomes the
+   new [cold]. An entry therefore survives at least one full rotation
+   after its last use, and the cache never holds more than
+   [2 * max_hot] entries per domain. *)
 type state = {
-  mutable table : (string, value) Hashtbl.t;
-  mutable generations : (Plan.config * (string, value) Hashtbl.t) list;
+  mutable hot : (string, value) Hashtbl.t;
+  mutable cold : (string, value) Hashtbl.t;
+  (* Physical-identity digest caches: configs and graphs are immutable,
+     so a record's digest is computed once and then found by [==].
+     Bounded MRU association lists. *)
+  mutable cfg_sigs : (Plan.config * string) list;
+  mutable graph_sigs : (Lemur_spec.Graph.t * string) list;
   (* Telemetry counters of whatever sink is current at generation start;
      re-fetched on [clear] so a sink installed mid-process is picked up. *)
   mutable c_hits : Lemur_telemetry.Counter.t;
   mutable c_misses : Lemur_telemetry.Counter.t;
+  mutable c_evictions : Lemur_telemetry.Counter.t;
 }
+
+let max_hot = 8192
+let max_cfg_sigs = 8
+let max_graph_sigs = 64
 
 let state_key : state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       {
-        table = Hashtbl.create 512;
-        generations = [];
+        hot = Hashtbl.create 512;
+        cold = Hashtbl.create 16;
+        cfg_sigs = [];
+        graph_sigs = [];
         c_hits = Lemur_telemetry.Counter.make "placer.cache.hits";
         c_misses = Lemur_telemetry.Counter.make "placer.cache.misses";
+        c_evictions = Lemur_telemetry.Counter.make "placer.cache.evictions";
       })
 
 let state () = Domain.DLS.get state_key
 let total_hits = Atomic.make 0
 let total_misses = Atomic.make 0
+let total_evictions = Atomic.make 0
 
 let rebind_counters st =
   let tm = Lemur_telemetry.Telemetry.current () in
   st.c_hits <- Lemur_telemetry.Telemetry.counter tm "placer.cache.hits";
-  st.c_misses <- Lemur_telemetry.Telemetry.counter tm "placer.cache.misses"
+  st.c_misses <- Lemur_telemetry.Telemetry.counter tm "placer.cache.misses";
+  st.c_evictions <-
+    Lemur_telemetry.Telemetry.counter tm "placer.cache.evictions"
 
 let clear () =
   let st = state () in
-  st.generations <- [];
-  st.table <- Hashtbl.create 512;
+  st.hot <- Hashtbl.create 512;
+  st.cold <- Hashtbl.create 16;
+  st.cfg_sigs <- [];
+  st.graph_sigs <- [];
   rebind_counters st
 
-(* A generation is one config value: [Plan.config] and everything it
-   references are immutable, so as long as the physically-same record
-   is in play every cached evaluation is still valid. A config that is
-   merely structurally equal (or a [{ config with ... }] ablation copy)
-   is a new generation. Two generations are kept live, LRU-evicted,
-   because the differential harness interleaves the true config with
-   the No-Profiling ablation's blind copy — with a single slot the
-   blind generation would evict the true one right before No Core
-   Alloc re-walks the very coalescing candidates Lemur just
-   evaluated. *)
-let ensure config =
+(* ------------------------------------------------------------------ *)
+(* Structural signatures.
+
+   The serializations below spell out every config / graph field a
+   cached evaluation can depend on. Cached values are capacities, core
+   vectors, latencies and elaborated plan structure — all functions of
+   (config content, graph content, locations) and NEVER of the SLO
+   (t_min/t_max clamps and d_max comparisons happen outside the
+   memoized thunks), so SLOs deliberately stay out of the signatures:
+   that is what lets a demand-driven t_max change in the runtime engine
+   re-use every cached evaluation of the unchanged structure. *)
+
+let buf_float b f = Buffer.add_string b (Printf.sprintf "%h," f)
+let buf_int b i = Buffer.add_string b (string_of_int i ^ ",")
+
+let buf_str b s =
+  (* length-prefixed so adjacent names can never alias *)
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s;
+  Buffer.add_char b ','
+
+let topology_sig b (t : Lemur_topology.Topology.t) =
+  let open Lemur_platform in
+  Buffer.add_string b "tor{";
+  buf_str b t.tor.Pisa.name;
+  buf_int b t.tor.Pisa.ports;
+  buf_float b t.tor.Pisa.port_capacity;
+  buf_int b t.tor.Pisa.stages;
+  buf_int b t.tor.Pisa.tables_per_stage;
+  buf_float b t.tor.Pisa.latency;
+  Buffer.add_string b "}srv[";
+  List.iter
+    (fun (s : Server.t) ->
+      buf_str b s.Server.name;
+      buf_int b s.Server.sockets;
+      buf_int b s.Server.cores_per_socket;
+      buf_float b s.Server.clock_hz;
+      buf_int b s.Server.reserved_cores;
+      List.iter
+        (fun (n : Server.nic) ->
+          buf_str b n.Server.nic_name;
+          buf_float b n.Server.capacity;
+          buf_int b n.Server.socket)
+        s.Server.nics;
+      Buffer.add_char b ';')
+    t.servers;
+  Buffer.add_string b "]nic[";
+  List.iter
+    (fun (n : Smartnic.t) ->
+      buf_str b n.Smartnic.name;
+      buf_float b n.Smartnic.capacity;
+      buf_int b n.Smartnic.max_instructions;
+      buf_int b n.Smartnic.max_stack_bytes;
+      Buffer.add_string b (Bool.to_string n.Smartnic.allows_calls);
+      Buffer.add_string b (Bool.to_string n.Smartnic.allows_back_edges);
+      buf_str b n.Smartnic.host;
+      Buffer.add_char b ';')
+    t.smartnics;
+  Buffer.add_string b "]of[";
+  (match t.ofswitch with
+  | None -> ()
+  | Some sw ->
+      buf_str b sw.Ofswitch.name;
+      buf_float b sw.Ofswitch.capacity;
+      buf_int b sw.Ofswitch.vid_bits;
+      buf_float b sw.Ofswitch.latency;
+      List.iter
+        (fun k -> buf_str b (Lemur_nf.Kind.name k))
+        sw.Ofswitch.table_order);
+  Buffer.add_string b "]";
+  buf_float b t.bounce_latency
+
+let config_digest (config : Plan.config) =
+  let b = Buffer.create 512 in
+  topology_sig b config.Plan.topology;
+  Buffer.add_string b "|p:";
+  Buffer.add_string b (Lemur_profiler.Profiler.signature config.Plan.profiler);
+  Buffer.add_string b "|";
+  buf_int b config.Plan.pkt_bytes;
+  Buffer.add_string b (Bool.to_string config.Plan.eval_capabilities);
+  Buffer.add_string b
+    (match config.Plan.numa with
+    | Lemur_nf.Datasheet.Same -> "S"
+    | Lemur_nf.Datasheet.Diff -> "D");
+  Buffer.add_string b (Bool.to_string config.Plan.metron_steering);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let config_sig config =
   let st = state () in
-  match st.generations with
-  | (c, _) :: _ when c == config -> ()
-  | rest -> (
-      rebind_counters st;
-      match List.partition (fun (c, _) -> c == config) rest with
-      | [ (_, tbl) ], others ->
-          st.table <- tbl;
-          st.generations <- (config, tbl) :: others
-      | _, others ->
-          let tbl = Hashtbl.create 512 in
-          st.table <- tbl;
-          st.generations <- (config, tbl) :: Lemur_util.Listx.take 1 others)
+  match List.assq_opt config st.cfg_sigs with
+  | Some s -> s
+  | None ->
+      let s = config_digest config in
+      st.cfg_sigs <-
+        (config, s) :: Lemur_util.Listx.take (max_cfg_sigs - 1) st.cfg_sigs;
+      s
+
+let graph_digest (g : Lemur_spec.Graph.t) =
+  let open Lemur_spec in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (n : Graph.node) ->
+      buf_int b n.Graph.id;
+      buf_str b n.Graph.instance.Lemur_nf.Instance.name;
+      buf_str b (Lemur_nf.Kind.name n.Graph.instance.Lemur_nf.Instance.kind);
+      if n.Graph.instance.Lemur_nf.Instance.params <> [] then
+        buf_str b
+          (Format.asprintf "%a" Lemur_nf.Params.pp
+             n.Graph.instance.Lemur_nf.Instance.params))
+    (Graph.nodes g);
+  Buffer.add_char b '/';
+  List.iter
+    (fun (e : Graph.edge) ->
+      buf_int b e.Graph.src;
+      buf_int b e.Graph.dst;
+      buf_float b e.Graph.weight;
+      List.iter
+        (fun (k, v) ->
+          buf_str b k;
+          buf_str b (Format.asprintf "%a" Lemur_nf.Params.pp_value v))
+        e.Graph.conds)
+    (Graph.edges g);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let graph_sig g =
+  let st = state () in
+  match List.assq_opt g st.graph_sigs with
+  | Some s -> s
+  | None ->
+      let s = graph_digest g in
+      st.graph_sigs <-
+        (g, s) :: Lemur_util.Listx.take (max_graph_sigs - 1) st.graph_sigs;
+      s
+
+(* The chain id is part of the signature: elaboration failure messages
+   (and a handful of diagnostics derived from cached structure) embed
+   it, so two chains may share entries only when both structure AND
+   name agree — which generated corpora satisfy, since chains are named
+   systematically. *)
+let chain_sig (input : Plan.chain_input) =
+  input.Plan.id ^ "#" ^ graph_sig input.Plan.graph
+
+let loc_char = function
+  | Plan.Server -> 's'
+  | Plan.Switch -> 'w'
+  | Plan.Smartnic -> 'n'
+  | Plan.Ofswitch -> 'o'
+
+let locs_string locs =
+  let b = Bytes.create (Array.length locs) in
+  Array.iteri (fun i l -> Bytes.set b i (loc_char l)) locs;
+  Bytes.unsafe_to_string b
+
+let pattern_sig input locs = chain_sig input ^ ":" ^ locs_string locs
+let plan_sig plan = pattern_sig plan.Plan.input plan.Plan.locs
+
+(* ------------------------------------------------------------------ *)
+
+(* [ensure] only re-anchors the key prefix: unlike the old
+   physical-identity generations, switching configs never discards
+   entries — the previous config's entries stay resident (and reusable
+   on return) until the clock rotates them out. *)
+(* Accessors derive their key prefix from the config they are handed
+   (not from ambient state), so interleaving configs — the No_profiling
+   ablation re-judging blind decisions under the truth profiler, nested
+   placements, pooled workers — can never cross-contaminate entries.
+   [ensure] just pre-warms the signature cache and re-binds the
+   telemetry counters to the current sink. *)
+let ensure config =
+  ignore (config_sig config);
+  rebind_counters (state ())
 
 let hit st =
   Atomic.incr total_hits;
@@ -73,39 +258,83 @@ let miss st =
   Lemur_telemetry.Counter.incr st.c_misses
 
 let stats () = (Atomic.get total_hits, Atomic.get total_misses)
+let evictions () = Atomic.get total_evictions
 
-let loc_char = function
-  | Plan.Server -> 's'
-  | Plan.Switch -> 'w'
-  | Plan.Smartnic -> 'n'
-  | Plan.Ofswitch -> 'o'
+let rotate st =
+  let dropped = Hashtbl.length st.cold in
+  if dropped > 0 then begin
+    ignore (Atomic.fetch_and_add total_evictions dropped);
+    Lemur_telemetry.Counter.incr ~by:dropped st.c_evictions
+  end;
+  st.cold <- st.hot;
+  st.hot <- Hashtbl.create 512
 
-let plan_sig plan =
-  let locs = plan.Plan.locs in
-  let b = Bytes.create (Array.length locs) in
-  Array.iteri (fun i l -> Bytes.set b i (loc_char l)) locs;
-  plan.Plan.input.Plan.id ^ ":" ^ Bytes.unsafe_to_string b
+let find st key =
+  match Hashtbl.find_opt st.hot key with
+  | Some _ as v -> v
+  | None -> (
+      match Hashtbl.find_opt st.cold key with
+      | Some v ->
+          (* promote: recently-used entries survive the next rotation *)
+          Hashtbl.replace st.hot key v;
+          Hashtbl.remove st.cold key;
+          if Hashtbl.length st.hot > max_hot then rotate st;
+          Some v
+      | None -> None)
 
-let cap key f =
+let store st key v =
+  Hashtbl.replace st.hot key v;
+  if Hashtbl.length st.hot > max_hot then rotate st
+
+let cap config key f =
   let st = state () in
-  match Hashtbl.find_opt st.table key with
+  let key = config_sig config ^ key in
+  match find st key with
   | Some (Cap v) ->
       hit st;
       v
-  | Some (Cores _) | None ->
+  | Some _ | None ->
       miss st;
       let v = f () in
-      Hashtbl.replace st.table key (Cap v);
+      store st key (Cap v);
       v
 
-let cores key f =
+let cores config key f =
   let st = state () in
-  match Hashtbl.find_opt st.table key with
+  let key = config_sig config ^ key in
+  match find st key with
   | Some (Cores v) ->
       hit st;
       Array.copy v
-  | Some (Cap _) | None ->
+  | Some _ | None ->
       miss st;
       let v = f () in
-      Hashtbl.replace st.table key (Cores (Array.copy v));
+      store st key (Cores (Array.copy v));
       v
+
+(* Elaborated plans depend on (config, graph, locations) but embed the
+   caller's [chain_input] — whose SLO the key rightly ignores — so a
+   hit re-binds [input] (and hands out a fresh locs array) rather than
+   replaying a stale SLO into downstream latency/LP checks. Elaboration
+   failures are cached too: pattern enumeration probes thousands of
+   invalid patterns, and re-raising from the cache skips re-deriving
+   the violation. *)
+let elab config key input f =
+  let st = state () in
+  let key = config_sig config ^ key in
+  match find st key with
+  | Some (Elab p) ->
+      hit st;
+      { p with Plan.input; Plan.locs = Array.copy p.Plan.locs }
+  | Some (Elab_invalid msg) ->
+      hit st;
+      raise (Plan.Invalid_pattern msg)
+  | Some _ | None -> (
+      miss st;
+      match f () with
+      | p ->
+          store st key (Elab { p with Plan.locs = Array.copy p.Plan.locs });
+          p
+      | exception Plan.Invalid_pattern msg ->
+          store st key (Elab_invalid msg);
+          raise (Plan.Invalid_pattern msg))

@@ -1,55 +1,97 @@
-(** Generation-scoped memoization of repeated candidate evaluations.
+(** Structurally-keyed memoization of repeated candidate evaluations.
 
     The search strategies re-evaluate the same candidate many times in
-    one placement generation: coalescing recomputes the pre-move
-    capacity of the {e same} plan for every candidate move, the Optimal
-    enumeration water-fills overlapping (plan, core-count) pairs, and
-    every capacity call walks the subgroup cost model. Those
+    one placement: coalescing recomputes the pre-move capacity of the
+    {e same} plan for every candidate move, the Optimal enumeration
+    water-fills overlapping (plan, core-count) pairs and elaborates the
+    same patterns the heuristic's bounce variant just walked, and every
+    capacity or latency call walks the subgroup cost model. Those
     evaluations are pure given a fixed config, so they are cached here
     behind canonical string keys.
 
-    The cache is scoped to one {e generation} — one physically-identical
-    {!Plan.config} value: {!Strategy.place}, {!Strategy.evaluate_plans}
-    and {!Strategy.lemur_variants} call {!ensure} on entry, which
-    resets the cache whenever the config is not the very record of the
-    previous generation. Keys deliberately omit the config; [config]
-    and everything it references are immutable, so physical identity
-    is a sound generation key, and it lets one scenario's eight
-    strategies share cached evaluations. Cached arrays are copied on
-    both store and hit so callers can mutate their result freely.
+    {2 Structural scoping}
 
-    Keys are [<tag>|<chain-id>:<locs>|<extra>] where [<locs>] spells
-    each NF's location as one character ([s]erver, s[w]itch, smart[n]ic,
-    [o]fswitch) — see docs/PERFORMANCE.md. Hits and misses feed both
-    the process-lifetime totals ({!stats}, readable without telemetry)
-    and the [placer.cache.hits] / [placer.cache.misses] counters of the
-    current telemetry sink.
+    Every stored key is prefixed with {!config_sig}, a digest of the
+    {e content} of the {!Plan.config} — topology records field by
+    field, profiler signature, packet size, capability mode, NUMA and
+    steering flags. Chain-derived keys embed {!chain_sig}, a digest of
+    the chain id and the full NF-graph content (instances with
+    parameters, edges with weights and conditions). Two structurally
+    identical subproblems therefore share entries no matter which
+    scenario, fuzz seed, or [{ config with ... }] copy produced them —
+    this is what lifts the cross-corpus hit rate from per-mille to
+    double digits (see docs/PERFORMANCE.md).
 
-    The cache is {e domain-local}: each [Lemur_util.Pool] worker keeps
-    its own table and generation list ([clear] / [ensure] act on the
-    calling domain only), so parallel strategies never contend on or
-    corrupt each other's entries. {!stats} totals are atomic and
-    process-wide across all domains. *)
+    Signatures deliberately exclude SLOs: cached values (capacities,
+    core vectors, latencies, elaborated structure) never depend on
+    them — t_min/t_max clamps and d_max comparisons happen outside the
+    memoized thunks — so the runtime engine's demand-driven t_max
+    updates re-use every cached evaluation of the unchanged structure.
+
+    {2 Eviction}
+
+    A two-generation clock (segmented LRU) bounds the cache: lookups
+    search the hot table then the cold one, promoting cold hits; when
+    the hot table exceeds its size cap the cold table is dropped — its
+    entries counted as evictions — and hot becomes cold. An entry
+    survives at least one full rotation after its last use; the cache
+    never exceeds twice the cap per domain.
+
+    {2 Domain safety}
+
+    The cache is {e domain-local} ([Domain.DLS]): each
+    [Lemur_util.Pool] worker keeps its own tables ([clear] / [ensure]
+    act on the calling domain only), so parallel strategies never
+    contend on or corrupt each other's entries. {!stats} and
+    {!evictions} totals are atomic and process-wide across all
+    domains. Cached arrays are copied on both store and hit so callers
+    can mutate their result freely. *)
 
 val clear : unit -> unit
-(** Unconditionally empty the cache and re-bind the telemetry counters
-    to the current sink. *)
+(** Unconditionally empty the calling domain's cache and re-bind the
+    telemetry counters to the current sink. *)
 
 val ensure : Plan.config -> unit
-(** Start a generation for [config]: {!clear}s unless [config] is
-    physically the previous generation's record. *)
+(** Pre-warm [config]'s signature cache and re-bind the telemetry
+    counters to the current sink. Key scoping itself is per-call: every
+    accessor takes the config whose signature prefixes its key, so
+    interleaving configs can never cross-contaminate entries, and a
+    previous config's entries stay resident (and hit again when it
+    returns) until the clock rotates them out. *)
 
 val stats : unit -> int * int
-(** Process-lifetime [(hits, misses)] totals across all generations. *)
+(** Process-lifetime [(hits, misses)] totals across all domains. *)
+
+val evictions : unit -> int
+(** Process-lifetime count of entries dropped by clock rotations. *)
+
+val config_sig : Plan.config -> string
+(** Hex digest of the config content (cached per physical record). *)
+
+val chain_sig : Plan.chain_input -> string
+(** [<chain-id>#<graph-digest>] — the chain's structural identity,
+    independent of its SLO (graph digests cached per physical graph). *)
 
 val plan_sig : Plan.plan -> string
-(** Canonical [<chain-id>:<locs>] signature of a plan, for building
-    cache keys. *)
+(** [{!chain_sig}:<locs>] where [<locs>] spells each NF's location as
+    one character ([s]erver, s[w]itch, smart[n]ic, [o]fswitch). *)
 
-val cap : string -> (unit -> float) -> float
-(** [cap key f] returns the cached float for [key], computing and
-    storing [f ()] on a miss. *)
+val pattern_sig : Plan.chain_input -> Plan.location array -> string
+(** {!plan_sig} for a pattern that has not been elaborated yet. *)
 
-val cores : string -> (unit -> int array) -> int array
-(** [cores key f] likewise for core vectors. The stored array is copied
-    on both store and hit, so mutation cannot poison the cache. *)
+val cap : Plan.config -> string -> (unit -> float) -> float
+(** [cap config key f] returns the cached float for [key] under
+    [config]'s signature prefix, computing and storing [f ()] on a
+    miss. *)
+
+val cores : Plan.config -> string -> (unit -> int array) -> int array
+(** [cores config key f] likewise for core vectors. The stored array is
+    copied on both store and hit, so mutation cannot poison the cache. *)
+
+val elab :
+  Plan.config -> string -> Plan.chain_input -> (unit -> Plan.plan) -> Plan.plan
+(** [elab config key input f] caches elaborated plan structure. A hit re-binds
+    the plan's [input] field to the caller's [input] — the cached
+    structure is SLO-independent, the embedded SLO is not — and hands
+    out a fresh locs array. [Plan.Invalid_pattern] raised by [f] is
+    cached and re-raised on later hits. *)

@@ -58,9 +58,33 @@ val place : t -> Plan.config -> Plan.chain_input list -> outcome
 
 val lemur_variants :
   Plan.config -> Plan.chain_input list -> Plan.plan list list option
-(** The heuristic's three candidate placements after step 2 —
-    \[baseline; aggressive; conservative\] — or [None] when no
-    switch-feasible baseline exists. Exposed for tests and diagnostics. *)
+(** The heuristic's candidate placements after step 2 — baseline,
+    aggressive and conservative coalescings plus the software-seeded
+    and bounce-light variants when they exist — or [None] when no
+    switch-feasible baseline exists. Exposed for tests and diagnostics.
+
+    Results are served from the {e variant cache} when enabled (the
+    default): variant construction is a deterministic function of
+    (config content, per-chain graph content, per-chain [t_min]) — the
+    SLO's [t_max]/[d_max] are only read downstream in finalize — so a
+    structurally-keyed hit replays the stored location arrays through
+    elaboration under the caller's current inputs, byte-identical to
+    recomputation. This is the runtime engine's incremental
+    re-placement warm start: demand-only events re-use the whole
+    pattern search, while any chain whose graph or [t_min] changed
+    misses by key construction. *)
+
+val set_variant_cache : bool -> unit
+(** Enable/disable the variant cache process-wide (on by default). The
+    runtime engine turns it off for from-scratch baselines. *)
+
+val variant_cache_enabled : unit -> bool
+
+val variant_cache_stats : unit -> int * int
+(** Process-lifetime [(hits, misses)] of the variant cache. *)
+
+val clear_variant_cache : unit -> unit
+(** Drop the calling domain's cached variant entries. *)
 
 val evaluate_plans :
   t -> Plan.config -> Alloc.spare_policy -> Plan.plan list -> outcome

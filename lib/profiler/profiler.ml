@@ -18,6 +18,16 @@ let create ?(seed = 0xC0FFEE) ?(runs = 500) ?(error = 0.0)
 
 let runs t = t.runs
 
+(* Everything [cycles]/[samples] ever returns is a pure function of
+   these four fields (the cache is derived state, rebuilt on demand),
+   so this string is a sound memoization key for any value computed
+   through this registry. [%h] prints floats exactly. *)
+let signature t =
+  Printf.sprintf "%d/%d/%h/%s" t.seed t.runs t.error
+    (match t.uniform_cycles with
+    | None -> "-"
+    | Some c -> Printf.sprintf "%h" c)
+
 let kind_index kind =
   match Listx.index_of (Kind.equal kind) Kind.all with
   | Some i -> i

@@ -27,6 +27,13 @@ val create :
 
 val runs : t -> int
 
+val signature : t -> string
+(** A canonical string over the registry's defining knobs (seed, runs,
+    error, uniform_cycles). Two registries with equal signatures return
+    equal costs for every query — the sample cache is derived state —
+    so the signature can stand in for the registry in structural
+    memoization keys (see [Lemur_placer.Memo]). *)
+
 val samples :
   t -> Lemur_nf.Kind.t -> Lemur_nf.Datasheet.numa -> ?size:int ->
   traffic_mode -> float list

@@ -6,11 +6,12 @@ type config = {
   sample : float;
   check : (Lemur.Deployment.t -> (unit, string) result) option;
   demand_aware : bool;
+  incremental : bool;
 }
 
 let default_config ?(policy = Policy.Immediate) ?(seed = 11) ?(sample = 1e7)
-    ?check ?(demand_aware = true) () =
-  { policy; seed; sample; check; demand_aware }
+    ?check ?(demand_aware = true) ?(incremental = true) () =
+  { policy; seed; sample; check; demand_aware; incremental }
 
 type error =
   | Trace_invalid of string
@@ -83,6 +84,15 @@ let run cfg (trace : Trace.t) =
   in
   let c_deploy_errors =
     Lemur_telemetry.Telemetry.counter tele "runtime.deploy_errors"
+  in
+  let c_dirty_chains =
+    Lemur_telemetry.Telemetry.counter tele "runtime.replace.dirty_chains"
+  in
+  let c_clean_chains =
+    Lemur_telemetry.Telemetry.counter tele "runtime.replace.clean_chains"
+  in
+  let c_warm_starts =
+    Lemur_telemetry.Telemetry.counter tele "runtime.replace.warm_starts"
   in
   (* A placement call must never kill the trace: an escaped exception
      (a solver bug exposed mid-flight) is demoted to an [Error], which
@@ -205,8 +215,56 @@ let run cfg (trace : Trace.t) =
         Lemur_telemetry.Histogram.record h_decision (dt *. 1e9);
         r
       in
+      (* With [incremental] off every placement starts cold: the memo
+         tables and the variant cache are dropped inside the timed
+         section, so the decision latency pays for recomputing what the
+         incremental path would have reused. This is the from-scratch
+         baseline the runtime bench compares against; verdicts are
+         unaffected either way because cache hits are byte-identical to
+         recomputation. *)
+      let fresh () =
+        if not cfg.incremental then begin
+          Memo.clear ();
+          Strategy.clear_variant_cache ()
+        end
+      in
+      (* Dirty-set bookkeeping: a chain is dirty when its structural
+         solve key — (graph, t_min) under the current config — differs
+         from the last solved placement's; demand events only move
+         t_max, so they leave every chain clean and the variant cache
+         serves the whole pattern search as a warm start. *)
+      let solve_keys (inputs : Plan.chain_input list) =
+        List.map
+          (fun (i : Plan.chain_input) ->
+            (i.Plan.id, i.Plan.graph, i.Plan.slo.Lemur_slo.Slo.t_min))
+          inputs
+      in
+      let last_solved = ref None in
+      let note_dirty inputs =
+        (match !last_solved with
+        | Some (config0, keys0) when config0 == !cur_config ->
+            List.iter
+              (fun (i : Plan.chain_input) ->
+                match
+                  List.find_opt
+                    (fun (id0, _, _) -> String.equal id0 i.Plan.id)
+                    keys0
+                with
+                | Some (_, g0, t0)
+                  when g0 == i.Plan.graph
+                       && t0 = i.Plan.slo.Lemur_slo.Slo.t_min ->
+                    Lemur_telemetry.Counter.incr c_clean_chains
+                | _ -> Lemur_telemetry.Counter.incr c_dirty_chains)
+              inputs
+        | _ ->
+            Lemur_telemetry.Counter.incr ~by:(List.length inputs)
+              c_dirty_chains);
+        last_solved := Some (!cur_config, solve_keys inputs)
+      in
       let initial =
         timed (fun () ->
+            fresh ();
+            note_dirty inputs0;
             guarded (fun () -> Lemur.Deployment.deploy base_config inputs0))
       in
       match initial with
@@ -236,12 +294,17 @@ let run cfg (trace : Trace.t) =
               Policy.note_reconfig pstate ~now:at
             in
             let reconfigure ~at ~mandatory ~reason =
+              let vc_hits0 = fst (Strategy.variant_cache_stats ()) in
               let result =
                 timed (fun () ->
+                    fresh ();
+                    let inputs = effective_inputs () in
+                    note_dirty inputs;
                     guarded (fun () ->
-                        Lemur.Deployment.deploy !cur_config
-                          (effective_inputs ())))
+                        Lemur.Deployment.deploy !cur_config inputs))
               in
+              if fst (Strategy.variant_cache_stats ()) > vc_hits0 then
+                Lemur_telemetry.Counter.incr c_warm_starts;
               match result with
               | Ok d ->
                   oracle at d;
@@ -280,6 +343,7 @@ let run cfg (trace : Trace.t) =
                         trace.Trace.windows
                     in
                     timed (fun () ->
+                        fresh ();
                         match
                           guarded (fun () ->
                               Lemur.Dynamics.Schedule.precompute !cur_config

@@ -53,6 +53,19 @@ type config = {
           is {!Oracle_rejected} — the differential-testing signal.
           Typically [Lemur_check.Oracle] via [Runtime_check.checker]. *)
   demand_aware : bool;
+  incremental : bool;
+      (** Keep the placer's structural memo tables and variant cache
+          warm across re-placements (the default). Each event derives a
+          dirty set — chains whose (graph, t_min) solve key changed
+          under the current config — and only those chains' pattern
+          searches recompute; demand-only events leave every chain
+          clean and re-place from the cached variants. Off, every
+          placement starts from dropped caches inside the timed
+          section (the from-scratch baseline). Verdicts and report
+          digests are identical either way: cache hits are
+          byte-identical to recomputation, only decision latency
+          moves. Counters [runtime.replace.dirty_chains] /
+          [clean_chains] / [warm_starts] record the split. *)
 }
 
 val default_config :
@@ -61,10 +74,11 @@ val default_config :
   ?sample:float ->
   ?check:(Lemur.Deployment.t -> (unit, string) result) ->
   ?demand_aware:bool ->
+  ?incremental:bool ->
   unit ->
   config
 (** Defaults: [Immediate], seed 11, 10 ms sample, no oracle,
-    demand-aware. *)
+    demand-aware, incremental. *)
 
 type error =
   | Trace_invalid of string  (** initial chain set does not parse *)

@@ -6,7 +6,8 @@ let error_to_string e =
 (* Worker domains flag themselves so a nested [map] (e.g. the Optimal
    strategy parallelizing plan evaluation from inside a fuzz worker)
    degrades to the inline sequential path instead of deadlocking on the
-   pool it is running on. *)
+   pool it is running on. The submitting domain sets the flag while it
+   participates in its own run, for the same reason. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let hard_cap = 64
@@ -27,119 +28,206 @@ let seq_map f xs =
   List.mapi (fun i x -> try Ok (f x) with exn -> capture_error i exn |> Result.error) xs
 
 (* ------------------------------------------------------------------ *)
-(* The pool proper: [size] worker domains blocking on a shared queue of
-   closures. Tasks write their result slot and tick a per-map
-   completion latch; the submitting domain waits on that latch, so one
-   pool serves any number of successive [map] calls. *)
+(* Per-executor busy-time accounting. Slot 0 is the submitting domain;
+   slot [w] is worker [w]. Atomics, because the reader (a bench
+   computing an imbalance metric) may sample while workers from an
+   earlier run are still draining their last chunk. *)
 
-type pool = {
-  size : int;
-  mu : Mutex.t;
-  nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable stop : bool;
-  mutable workers : unit Domain.t list;
+let busy : int Atomic.t array =
+  Array.init (hard_cap + 1) (fun _ -> Atomic.make 0)
+
+let add_busy slot seconds =
+  ignore (Atomic.fetch_and_add busy.(slot) (int_of_float (seconds *. 1e9)))
+
+let reset_busy () = Array.iter (fun a -> Atomic.set a 0) busy
+
+(* ------------------------------------------------------------------ *)
+(* A [run] is one [map]'s worth of work: an array of item thunks that
+   executors claim by atomically bumping [next] in fixed-size chunks —
+   self-scheduling work stealing. A straggler holds at most one chunk
+   while every other executor keeps draining the rest, so one 100x-cost
+   item first or last in the corpus no longer serializes the run.
+   Results land in per-index slots, which keeps the merged output (and
+   therefore every digest downstream) byte-identical at any [-j].
+
+   [tickets] caps how many pool workers may join: a [map ~domains:k]
+   on a larger resident pool admits only [k - 1] of them (the
+   submitting domain is the k-th executor), so shrinking [-j] between
+   calls reuses the pool instead of churning domains. *)
+
+type run = {
+  run_id : int;
+  n : int;
+  chunk : int;
+  exec : int -> unit;  (** run item [i]; never raises *)
+  next : int Atomic.t;
+  tickets : int Atomic.t;
+  completed : int Atomic.t;
+  latch_mu : Mutex.t;
+  latch_done : Condition.t;
 }
 
-let worker_loop pool () =
+let participate run slot =
+  let rec claim () =
+    let start = Atomic.fetch_and_add run.next run.chunk in
+    if start < run.n then begin
+      let t0 = Timing.now () in
+      let stop = min run.n (start + run.chunk) in
+      for i = start to stop - 1 do
+        run.exec i
+      done;
+      add_busy slot (Timing.elapsed t0);
+      let batch = stop - start in
+      (* The atomic add publishes this chunk's result writes; the mutex
+         around the signal pairs with the submitter's wait loop so the
+         final increment cannot slip between its check and its sleep. *)
+      if Atomic.fetch_and_add run.completed batch + batch = run.n then begin
+        Mutex.lock run.latch_mu;
+        Condition.signal run.latch_done;
+        Mutex.unlock run.latch_mu
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+(* ------------------------------------------------------------------ *)
+(* The pool: resident worker domains waiting for the next published
+   run. Workers remember the last run they joined, so re-checking the
+   same publication never double-joins; a worker that arrives after a
+   run's items are exhausted claims nothing and goes back to sleep.
+   The pool only ever grows — a larger [~domains] spawns the missing
+   workers, a smaller one is handled entirely by [tickets]. *)
+
+type pool = {
+  mu : Mutex.t;
+  wake : Condition.t;
+  mutable current : run option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;  (** newest first *)
+}
+
+let worker_loop pool slot () =
   Domain.DLS.set in_worker true;
-  let rec next () =
+  let last = ref 0 in
+  let rec loop () =
     Mutex.lock pool.mu;
     let rec wait () =
-      if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
-      else if pool.stop then None
-      else begin
-        Condition.wait pool.nonempty pool.mu;
-        wait ()
-      end
+      if pool.stop then None
+      else
+        match pool.current with
+        | Some run when run.run_id <> !last -> Some run
+        | _ ->
+            Condition.wait pool.wake pool.mu;
+            wait ()
     in
-    let task = wait () in
+    let run = wait () in
     Mutex.unlock pool.mu;
-    match task with
+    match run with
     | None -> ()
-    | Some task ->
-        task ();
-        next ()
+    | Some run ->
+        last := run.run_id;
+        if Atomic.fetch_and_add run.tickets (-1) > 0 then participate run slot;
+        loop ()
   in
-  next ()
+  loop ()
 
-let create_pool size =
-  let pool =
-    {
-      size;
-      mu = Mutex.create ();
-      nonempty = Condition.create ();
-      queue = Queue.create ();
-      stop = false;
-      workers = [];
-    }
-  in
-  pool.workers <- List.init size (fun _ -> Domain.spawn (worker_loop pool));
-  pool
-
-let shutdown_pool pool =
-  Mutex.lock pool.mu;
-  pool.stop <- true;
-  Condition.broadcast pool.nonempty;
-  Mutex.unlock pool.mu;
-  List.iter Domain.join pool.workers
-
-(* The cached global pool. Only ever touched from outside workers
-   (nested calls short-circuit to [seq_map] above), so plain mutable
-   state is enough. *)
 let global : pool option ref = ref None
+
+let pool_size () =
+  match !global with None -> 0 | Some p -> List.length p.workers
 
 let shutdown () =
   match !global with
   | None -> ()
   | Some p ->
       global := None;
-      shutdown_pool p
+      Mutex.lock p.mu;
+      p.stop <- true;
+      Condition.broadcast p.wake;
+      Mutex.unlock p.mu;
+      List.iter Domain.join p.workers
 
-let global_pool size =
-  match !global with
-  | Some p when p.size = size -> p
-  | other ->
-      (match other with Some p -> shutdown_pool p | None -> ());
-      let p = create_pool size in
-      global := Some p;
-      p
+(* Grow the resident pool to at least [want] workers. *)
+let ensure_pool want =
+  let p =
+    match !global with
+    | Some p -> p
+    | None ->
+        let p =
+          {
+            mu = Mutex.create ();
+            wake = Condition.create ();
+            current = None;
+            stop = false;
+            workers = [];
+          }
+        in
+        global := Some p;
+        p
+  in
+  let have = List.length p.workers in
+  if have < want then
+    for slot = have + 1 to want do
+      p.workers <- Domain.spawn (worker_loop p slot) :: p.workers
+    done;
+  p
 
-let pool_map pool f xs =
-  let n = List.length xs in
+let run_counter = ref 0
+
+let pool_map ~executors f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
   let results = Array.make n None in
-  let left = ref n in
-  let latch_mu = Mutex.create () in
-  let latch_done = Condition.create () in
-  Mutex.lock pool.mu;
-  List.iteri
-    (fun i x ->
-      Queue.push
-        (fun () ->
-          let r = try Ok (f x) with exn -> Error (capture_error i exn) in
-          results.(i) <- Some r;
-          Mutex.lock latch_mu;
-          decr left;
-          if !left = 0 then Condition.signal latch_done;
-          Mutex.unlock latch_mu)
-        pool.queue)
-    xs;
-  Condition.broadcast pool.nonempty;
-  Mutex.unlock pool.mu;
-  Mutex.lock latch_mu;
-  while !left > 0 do
-    Condition.wait latch_done latch_mu
+  let exec i =
+    let r = try Ok (f items.(i)) with exn -> Error (capture_error i exn) in
+    results.(i) <- Some r
+  in
+  let p = ensure_pool (executors - 1) in
+  incr run_counter;
+  let run =
+    {
+      run_id = !run_counter;
+      n;
+      (* Small chunks keep the claim granularity fine enough that a
+         skewed item cannot drag neighbours along with it; the floor of
+         one claim per item is what bounds a straggler's share. *)
+      chunk = max 1 (n / (16 * executors));
+      exec;
+      next = Atomic.make 0;
+      tickets = Atomic.make (executors - 1);
+      completed = Atomic.make 0;
+      latch_mu = Mutex.create ();
+      latch_done = Condition.create ();
+    }
+  in
+  Mutex.lock p.mu;
+  p.current <- Some run;
+  Condition.broadcast p.wake;
+  Mutex.unlock p.mu;
+  (* The submitting domain is an executor too — flagged as a worker so
+     nested maps inside [f] stay sequential instead of re-entering the
+     pool. *)
+  Domain.DLS.set in_worker true;
+  participate run 0;
+  Domain.DLS.set in_worker false;
+  Mutex.lock run.latch_mu;
+  while Atomic.get run.completed < n do
+    Condition.wait run.latch_done run.latch_mu
   done;
-  Mutex.unlock latch_mu;
-  (* Every slot was filled before the latch opened, and the latch mutex
-     orders those writes before these reads. *)
+  Mutex.unlock run.latch_mu;
+  (* Every slot was filled before the latch opened, and the completion
+     atomics order those writes before these reads. *)
   Array.to_list (Array.map Option.get results)
 
 let map ?domains f xs =
   let domains = clamp (Option.value domains ~default:(get_default ())) in
   if domains <= 1 || List.compare_length_with xs 1 <= 0 || Domain.DLS.get in_worker
   then seq_map f xs
-  else pool_map (global_pool domains) f xs
+  else pool_map ~executors:domains f xs
+
+let busy_ns () =
+  Array.init (1 + pool_size ()) (fun i -> Atomic.get busy.(i))
 
 let all results =
   let rec go acc = function

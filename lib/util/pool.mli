@@ -1,21 +1,28 @@
-(** A fixed-size OCaml 5 domain pool with a deterministic, ordered [map].
+(** An OCaml 5 domain pool with a deterministic, ordered, work-stealing
+    [map].
 
-    [map] farms list items out to worker domains and merges results back
-    {e by index}, so the output list is in input order no matter which
-    domain finished first. Items must carry their own randomness (a
-    per-item seed) rather than read shared mutable state; under that
-    discipline [map ~domains:n] returns bit-identical results for every
-    [n], which is what lets the fuzz harness promise that [-j 4] and
-    [-j 1] digests match byte for byte.
+    [map] materializes the input into an indexed array and lets every
+    executor — the resident worker domains plus the submitting domain
+    itself — claim small chunks of indices off a shared atomic cursor.
+    Claiming is self-scheduling: a 100x-cost straggler occupies one
+    executor for one chunk while the others drain the rest, so corpus
+    skew costs at most one item's latency, not the whole tail. Results
+    merge back {e by index}, so the output order (and any digest
+    computed from it) is byte-identical for every [~domains], which is
+    what lets the fuzz harness promise that [-j 4] and [-j 1] match
+    byte for byte. Items must carry their own randomness (a per-item
+    seed) rather than read shared mutable state.
 
     Workers must never tear down the whole run: each item's exceptions
     are caught and surfaced as a typed [Error], forcing callers to
     decide per item instead of crashing mid-corpus.
 
-    The pool behind [map] is process-global, sized on first use and
-    resized when a different [domains] is requested. Calls from inside a
-    worker domain (nested parallelism) run sequentially inline — the
-    pool never deadlocks on itself. [~domains:1] also takes the purely
+    The pool behind [map] is process-global and only ever {e grows}: a
+    larger [~domains] spawns the missing workers, a smaller one simply
+    admits fewer of the resident workers into the run — no domain
+    churn either way. Calls from inside a worker domain (nested
+    parallelism) run sequentially inline — the pool never deadlocks on
+    itself. [~domains:1] and single-item inputs also take the purely
     sequential path: no domains are spawned and no locks are taken. *)
 
 type job_error = {
@@ -43,6 +50,19 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, job_error) result list
 
 val all : ('b, job_error) result list -> ('b list, job_error) result
 (** [Ok] of every payload in order, or the first [Error]. *)
+
+val pool_size : unit -> int
+(** Resident worker domains (0 before the first parallel [map]). The
+    pool never shrinks short of {!shutdown}, so this is the high-water
+    mark of [~domains - 1] across all calls. *)
+
+val busy_ns : unit -> int array
+(** Cumulative per-executor busy time in nanoseconds since the last
+    {!reset_busy}: slot 0 is the submitting domain, slot [w] is worker
+    [w]. Feeds the parallel bench's imbalance metric
+    (max/mean over participating executors). *)
+
+val reset_busy : unit -> unit
 
 val shutdown : unit -> unit
 (** Join and discard the cached global pool (idempotent). Subsequent

@@ -389,6 +389,71 @@ let test_latency_constrains_placement () =
   Alcotest.(check bool) "1us infeasible (Dedup alone takes ~18us)" false
     (Strategy.is_feasible (Strategy.place Strategy.Lemur c (mk tight)))
 
+(* Canonical render of a placement outcome — hex floats and plan
+   signatures, no wall-clock fields — so cache-equivalence checks can
+   compare byte-for-byte. *)
+let render_outcome = function
+  | Strategy.Infeasible { reason } -> "infeasible:" ^ reason
+  | Strategy.Placed p ->
+      String.concat ";"
+        (Printf.sprintf "%h|%h|%d|%d" p.Strategy.total_rate
+           p.Strategy.total_marginal p.Strategy.stages_used
+           p.Strategy.cores_used
+        :: List.map
+             (fun (r : Strategy.chain_report) ->
+               Printf.sprintf "%s|%h|%h|%h|%d|%s"
+                 (Memo.plan_sig r.Strategy.plan)
+                 r.Strategy.rate r.Strategy.capacity r.Strategy.latency
+                 r.Strategy.bounces
+                 (String.concat ","
+                    (List.map string_of_int (Array.to_list r.Strategy.cores))))
+             p.Strategy.chain_reports)
+
+let test_config_sig_structural () =
+  (* Two configs built independently from equal topologies are distinct
+     values but must share a signature — that is what lets the runtime
+     rebuild its config every event without losing the cache. *)
+  let c1 = config () and c2 = config () in
+  Alcotest.(check bool) "distinct physical configs share a signature" true
+    (c1 != c2 && String.equal (Memo.config_sig c1) (Memo.config_sig c2));
+  let c3 = { c1 with Plan.pkt_bytes = c1.Plan.pkt_bytes + 64 } in
+  Alcotest.(check bool) "pkt_bytes changes the signature" false
+    (String.equal (Memo.config_sig c1) (Memo.config_sig c3));
+  let c4 =
+    Plan.default_config (Lemur_topology.Topology.testbed ~smartnic:true ())
+  in
+  Alcotest.(check bool) "topology changes the signature" false
+    (String.equal (Memo.config_sig c1) (Memo.config_sig c4))
+
+let test_variant_cache_demand_shift () =
+  (* A demand-only change (t_max cap) must hit the variant cache — the
+     key covers (config, graph, t_min) only — and still produce a
+     placement byte-identical to a from-scratch solve, because
+     everything t_max touches happens downstream of the cached pattern
+     search. *)
+  let c = config () in
+  let mk t_max =
+    let i = input ~id:"vc" "Encrypt -> ACL -> IPv4Fwd" in
+    let slo = Lemur_slo.Slo.make ~t_min:1e9 ~t_max () in
+    [ { i with Plan.slo } ]
+  in
+  Memo.clear ();
+  Strategy.clear_variant_cache ();
+  Strategy.set_variant_cache true;
+  ignore (Strategy.place Strategy.Lemur c (mk 20e9));
+  let hits0, _ = Strategy.variant_cache_stats () in
+  let cached = render_outcome (Strategy.place Strategy.Lemur c (mk 10e9)) in
+  let hits1, _ = Strategy.variant_cache_stats () in
+  Alcotest.(check bool) "demand shift hits the variant cache" true
+    (hits1 > hits0);
+  Memo.clear ();
+  Strategy.clear_variant_cache ();
+  Strategy.set_variant_cache false;
+  let scratch = render_outcome (Strategy.place Strategy.Lemur c (mk 10e9)) in
+  Strategy.set_variant_cache true;
+  Alcotest.(check string) "cached placement byte-identical to scratch" scratch
+    cached
+
 let qcheck_cases =
   let open QCheck in
   let kinds_with_server =
@@ -473,6 +538,33 @@ let qcheck_cases =
             && List.for_all
                  (fun r -> r.Strategy.rate >= slo.Lemur_slo.Slo.t_min -. 1e3)
                  p.Strategy.chain_reports);
+    (* Structural-cache soundness: the same chain set placed with the
+       shared memo and variant cache warm (second call is all hits)
+       must render byte-identically to a solve with every cache dropped
+       and the variant cache disabled. *)
+    Test.make ~name:"placements identical with warm structural cache"
+      ~count:25
+      (list_of_size (Gen.int_range 1 4)
+         (oneofl (List.map Lemur_nf.Kind.name kinds_with_server)))
+      (fun names ->
+        let c = config () in
+        let text = String.concat " -> " names in
+        let i = input ~id:"memoq" text in
+        let base = Lemur.Chains.base_rate c i.Plan.graph in
+        let slo =
+          Lemur_slo.Slo.make ~t_min:(0.4 *. base)
+            ~t_max:(Lemur_util.Units.gbps 50.) ()
+        in
+        let inputs = [ { i with Plan.slo } ] in
+        Strategy.set_variant_cache true;
+        ignore (Strategy.place Strategy.Lemur c inputs);
+        let warm = render_outcome (Strategy.place Strategy.Lemur c inputs) in
+        Memo.clear ();
+        Strategy.clear_variant_cache ();
+        Strategy.set_variant_cache false;
+        let cold = render_outcome (Strategy.place Strategy.Lemur c inputs) in
+        Strategy.set_variant_cache true;
+        String.equal warm cold);
   ]
 
 let suite =
@@ -502,5 +594,7 @@ let suite =
     Alcotest.test_case "strategy pattern corners" `Quick test_strategy_patterns;
     Alcotest.test_case "min bounce picks fewest bounces" `Quick test_min_bounce_picks_fewest_bounces;
     Alcotest.test_case "latency constrains placement" `Quick test_latency_constrains_placement;
+    Alcotest.test_case "config signature is structural" `Quick test_config_sig_structural;
+    Alcotest.test_case "variant cache exact under demand shift" `Quick test_variant_cache_demand_shift;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases

@@ -216,6 +216,26 @@ let test_scheduled_defers () =
        (function Report.Deferred _ -> true | _ -> false)
        sch.Report.journal)
 
+let test_incremental_digest_parity () =
+  (* The incremental engine keeps the placer's structural memo and
+     variant cache warm across re-placements; from-scratch drops them
+     inside every decision. Verdicts — and so report digests — must be
+     byte-identical: the caches may only move decision latency. *)
+  let trace = Trace.generate ~events:24 ~seed:3 () in
+  let drive incremental =
+    Lemur_placer.Memo.clear ();
+    Lemur_placer.Strategy.clear_variant_cache ();
+    let cfg =
+      Engine.default_config ~seed:3 ~check:Lemur_check.Runtime_check.checker
+        ~incremental ()
+    in
+    match Engine.run cfg trace with
+    | Ok (report, _) -> Report.digest report
+    | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_to_string e)
+  in
+  Alcotest.(check string) "incremental digest equals from-scratch"
+    (drive false) (drive true)
+
 let test_report_json_shape () =
   let trace = Trace.generate ~events:12 ~seed:3 () in
   let report, _ = run_ok trace in
@@ -249,5 +269,7 @@ let suite =
     Alcotest.test_case "fail/recover and rejected events" `Quick
       test_fail_recover_and_rejects;
     Alcotest.test_case "scheduled policy defers" `Quick test_scheduled_defers;
+    Alcotest.test_case "incremental matches from-scratch" `Quick
+      test_incremental_digest_parity;
     Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
   ]

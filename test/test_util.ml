@@ -179,6 +179,54 @@ let test_pool_basic () =
   | Ok [ Ok [ 11; 12 ]; Ok [ 21; 22 ] ] -> ()
   | _ -> Alcotest.fail "nested map must run inline and preserve order"
 
+let test_pool_skewed_deterministic () =
+  (* Chunked work-stealing must keep results slotted by index even when
+     one item costs ~100x its neighbours, so the parallel order matches
+     the sequential one byte-for-byte. *)
+  let spin iters x =
+    let h = ref x in
+    for _ = 1 to iters do
+      h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF;
+      h := !h lxor (!h lsr 13)
+    done;
+    !h
+  in
+  let items =
+    List.init 32 (fun i ->
+        (i, if i = 0 || i = 31 then 200_000 else 2_000))
+  in
+  let run jobs =
+    List.map
+      (function Ok v -> v | Error _ -> -1)
+      (Pool.map ~domains:jobs (fun (i, iters) -> spin iters (i + 1)) items)
+  in
+  Alcotest.(check (list int)) "skewed corpus agrees -j 1 vs -j 4" (run 1)
+    (run 4)
+
+let test_pool_reuse_and_busy () =
+  (* The pool grows monotonically and a smaller -j reuses it with fewer
+     active workers instead of tearing domains down. *)
+  ignore (Pool.map ~domains:4 (fun x -> x + 1) [ 1; 2; 3; 4; 5 ]);
+  let grown = Pool.pool_size () in
+  Alcotest.(check bool) "pool spawned workers for -j 4" true (grown >= 3);
+  ignore (Pool.map ~domains:2 (fun x -> x + 1) [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check int) "smaller -j keeps the pool" grown (Pool.pool_size ());
+  Pool.reset_busy ();
+  let work x =
+    let h = ref x in
+    for _ = 1 to 100_000 do
+      h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF
+    done;
+    !h
+  in
+  ignore (Pool.map ~domains:2 work [ 1; 2; 3; 4 ]);
+  let busy = Pool.busy_ns () in
+  Alcotest.(check int) "busy slots cover submitter + workers"
+    (1 + Pool.pool_size ())
+    (Array.length busy);
+  Alcotest.(check bool) "some executor recorded busy time" true
+    (Array.exists (fun b -> b > 0) busy)
+
 let test_timing_clamp () =
   Alcotest.(check (float 0.0)) "forward duration" 1.5
     (Timing.duration ~start:1.0 ~stop:2.5);
@@ -240,6 +288,8 @@ let suite =
     Alcotest.test_case "percentile" `Quick test_percentile;
     Alcotest.test_case "texttable" `Quick test_texttable;
     Alcotest.test_case "pool map" `Quick test_pool_basic;
+    Alcotest.test_case "pool skewed determinism" `Quick test_pool_skewed_deterministic;
+    Alcotest.test_case "pool reuse and busy accounting" `Quick test_pool_reuse_and_busy;
     Alcotest.test_case "timing clamp" `Quick test_timing_clamp;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases
