@@ -819,6 +819,7 @@ let () =
   | _ :: "parallel" :: rest -> exit (Parallel_bench.main rest)
   | _ :: "scale" :: rest -> exit (Scale_bench.main rest)
   | _ :: "packets" :: rest -> exit (Packet_bench.main rest)
+  | _ :: "classify" :: rest -> exit (Classify_bench.main rest)
   | _ -> ());
   let telemetry_dir, argv_rest =
     match Array.to_list Sys.argv with

@@ -103,8 +103,26 @@ let topology servers cores_per_socket smartnic ofswitch no_pisa =
     Lemur_topology.Topology.testbed ~num_servers ~cores_per_socket ~smartnic
       ~ofswitch ()
 
-let deploy strategy topo metron file =
-  Lemur.Deployment.of_spec ~strategy ~topology:topo ~metron (read_file file)
+let acl_algo_arg =
+  let algos =
+    List.map
+      (fun a -> (Lemur_classifier.Classifier.algo_name a, a))
+      Lemur_classifier.Classifier.all_algos
+  in
+  Arg.(
+    value
+    & opt (some (enum algos)) None
+    & info [ "acl-algo" ] ~docv:"ALGO"
+        ~doc:
+          (Printf.sprintf
+             "Model ACL flow classification with $(docv) (%s) — per-packet \
+              classification against each ACL's canonical ruleset instead of \
+              the flat datasheet cost. See docs/CLASSIFIER.md."
+             (String.concat ", " (List.map fst algos))))
+
+let deploy ?(acl_algo = None) strategy topo metron file =
+  Lemur.Deployment.of_spec ~strategy ~topology:topo ~metron ~acl_algo
+    (read_file file)
 
 (* ------------------------------------------------------------------ *)
 
@@ -583,11 +601,11 @@ let exec_cmd =
             "Skip the differential check against the batch-rate simulator \
              (the engine alone still verifies packet conservation).")
   in
-  let run strategy servers cps smartnic ofswitch no_pisa metron duration seed
-      overdrive elements no_converge tfile file =
+  let run strategy servers cps smartnic ofswitch no_pisa metron acl_algo
+      duration seed overdrive elements no_converge tfile file =
     with_telemetry tfile @@ fun () ->
     let topo = topology servers cps smartnic ofswitch no_pisa in
-    match deploy strategy topo metron file with
+    match deploy ~acl_algo strategy topo metron file with
     | Error e ->
         Printf.eprintf "error: %s\n" e;
         1
@@ -595,11 +613,14 @@ let exec_cmd =
         let config = d.Lemur.Deployment.config in
         let placement = d.Lemur.Deployment.placement in
         let duration = Lemur_util.Units.ms duration in
+        let cls_before = Lemur_classifier.Classifier.stats () in
         let er =
           Lemur_dataplane.Engine.run ~seed ~duration ~overdrive ~config
             ~placement ()
         in
         Format.printf "%a" Lemur_dataplane.Engine.pp_result er;
+        Format.printf "%a" Lemur_classifier.Classifier.pp_stats_delta
+          (cls_before, Lemur_classifier.Classifier.stats ());
         if elements then
           List.iter
             (fun (e : Lemur_dataplane.Engine.element_stat) ->
@@ -648,8 +669,8 @@ let exec_cmd =
           (see docs/DATAPLANE.md).")
     Term.(
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
-      $ no_pisa $ metron $ duration $ seed $ overdrive $ elements
-      $ no_converge $ telemetry $ spec_file)
+      $ no_pisa $ metron $ acl_algo_arg $ duration $ seed $ overdrive
+      $ elements $ no_converge $ telemetry $ spec_file)
 
 let trace_cmd =
   let seed =
@@ -861,6 +882,96 @@ let fuzz_cmd =
       const run $ seed $ count $ shrink $ thorough $ no_sim $ max_failures
       $ runtime $ trace_events_arg $ jobs $ telemetry)
 
+let classify_cmd =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 1000; 10000 ]
+      & info [ "sizes" ] ~docv:"N,N,.."
+          ~doc:"Ruleset sizes to generate and classify against.")
+  in
+  let lookups =
+    Arg.(
+      value & opt int 2000
+      & info [ "lookups" ] ~docv:"N"
+          ~doc:"Lookups per ruleset (distinct deterministic flow headers).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int Lemur_classifier.Ruleset.default_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Ruleset generator seed.")
+  in
+  let run sizes lookups seed tfile =
+    with_telemetry tfile @@ fun () ->
+    let module C = Lemur_classifier.Classifier in
+    let module Ruleset = Lemur_classifier.Ruleset in
+    let module Rule = Lemur_classifier.Rule in
+    let before = C.stats () in
+    let agree = ref true in
+    List.iter
+      (fun size ->
+        if size < 0 then begin
+          Printf.eprintf "error: ruleset size %d < 0\n" size;
+          exit 1
+        end;
+        let rs = Ruleset.generate ~seed ~size () in
+        let headers = Ruleset.headers rs ~flows:lookups in
+        let cls = List.map (fun a -> (a, C.build a rs)) C.all_algos in
+        Printf.printf "ruleset: %d rule(s), seed %#x, %d lookup(s)\n" size seed
+          lookups;
+        let t =
+          Lemur_util.Texttable.create
+            ~headers:[ "algo"; "mean cyc"; "worst cyc"; "structure" ]
+        in
+        List.iter
+          (fun (a, c) ->
+            Lemur_util.Texttable.add_row t
+              [
+                C.algo_name a;
+                Printf.sprintf "%.0f" (C.mean_cycles c headers);
+                Printf.sprintf "%.0f" (C.worst_cycles c headers);
+                C.describe c;
+              ])
+          cls;
+        Lemur_util.Texttable.print t;
+        (* Hard agreement gate: every classifier must report the same
+           highest-priority rule on every lookup. *)
+        let mismatches = ref 0 in
+        Array.iter
+          (fun h ->
+            let id (_, c) =
+              match (C.classify c h).C.o_rule with
+              | Some r -> r.Rule.id
+              | None -> -1
+            in
+            match List.map id cls with
+            | [] -> ()
+            | r :: rest ->
+                if not (List.for_all (fun x -> x = r) rest) then
+                  incr mismatches)
+          headers;
+        if !mismatches > 0 then begin
+          agree := false;
+          Printf.printf "agreement: %d MISMATCH(ES) over %d lookup(s)\n"
+            !mismatches lookups
+        end
+        else Printf.printf "agreement: exact over %d lookup(s)\n" lookups;
+        print_newline ())
+      sizes;
+    Format.printf "%a" C.pp_stats_delta (before, C.stats ());
+    if !agree then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Build the synthetic ruleset at each size and classify a \
+          deterministic header corpus with all three classifiers — priority \
+          linear scan, tuple-space search and the NuevoMatch-style computed \
+          index — printing modeled per-lookup cycles and failing if any two \
+          classifiers disagree on any lookup (see docs/CLASSIFIER.md).")
+    Term.(const run $ sizes $ lookups $ seed $ telemetry)
+
 let nfs_cmd =
   let run () =
     let t = Lemur_util.Texttable.create ~headers:[ "NF"; "Spec"; "Targets"; "Stateful"; "Replicable" ] in
@@ -893,5 +1004,5 @@ let () =
        (Cmd.group info
           [
             place_cmd; compile_cmd; run_cmd; exec_cmd; trace_cmd; failover_cmd;
-            fuzz_cmd; nfs_cmd;
+            fuzz_cmd; classify_cmd; nfs_cmd;
           ]))

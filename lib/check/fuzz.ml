@@ -19,6 +19,9 @@ type summary = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  classifier : Lemur_classifier.Classifier.stats;
+      (* deltas over this run; excluded from the digest like the cache
+         fields *)
   failures : failure_report list;
   digest : string;
 }
@@ -72,6 +75,7 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
   let c_failures = Telemetry.counter tm "fuzz.failures" in
   let hits0, misses0 = Lemur_placer.Memo.stats () in
   let evictions0 = Lemur_placer.Memo.evictions () in
+  let cls0 = Lemur_classifier.Classifier.stats () in
   let digest_buf = Buffer.create 1024 in
   let summary =
     ref
@@ -86,6 +90,7 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
         cache_hits = 0;
         cache_misses = 0;
         cache_evictions = 0;
+        classifier = cls0;
         failures = [];
         digest = "";
       }
@@ -189,6 +194,25 @@ let run ?(quick = true) ?(sim = true) ?(shrink = false) ?(max_failures = 5)
     cache_hits = hits1 - hits0;
     cache_misses = misses1 - misses0;
     cache_evictions = Lemur_placer.Memo.evictions () - evictions0;
+    classifier =
+      (let c1 = Lemur_classifier.Classifier.stats () in
+       {
+         Lemur_classifier.Classifier.linear_lookups =
+           c1.Lemur_classifier.Classifier.linear_lookups
+           - cls0.Lemur_classifier.Classifier.linear_lookups;
+         tss_lookups =
+           c1.Lemur_classifier.Classifier.tss_lookups
+           - cls0.Lemur_classifier.Classifier.tss_lookups;
+         computed_lookups =
+           c1.Lemur_classifier.Classifier.computed_lookups
+           - cls0.Lemur_classifier.Classifier.computed_lookups;
+         remainder_hits =
+           c1.Lemur_classifier.Classifier.remainder_hits
+           - cls0.Lemur_classifier.Classifier.remainder_hits;
+         remainder_misses =
+           c1.Lemur_classifier.Classifier.remainder_misses
+           - cls0.Lemur_classifier.Classifier.remainder_misses;
+       });
     failures = List.rev acc.failures;
     digest = Digest.to_hex (Digest.string (Buffer.contents digest_buf));
   }
@@ -227,4 +251,13 @@ let pp_summary ppf s =
       "placer cache: %d hits / %d misses (%.1f%% hit rate), %d evictions@."
       s.cache_hits s.cache_misses
       (100.0 *. float_of_int s.cache_hits /. float_of_int lookups)
-      s.cache_evictions
+      s.cache_evictions;
+  Lemur_classifier.Classifier.pp_stats_delta ppf
+    ( {
+        Lemur_classifier.Classifier.linear_lookups = 0;
+        tss_lookups = 0;
+        computed_lookups = 0;
+        remainder_hits = 0;
+        remainder_misses = 0;
+      },
+      s.classifier )

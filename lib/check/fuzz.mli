@@ -29,6 +29,10 @@ type summary = {
   cache_hits : int;  (** {!Lemur_placer.Memo} hits during this run *)
   cache_misses : int;
   cache_evictions : int;  (** entries dropped by clock rotations *)
+  classifier : Lemur_classifier.Classifier.stats;
+      (** classifier lookups performed by the run's engine checks
+          (scenarios with [sc_acl] set) — like the cache counters,
+          excluded from the digest *)
   failures : failure_report list;
   digest : string;
       (** MD5 over the deterministic per-scenario outcomes in seed

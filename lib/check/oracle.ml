@@ -100,8 +100,7 @@ let clock_of config =
   | [] -> Units.ghz 1.7
 
 let node_cycles config graph id =
-  Lemur_profiler.Profiler.cycles config.Plan.profiler
-    (Graph.node graph id).Graph.instance config.Plan.numa
+  Plan.instance_cycles config (Graph.node graph id).Graph.instance
 
 (* Share of the chain's traffic crossing a node: the sum of the
    fractions of the linear paths that contain it. *)

@@ -30,6 +30,7 @@ type t = {
   sc_metron : bool;
   sc_pkt_bytes : int;
   sc_chains : chain_scenario list;
+  sc_acl : Lemur_classifier.Classifier.algo option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -76,20 +77,39 @@ let gen_chain rng ~quick i =
     cs_weight = (if chance rng 20 then 2.0 else 1.0);
   }
 
+let algo_pool =
+  Array.of_list Lemur_classifier.Classifier.all_algos
+
 let generate ?(quick = false) ~seed () =
   let rng = Prng.create ~seed in
   let no_pisa = chance rng 10 in
   let n_chains = 1 + Prng.int rng (if quick then 2 else 3) in
+  let base =
+    {
+      sc_seed = seed;
+      sc_servers = 1 + Prng.int rng 2;
+      sc_cores_per_socket = (if Prng.bool rng then 8 else 4);
+      sc_smartnic = (not no_pisa) && chance rng 30;
+      sc_ofswitch = chance rng 25;
+      sc_no_pisa = no_pisa;
+      sc_metron = chance rng 15;
+      sc_pkt_bytes = Prng.choose rng [| 256; 512; 1500 |];
+      sc_chains = List.init n_chains (gen_chain rng ~quick);
+      sc_acl = None;
+    }
+  in
+  (* Drawn after every other field so enabling classification did not
+     reshuffle the pre-existing scenario corpus. Topologies with no
+     offload target (no PISA ToR, no OF switch) are the only ones whose
+     ACLs classify in software, so they draw an algorithm far more
+     often. *)
+  let acl_pct =
+    if base.sc_no_pisa && not base.sc_ofswitch then 75 else 20
+  in
   {
-    sc_seed = seed;
-    sc_servers = 1 + Prng.int rng 2;
-    sc_cores_per_socket = (if Prng.bool rng then 8 else 4);
-    sc_smartnic = (not no_pisa) && chance rng 30;
-    sc_ofswitch = chance rng 25;
-    sc_no_pisa = no_pisa;
-    sc_metron = chance rng 15;
-    sc_pkt_bytes = Prng.choose rng [| 256; 512; 1500 |];
-    sc_chains = List.init n_chains (gen_chain rng ~quick);
+    base with
+    sc_acl =
+      (if chance rng acl_pct then Some (Prng.choose rng algo_pool) else None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -120,6 +140,7 @@ let config sc =
     (Plan.default_config topo) with
     Plan.pkt_bytes = sc.sc_pkt_bytes;
     metron_steering = sc.sc_metron;
+    acl_algo = sc.sc_acl;
   }
 
 (* All-hardware chains have an infinite base rate; SLO floors for them
@@ -155,12 +176,16 @@ let size sc =
 
 let pp ppf sc =
   Fmt.pf ppf
-    "@[<v>scenario seed=%d: %d server(s) x %d cores/socket%s%s%s%s, %dB packets@,"
+    "@[<v>scenario seed=%d: %d server(s) x %d cores/socket%s%s%s%s%s, %dB packets@,"
     sc.sc_seed sc.sc_servers sc.sc_cores_per_socket
     (if sc.sc_no_pisa then ", no PISA ToR" else "")
     (if sc.sc_smartnic then ", SmartNIC" else "")
     (if sc.sc_ofswitch then ", OF switch" else "")
     (if sc.sc_metron then ", metron steering" else "")
+    (match sc.sc_acl with
+    | None -> ""
+    | Some a ->
+        ", acl=" ^ Lemur_classifier.Classifier.algo_name a)
     sc.sc_pkt_bytes;
   List.iter
     (fun c ->
@@ -251,6 +276,7 @@ let candidates sc =
     @ (if sc.sc_ofswitch then [ { sc with sc_ofswitch = false } ] else [])
     @ (if sc.sc_no_pisa then [ { sc with sc_no_pisa = false } ] else [])
     @ (if sc.sc_metron then [ { sc with sc_metron = false } ] else [])
+    @ (if sc.sc_acl <> None then [ { sc with sc_acl = None } ] else [])
     @
     if sc.sc_pkt_bytes <> 1500 then [ { sc with sc_pkt_bytes = 1500 } ] else []
   in

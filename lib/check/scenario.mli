@@ -39,6 +39,9 @@ type t = {
   sc_metron : bool;
   sc_pkt_bytes : int;
   sc_chains : chain_scenario list;
+  sc_acl : Lemur_classifier.Classifier.algo option;
+      (** flow-classification algorithm ACL elements model; [None]
+          keeps the flat datasheet cost *)
 }
 
 val generate : ?quick:bool -> seed:int -> unit -> t

@@ -1,0 +1,12 @@
+type t = { rules : Rule.t array }
+
+let build rs = { rules = Ruleset.rules rs }
+
+let classify t h =
+  let n = Array.length t.rules in
+  let rec go i =
+    if i >= n then (None, n)
+    else if Rule.matches t.rules.(i) h then (Some t.rules.(i), i + 1)
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,13 @@
+(** Priority linear scan — the ground-truth baseline.
+
+    Walks the ruleset in priority order and stops at the first match;
+    correctness is immediate, and every other classifier is checked
+    against it. *)
+
+type t
+
+val build : Ruleset.t -> t
+
+val classify : t -> Rule.header -> Rule.t option * int
+(** The highest-priority match (first in rule order) and the number of
+    rules inspected — the per-packet work the cost model charges. *)

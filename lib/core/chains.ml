@@ -65,10 +65,7 @@ let base_rate config g =
       (fun node ->
         let instance = node.Graph.instance in
         if List.mem Lemur_nf.Target.Cpp (Lemur_nf.Kind.targets instance.Lemur_nf.Instance.kind)
-        then
-          Some
-            (Lemur_profiler.Profiler.cycles config.Plan.profiler instance
-               config.Plan.numa)
+        then Some (Plan.instance_cycles config instance)
         else None)
       (Graph.nodes g)
   in

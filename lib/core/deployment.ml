@@ -22,7 +22,7 @@ let deploy ?(strategy = Strategy.Lemur) config inputs =
           Error ("OpenFlow: " ^ msg))
 
 let of_spec ?strategy ?(topology = Lemur_topology.Topology.testbed ()) ?profiler
-    ?(metron = false) source =
+    ?(metron = false) ?acl_algo source =
   match Lemur_spec.Loader.load source with
   | exception Lemur_spec.Parser.Error { line; message } ->
       Error (Printf.sprintf "parse error at line %d: %s" line message)
@@ -31,7 +31,11 @@ let of_spec ?strategy ?(topology = Lemur_topology.Topology.testbed ()) ?profiler
   | exception Lemur_spec.Graph.Invalid message -> Error message
   | chains -> (
       let base_config =
-        { (Plan.default_config topology) with Plan.metron_steering = metron }
+        {
+          (Plan.default_config topology) with
+          Plan.metron_steering = metron;
+          Plan.acl_algo = Option.value acl_algo ~default:None;
+        }
       in
       let config =
         match profiler with

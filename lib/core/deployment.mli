@@ -30,12 +30,15 @@ val of_spec :
   ?topology:Lemur_topology.Topology.t ->
   ?profiler:Lemur_profiler.Profiler.t ->
   ?metron:bool ->
+  ?acl_algo:Lemur_classifier.Classifier.algo option ->
   string ->
   (t, string) result
 (** Parse a specification (chains with optional [slo(...)] clauses),
     then {!deploy} on the given topology (default: the paper's
     single-server testbed). [metron] enables the Metron-style
-    core-tagging extension. *)
+    core-tagging extension. [acl_algo] selects the flow-classification
+    algorithm ACL elements model ([None], the default, keeps the
+    datasheet cost model). *)
 
 val measure :
   ?seed:int -> ?duration:float -> ?batch_pkts:int -> ?overdrive:float ->

@@ -72,6 +72,9 @@ type chain_rt = {
   idx : int;
   id : string;
   hops : element array array array;  (* route -> hop -> replicas *)
+  cls_headers : Lemur_classifier.Rule.header array;
+      (* per-flow 5-tuple headers when classification is on ([||] off):
+         inject stamps packet headers from it, ACL hops classify it *)
   fractions : float array;
   sw_nodes : int list array;  (* per route: NFs absorbed into the ToR *)
   offered_rate : float;
@@ -208,6 +211,39 @@ let run ?(seed = 7) ?(duration = Units.ms 10.0) ?(warmup = Units.ms 1.0)
     Prng.truncated_gaussian prng ~mu:cost.Lemur_nf.Datasheet.mean ~sigma
       ~lo:cost.Lemur_nf.Datasheet.min ~hi:cost.Lemur_nf.Datasheet.max
   in
+  (* With [acl_algo] on, ACL elements classify each packet's 5-tuple
+     header instead of sampling the datasheet law. Classifiers are
+     canonical per ruleset size, so chains sharing a size share the
+     built structure. *)
+  let acl_tbl = Hashtbl.create 4 in
+  let acl_cls =
+    match config.Plan.acl_algo with
+    | None -> fun _ -> None
+    | Some algo ->
+        fun node ->
+          let instance = node.Lemur_spec.Graph.instance in
+          if Lemur_nf.Kind.equal instance.Lemur_nf.Instance.kind Lemur_nf.Kind.Acl
+          then begin
+            let size =
+              match Lemur_nf.Instance.state_size instance with
+              | Some s -> s
+              | None ->
+                  Option.value
+                    (Lemur_nf.Datasheet.reference_size Lemur_nf.Kind.Acl)
+                    ~default:1024
+            in
+            match Hashtbl.find_opt acl_tbl size with
+            | Some c -> Some c
+            | None ->
+                let c =
+                  Lemur_classifier.Classifier.build algo
+                    (Lemur_classifier.Ruleset.generate ~size ())
+                in
+                Hashtbl.replace acl_tbl size c;
+                Some c
+          end
+          else None
+  in
   (* Compile each chain's routes into hop arrays of replica elements. *)
   let nic_host =
     match topo.Lemur_topology.Topology.smartnics with
@@ -248,6 +284,24 @@ let run ?(seed = 7) ?(duration = Units.ms 10.0) ?(warmup = Units.ms 1.0)
                (Lemur_spec.Graph.nodes graph);
              arr
            in
+           (* The chain's synthetic traffic: each of the 40 flow ids
+              maps to a fixed 5-tuple header drawn from the first ACL
+              node's canonical ruleset — the same corpus Sim averages
+              over and the profiler predicts against. *)
+           let cls_headers =
+             match
+               List.find_opt
+                 (fun node -> Option.is_some (acl_cls node))
+                 (Lemur_spec.Graph.nodes graph)
+             with
+             | None -> [||]
+             | Some node -> (
+                 match acl_cls node with
+                 | Some cls ->
+                     Lemur_classifier.Ruleset.headers
+                       (Lemur_classifier.Classifier.ruleset cls) ~flows:40
+                 | None -> [||])
+           in
            let compile_route ri route =
              let el ~worker ~role = new_element ~worker
                ~name:(Printf.sprintf "%s:%s.r%d.%s" worker.w_name chain_id ri role)
@@ -286,16 +340,25 @@ let run ?(seed = 7) ?(duration = Units.ms 10.0) ?(warmup = Units.ms 1.0)
                                node.Lemur_spec.Graph.instance
                                  .Lemur_nf.Instance.kind
                              in
-                             (id, node, Lemur_nf.Datasheet.ebpf_speedup kind))
+                             ( id,
+                               node,
+                               Lemur_nf.Datasheet.ebpf_speedup kind,
+                               acl_cls node ))
                            nic_nodes
                        in
-                       let cost _ =
+                       let cost p =
                          List.fold_left
-                           (fun acc (id, node, speed) ->
+                           (fun acc (id, node, speed, cls) ->
                              Lemur_telemetry.Counter.incr tm_nf_pkts.(id);
-                             acc
-                             +. (sample_cycles node nic_socket
-                                 /. (clock *. speed) *. 1e9))
+                             let cy =
+                               match cls with
+                               | Some c ->
+                                   (Lemur_classifier.Classifier.classify c
+                                      cls_headers.(p.Packet.flow))
+                                     .Lemur_classifier.Classifier.o_cycles
+                               | None -> sample_cycles node nic_socket
+                             in
+                             acc +. (cy /. (clock *. speed) *. 1e9))
                            0.0 nodes
                        in
                        hops :=
@@ -320,19 +383,38 @@ let run ?(seed = 7) ?(duration = Units.ms 10.0) ?(warmup = Units.ms 1.0)
                          in
                          let nodes =
                            List.map
-                             (fun id -> (id, Lemur_spec.Graph.node graph id))
+                             (fun id ->
+                               let node = Lemur_spec.Graph.node graph id in
+                               (id, node, acl_cls node))
                              sg.Plan.sg_nodes
                          in
                          let replicas =
                            List.map
                              (fun (core, socket) ->
-                               let cost _ =
+                               let numa_fac =
+                                 Lemur_nf.Datasheet.numa_factor
+                                   (if socket = nic_socket then
+                                      Lemur_nf.Datasheet.Same
+                                    else Lemur_nf.Datasheet.Diff)
+                               in
+                               let cost p =
                                  let nf_cycles =
                                    List.fold_left
-                                     (fun acc (id, node) ->
+                                     (fun acc (id, node, cls) ->
                                        Lemur_telemetry.Counter.incr
                                          tm_nf_pkts.(id);
-                                       acc +. sample_cycles node socket)
+                                       let cy =
+                                         match cls with
+                                         | Some c ->
+                                             (Lemur_classifier.Classifier
+                                              .classify c
+                                                cls_headers.(p.Packet.flow))
+                                               .Lemur_classifier.Classifier
+                                                .o_cycles
+                                             *. numa_fac
+                                         | None -> sample_cycles node socket
+                                       in
+                                       acc +. cy)
                                      0.0 nodes
                                  in
                                  Lemur_bess.Cost.subgroup_cycles
@@ -395,6 +477,7 @@ let run ?(seed = 7) ?(duration = Units.ms 10.0) ?(warmup = Units.ms 1.0)
                Lemur_telemetry.Telemetry.histogram tm
                  (Printf.sprintf "dataplane.engine.chain.%s.latency_ns" chain_id);
              tm_nf_pkts;
+             cls_headers;
            })
          placement.Strategy.chain_reports)
   in
@@ -500,6 +583,14 @@ let run ?(seed = 7) ?(duration = Units.ms 10.0) ?(warmup = Units.ms 1.0)
               p.Packet.route <- !route;
               p.Packet.step <- 0;
               p.Packet.flow <- flow;
+              if Array.length c.cls_headers > 0 then begin
+                let h = c.cls_headers.(flow) in
+                p.Packet.src <- h.Lemur_classifier.Rule.src;
+                p.Packet.dst <- h.Lemur_classifier.Rule.dst;
+                p.Packet.sport <- h.Lemur_classifier.Rule.sport;
+                p.Packet.dport <- h.Lemur_classifier.Rule.dport;
+                p.Packet.proto <- h.Lemur_classifier.Rule.proto
+              end;
               p.Packet.bits <- pkt_bits;
               p.Packet.t_ingress <- now;
               p.Packet.t <- now;

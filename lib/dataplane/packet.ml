@@ -3,6 +3,11 @@ type t = {
   mutable route : int;
   mutable step : int;
   mutable flow : int;
+  mutable src : int;
+  mutable dst : int;
+  mutable sport : int;
+  mutable dport : int;
+  mutable proto : int;
   mutable bits : float;
   mutable t_ingress : float;
   mutable t : float;
@@ -11,7 +16,20 @@ type t = {
 type pool = { free : t array; mutable n_free : int; cap : int }
 
 let fresh () =
-  { chain = 0; route = 0; step = 0; flow = 0; bits = 0.0; t_ingress = 0.0; t = 0.0 }
+  {
+    chain = 0;
+    route = 0;
+    step = 0;
+    flow = 0;
+    src = 0;
+    dst = 0;
+    sport = 0;
+    dport = 0;
+    proto = 0;
+    bits = 0.0;
+    t_ingress = 0.0;
+    t = 0.0;
+  }
 
 let dummy = fresh
 
@@ -32,6 +50,11 @@ let alloc p =
     pkt.route <- 0;
     pkt.step <- 0;
     pkt.flow <- 0;
+    pkt.src <- 0;
+    pkt.dst <- 0;
+    pkt.sport <- 0;
+    pkt.dport <- 0;
+    pkt.proto <- 0;
     pkt.bits <- 0.0;
     pkt.t_ingress <- 0.0;
     pkt.t <- 0.0;

@@ -17,6 +17,14 @@ type t = {
   mutable route : int;  (** which service path the packet took *)
   mutable step : int;  (** next hop index on that path *)
   mutable flow : int;  (** 5-tuple hash: flow-consistent replica choice *)
+  mutable src : int;  (** IPv4 source — the compact 5-tuple header the
+                          classifier elements match on; zeroed on
+                          alloc, filled at inject when classification
+                          is enabled *)
+  mutable dst : int;  (** IPv4 destination *)
+  mutable sport : int;  (** source port (16-bit) *)
+  mutable dport : int;  (** destination port *)
+  mutable proto : int;  (** IP protocol (8-bit) *)
   mutable bits : float;  (** wire size *)
   mutable t_ingress : float;  (** virtual ns at generation *)
   mutable t : float;  (** current virtual timestamp (ns) *)

@@ -41,6 +41,10 @@ type chain_rt = {
   tm_drops : Lemur_telemetry.Counter.t;
   tm_latency : Lemur_telemetry.Histogram.t;
   tm_nf_pkts : Lemur_telemetry.Counter.t array;  (** indexed by graph node id *)
+  acl_mean : float array;
+      (** per-node mean classification cycles over the chain's 40-flow
+          header corpus when [config.acl_algo] is set; [-1.0] for
+          non-ACL nodes, [[||]] when classification is off *)
 }
 
 (* Mutable busy-until resources. *)
@@ -131,6 +135,37 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
           Hashtbl.replace srv.sg_cores (chain_id, sg_index) cores)
         report.Strategy.plan.Plan.subgroups)
     placement.Strategy.chain_reports;
+  (* Canonical classifier per distinct ACL table size, shared across
+     chains — the same rulesets Engine and the profiler build. *)
+  let acl_tbl = Hashtbl.create 4 in
+  let acl_classifier node =
+    match config.Plan.acl_algo with
+    | None -> None
+    | Some algo ->
+        let instance = node.Lemur_spec.Graph.instance in
+        if
+          Lemur_nf.Kind.equal instance.Lemur_nf.Instance.kind Lemur_nf.Kind.Acl
+        then begin
+          let size =
+            match Lemur_nf.Instance.state_size instance with
+            | Some s -> s
+            | None ->
+                Option.value
+                  (Lemur_nf.Datasheet.reference_size Lemur_nf.Kind.Acl)
+                  ~default:1024
+          in
+          match Hashtbl.find_opt acl_tbl size with
+          | Some c -> Some c
+          | None ->
+              let c =
+                Lemur_classifier.Classifier.build algo
+                  (Lemur_classifier.Ruleset.generate ~size ())
+              in
+              Hashtbl.replace acl_tbl size c;
+              Some c
+        end
+        else None
+  in
   let chains =
     Array.of_list
       (List.map
@@ -193,6 +228,37 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
                            node.Lemur_spec.Graph.instance.Lemur_nf.Instance.name))
                   (Lemur_spec.Graph.nodes graph);
                 arr);
+             acl_mean =
+               (let nodes = Lemur_spec.Graph.nodes graph in
+                match
+                  List.find_opt
+                    (fun node -> Option.is_some (acl_classifier node))
+                    nodes
+                with
+                | None -> [||]
+                | Some first ->
+                    (* Same corpus Engine injects: headers drawn from the
+                       first ACL node's ruleset, one per flow id. *)
+                    let headers =
+                      match acl_classifier first with
+                      | Some cls ->
+                          Lemur_classifier.Ruleset.headers
+                            (Lemur_classifier.Classifier.ruleset cls) ~flows:40
+                      | None -> [||]
+                    in
+                    let arr =
+                      Array.make (Lemur_spec.Graph.size graph) (-1.0)
+                    in
+                    List.iter
+                      (fun node ->
+                        match acl_classifier node with
+                        | Some cls ->
+                            arr.(node.Lemur_spec.Graph.id) <-
+                              Lemur_classifier.Classifier.mean_cycles cls
+                                headers
+                        | None -> ())
+                      nodes;
+                    arr);
            })
          placement.Strategy.chain_reports)
   in
@@ -300,7 +366,13 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
                   in
                   let kind = node.Lemur_spec.Graph.instance.Lemur_nf.Instance.kind in
                   Lemur_telemetry.Counter.incr ~by:batch.pkts c.tm_nf_pkts.(node_id);
-                  let cy = sample_cycles node srv.nic_socket srv.nic_socket in
+                  let cy =
+                    if
+                      Array.length c.acl_mean > 0
+                      && c.acl_mean.(node_id) >= 0.0
+                    then c.acl_mean.(node_id)
+                    else sample_cycles node srv.nic_socket srv.nic_socket
+                  in
                   let speed = Lemur_nf.Datasheet.ebpf_speedup kind in
                   t
                   +. (cy *. float_of_int batch.pkts /. (srv.clock *. speed) *. 1e9))
@@ -341,11 +413,21 @@ let run ?(seed = 7) ?(duration = Units.ms 50.0) ?(warmup = Units.ms 5.0)
                           let nf_cycles =
                             Listx.sum_by
                               (fun node_id ->
-                                sample_cycles
-                                  (Lemur_spec.Graph.node
-                                     c.report.Strategy.plan.Plan.input.Plan.graph
-                                     node_id)
-                                  core.socket srv.nic_socket)
+                                if
+                                  Array.length c.acl_mean > 0
+                                  && c.acl_mean.(node_id) >= 0.0
+                                then
+                                  c.acl_mean.(node_id)
+                                  *. Lemur_nf.Datasheet.numa_factor
+                                       (if core.socket = srv.nic_socket then
+                                          Lemur_nf.Datasheet.Same
+                                        else Lemur_nf.Datasheet.Diff)
+                                else
+                                  sample_cycles
+                                    (Lemur_spec.Graph.node
+                                       c.report.Strategy.plan.Plan.input
+                                         .Plan.graph node_id)
+                                    core.socket srv.nic_socket)
                               sg.Plan.sg_nodes
                           in
                           let total =

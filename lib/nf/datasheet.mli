@@ -16,6 +16,12 @@ type numa = Same | Diff
 type cost = { mean : float; min : float; max : float }
 (** Per-packet CPU cycle cost statistics across profiling runs. *)
 
+val numa_factor : numa -> float
+(** Multiplicative penalty of crossing the socket interconnect ([Same]
+    is 1.0) — the same factor baked into every [Diff] datasheet cost,
+    exposed for costs computed outside the datasheet (the classifier's
+    modeled cycles). *)
+
 val cycle_cost : Kind.t -> numa -> cost
 (** Per-packet cycles on a server core, at the NF's reference state size
     (ACL: 1024 rules, NAT: 12000 entries). *)

@@ -18,10 +18,17 @@ let find_int params key =
 let find_str params key =
   match find params key with Some (Str s) -> Some s | _ -> None
 
+exception Invalid_size of { key : string; value : int }
+
 let table_size kind params =
   let count_of key =
     match find params key with
-    | Some (Int n) -> Some n
+    | Some (Int n) ->
+        (* A literal count: [ACL(rules=4096)].  A negative count has no
+           list form it could abbreviate, so reject it here rather than
+           letting it reach a table builder as a bogus size. *)
+        if n < 0 then raise (Invalid_size { key; value = n });
+        Some n
     | Some (List items) -> Some (List.length items)
     | _ -> None
   in

@@ -25,10 +25,15 @@ val find_int : t -> string -> int option
 
 val find_str : t -> string -> string option
 
+exception Invalid_size of { key : string; value : int }
+(** Raised by {!table_size} when a size parameter is given as a
+    negative integer count. *)
+
 val table_size : Kind.t -> t -> int option
 (** Size driving a size-dependent cycle cost: ACL -> length of [rules]
     (or [rules] as an int count), NAT -> [entries], Monitor -> [flows].
-    [None] when the NF has no size parameter or none was given. *)
+    [None] when the NF has no size parameter or none was given.
+    @raise Invalid_size on a negative integer count. *)
 
 val pp_value : Format.formatter -> value -> unit
 (** Python-literal style, as in the paper's spec examples (['...'],

@@ -162,6 +162,10 @@ let config_digest (config : Plan.config) =
     | Lemur_nf.Datasheet.Same -> "S"
     | Lemur_nf.Datasheet.Diff -> "D");
   Buffer.add_string b (Bool.to_string config.Plan.metron_steering);
+  Buffer.add_string b
+    (match config.Plan.acl_algo with
+    | None -> "-"
+    | Some a -> Lemur_classifier.Classifier.algo_name a);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let config_sig config =

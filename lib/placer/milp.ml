@@ -105,9 +105,7 @@ let solve_checked ?(max_nodes = 200_000) ?(warm = true) config inputs =
               in
               {
                 node;
-                cycles =
-                  Lemur_profiler.Profiler.cycles config.Plan.profiler
-                    node.Graph.instance config.Plan.numa;
+                cycles = Plan.instance_cycles config node.Graph.instance;
                 tables =
                   Lemur_nf.Datasheet.p4_table_count
                     node.Graph.instance.Lemur_nf.Instance.kind;

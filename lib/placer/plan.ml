@@ -12,6 +12,7 @@ type config = {
   eval_capabilities : bool;
   numa : Datasheet.numa;
   metron_steering : bool;
+  acl_algo : Lemur_classifier.Classifier.algo option;
 }
 
 let default_config topology =
@@ -22,7 +23,25 @@ let default_config topology =
     eval_capabilities = true;
     numa = Datasheet.Diff;
     metron_steering = false;
+    acl_algo = None;
   }
+
+(* Every consumer of a software NF's predicted cycle cost goes through
+   here, so the classifier-aware ACL path (when [acl_algo] is on) is
+   priced identically by the strategies, the MILP, the stage checker,
+   the oracle and base-rate computation. *)
+let instance_cycles config instance =
+  match (instance.Instance.kind, config.acl_algo) with
+  | Kind.Acl, Some algo ->
+      let size =
+        match Instance.state_size instance with
+        | Some s -> s
+        | None ->
+            Option.value (Datasheet.reference_size Kind.Acl) ~default:1024
+      in
+      Lemur_profiler.Profiler.acl_cycles config.profiler ~algo ~size
+        config.numa
+  | _ -> Lemur_profiler.Profiler.cycles config.profiler instance config.numa
 
 let allowed_locations config instance =
   let kind = instance.Instance.kind in
@@ -97,8 +116,7 @@ let path_segments locs path_nodes =
   (server_segments, of_segments)
 
 let node_cycles config graph id =
-  let instance = (Graph.node graph id).Graph.instance in
-  Lemur_profiler.Profiler.cycles config.profiler instance config.numa
+  instance_cycles config (Graph.node graph id).Graph.instance
 
 (* Maximal run-to-completion subgroups: consecutive Server NFs joined
    when the edge between them is the only one out of the first and into

@@ -33,11 +33,24 @@ type config = {
       (** Metron-style extension (§3.2/§4.2 future work): the ToR tags
           packets with their target core, removing the server demux's
           load-balancing cost for replicated subgroups *)
+  acl_algo : Lemur_classifier.Classifier.algo option;
+      (** when set, ACL elements actually classify packets with this
+          algorithm: the dataplane charges per-packet modeled lookup
+          cycles, and every placement-side cost prediction prices ACLs
+          via {!Lemur_profiler.Profiler.acl_cycles} at the instance's
+          ruleset size instead of the flat datasheet law. [None]
+          (default) keeps the legacy sampled-cycle behavior. *)
 }
 
 val default_config : Lemur_topology.Topology.t -> config
 (** 1500-byte packets, eval capabilities, worst-case (Diff) NUMA, a
-    fresh default profiler. *)
+    fresh default profiler, no classifier ([acl_algo = None]). *)
+
+val instance_cycles : config -> Lemur_nf.Instance.t -> float
+(** Predicted worst-case cycles/packet of one software NF — the single
+    choke point every placement-side consumer (strategies, MILP, stage
+    checker, oracle, base rates) prices NFs through, so the
+    classifier-aware ACL path cannot drift between layers. *)
 
 val allowed_locations : config -> Lemur_nf.Instance.t -> location list
 (** Where this NF may run, intersecting Table 3 with the topology's

@@ -51,10 +51,7 @@ let movable_switch_nodes config plan =
         plan.Plan.locs.(id) = Plan.Switch
         && List.mem Plan.Server (Plan.allowed_locations config instance)
       then
-        Some
-          ( id,
-            Lemur_profiler.Profiler.cycles config.Plan.profiler instance
-              config.Plan.numa )
+        Some (id, Plan.instance_cycles config instance)
       else None)
     (Lemur_spec.Graph.nodes graph)
   |> List.sort (fun (_, a) (_, b) -> Float.compare a b)

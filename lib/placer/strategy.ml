@@ -119,10 +119,7 @@ let all_patterns config input ~limit =
             && List.mem Plan.Server
                  (Plan.allowed_locations config n.Graph.instance)
           then
-            Some
-              ( n.Graph.id,
-                Lemur_profiler.Profiler.cycles config.Plan.profiler
-                  n.Graph.instance config.Plan.numa )
+            Some (n.Graph.id, Plan.instance_cycles config n.Graph.instance)
           else None)
         (Graph.nodes input.Plan.graph)
       |> List.sort (fun (_, a) (_, b) -> Float.compare a b)

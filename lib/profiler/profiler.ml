@@ -9,12 +9,20 @@ type t = {
   error : float;
   uniform_cycles : float option;
   cache : (string, float list) Hashtbl.t;
+  acl_cache : (string, float) Hashtbl.t;
 }
 
 let create ?(seed = 0xC0FFEE) ?(runs = 500) ?(error = 0.0)
     ?(uniform_cycles = None) () =
   if error < 0.0 || error >= 1.0 then invalid_arg "Profiler.create: error";
-  { seed; runs; error; uniform_cycles; cache = Hashtbl.create 64 }
+  {
+    seed;
+    runs;
+    error;
+    uniform_cycles;
+    cache = Hashtbl.create 64;
+    acl_cache = Hashtbl.create 16;
+  }
 
 let runs t = t.runs
 
@@ -97,6 +105,39 @@ let worst_case t kind numa ~size =
       in
       let worst = Float.max (worst_of Long_lived) (worst_of Short_flows) in
       worst *. (1.0 -. t.error)
+
+(* Algorithm-aware ACL profiling: build the canonical ruleset for this
+   size, replay the dataplane's 40-flow header corpus through the
+   classifier, and report the worst modeled lookup — the same
+   conservative stance as [worst_case], honoring the [error] and
+   [uniform_cycles] ablations. The corpus, rulesets and cost model are
+   all deterministic, so this stays a pure function of the registry's
+   signature and the arguments (memoized per registry). *)
+let dataplane_flows = 40
+
+let acl_cycles t ~algo ~size numa =
+  match t.uniform_cycles with
+  | Some c -> c
+  | None ->
+      let key =
+        Printf.sprintf "%s/%d/%d"
+          (Lemur_classifier.Classifier.algo_name algo)
+          size (numa_index numa)
+      in
+      (match Hashtbl.find_opt t.acl_cache key with
+      | Some c -> c
+      | None ->
+          let rs = Lemur_classifier.Ruleset.generate ~size () in
+          let cls = Lemur_classifier.Classifier.build algo rs in
+          let headers =
+            Lemur_classifier.Ruleset.headers rs ~flows:dataplane_flows
+          in
+          let worst = Lemur_classifier.Classifier.worst_cycles cls headers in
+          let c =
+            worst *. Datasheet.numa_factor numa *. (1.0 -. t.error)
+          in
+          Hashtbl.replace t.acl_cache key c;
+          c)
 
 let cycles t instance numa =
   let kind = instance.Instance.kind in

@@ -55,6 +55,17 @@ val cycles : t -> Lemur_nf.Instance.t -> Lemur_nf.Datasheet.numa -> float
 val cycles_kind : t -> Lemur_nf.Kind.t -> Lemur_nf.Datasheet.numa -> float
 (** {!cycles} at the kind's reference state size. *)
 
+val acl_cycles :
+  t -> algo:Lemur_classifier.Classifier.algo -> size:int ->
+  Lemur_nf.Datasheet.numa -> float
+(** Worst-case cycles/packet of an ACL that actually classifies with
+    the given algorithm at the given ruleset size: the canonical
+    ruleset's worst modeled lookup over the dataplane's 40-flow header
+    corpus, NUMA-scaled, shaved by [error], overridden by
+    [uniform_cycles] — so the ablation knobs hit classifier-aware
+    predictions exactly like datasheet ones. Deterministic and
+    memoized; a pure function of {!signature} and the arguments. *)
+
 val fit_size_model :
   t -> Lemur_nf.Kind.t -> Lemur_nf.Datasheet.numa -> (float * float) option
 (** Least-squares (slope, intercept) of mean cycles vs state size, from

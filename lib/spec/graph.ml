@@ -65,6 +65,13 @@ let add_node t instance =
   let instance =
     { instance with Lemur_nf.Instance.name = fresh_name t instance.Lemur_nf.Instance.name }
   in
+  (* Surface bad size parameters at graph-build time, as a spec error
+     rather than a crash deep inside a cost model or table builder. *)
+  (match Lemur_nf.Instance.state_size instance with
+  | exception Lemur_nf.Params.Invalid_size { key; value } ->
+      invalid "%s: parameter %s=%d must be non-negative"
+        instance.Lemur_nf.Instance.name key value
+  | _ -> ());
   t.node_list <- { id; instance } :: t.node_list;
   id
 

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("lp", Test_lp.suite);
       ("nf", Test_nf.suite);
+      ("classifier", Test_classifier.suite);
       ("spec", Test_spec.suite);
       ("slo", Test_slo.suite);
       ("platform", Test_platform.suite);

@@ -116,6 +116,55 @@ let test_instance_params () =
   Alcotest.(check (option int)) "no size param" None (Instance.state_size enc);
   Alcotest.(check string) "default name" "Encrypt" enc.Instance.name
 
+let test_table_size_forms () =
+  (* ACL accepts both a literal rule list and an integer count. *)
+  let by_count = Instance.make ~params:[ ("rules", Params.Int 4096) ] Kind.Acl in
+  Alcotest.(check (option int))
+    "count form" (Some 4096) (Instance.state_size by_count);
+  let by_list =
+    Instance.make
+      ~params:
+        [ ("rules", Params.List [ Params.Str "a"; Params.Str "b"; Params.Str "c" ]) ]
+      Kind.Acl
+  in
+  Alcotest.(check (option int))
+    "list form" (Some 3) (Instance.state_size by_list);
+  let zero = Instance.make ~params:[ ("rules", Params.Int 0) ] Kind.Acl in
+  Alcotest.(check (option int)) "zero is legal" (Some 0) (Instance.state_size zero);
+  (* Wrong key or wrong type: ignored, not an error. *)
+  let wrong = Instance.make ~params:[ ("rules", Params.Str "lots") ] Kind.Acl in
+  Alcotest.(check (option int)) "non-count ignored" None (Instance.state_size wrong)
+
+let test_table_size_negative () =
+  let bad = Instance.make ~params:[ ("rules", Params.Int (-5)) ] Kind.Acl in
+  (match Instance.state_size bad with
+  | exception Params.Invalid_size { key; value } ->
+      Alcotest.(check string) "key" "rules" key;
+      Alcotest.(check int) "value" (-5) value
+  | _ -> Alcotest.fail "negative rule count must raise Invalid_size");
+  let bad_nat = Instance.make ~params:[ ("entries", Params.Int (-1)) ] Kind.Nat in
+  (match Instance.state_size bad_nat with
+  | exception Params.Invalid_size { key; value = -1 } ->
+      Alcotest.(check string) "nat key" "entries" key
+  | _ -> Alcotest.fail "negative NAT entries must raise Invalid_size");
+  (* End to end: building a graph around such an instance is a typed
+     spec error, not a crash deep in a cost model. *)
+  let pipeline =
+    [ Lemur_spec.Ast.Atom { Lemur_spec.Ast.ref_name = "bad"; args = None } ]
+  in
+  match Lemur_spec.Graph.of_pipeline ~decls:[ ("bad", bad) ] pipeline with
+  | exception Lemur_spec.Graph.Invalid msg ->
+      let mentions_key =
+        let sub = "rules" in
+        let n = String.length sub and m = String.length msg in
+        let rec scan i =
+          i + n <= m && (String.sub msg i n = sub || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) "message names the parameter" true mentions_key
+  | _ -> Alcotest.fail "graph with negative rule count must be rejected"
+
 let test_params_pp () =
   let v =
     Params.Dict [ ("dst_ip", Params.Str "10.0.0.0/8"); ("drop", Params.Bool false) ]
@@ -135,5 +184,9 @@ let suite =
     Alcotest.test_case "eBPF data" `Quick test_ebpf_data;
     Alcotest.test_case "P4 table counts" `Quick test_p4_tables;
     Alcotest.test_case "instance params" `Quick test_instance_params;
+    Alcotest.test_case "table size count and list forms" `Quick
+      test_table_size_forms;
+    Alcotest.test_case "negative table size rejected" `Quick
+      test_table_size_negative;
     Alcotest.test_case "params pretty-printing" `Quick test_params_pp;
   ]
