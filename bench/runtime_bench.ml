@@ -1,18 +1,26 @@
 (* The runtime-control-loop bench behind `dune exec bench/main.exe -- runtime`:
-   drives one fixed-seed generated trace through the engine under each
-   policy (oracle on), writes BENCH_runtime.json, and gates the
-   policy tradeoff the runtime exists to provide:
+   drives generated traces through the engine under each policy (oracle
+   on), writes BENCH_runtime.json, and gates the policy tradeoffs the
+   runtime exists to provide:
 
    - determinism: two identical immediate-policy runs must produce the
      same report digest;
    - every intermediate deployment must pass the placement oracle (the
      engine errors out otherwise);
    - debouncing must pay for itself: >= 2x fewer reconfigurations than
-     the immediate policy, for a bounded violation-seconds premium.
+     the immediate policy, for a bounded violation-seconds premium;
+   - forecasting must pay for itself: over a diurnal + flash-crowd
+     corpus, the proactive policy accrues no more violation-seconds
+     than debounced while issuing at most half of immediate's
+     reconfigurations;
+   - the move budget must hold: every non-exempt reconfiguration in a
+     budgeted run re-homes at most [budget] chains, the capped path is
+     actually exercised, and the whole budgeted corpus is
+     digest-deterministic at any [-j].
 
    Reconfiguration and violation counts are deterministic given the
    seeds; decision-latency numbers are wall clock and reported for
-   trending only. *)
+   trending only. [--quick] shrinks every corpus for CI smoke. *)
 
 module Trace = Lemur_runtime.Trace
 module Engine = Lemur_runtime.Engine
@@ -62,9 +70,226 @@ let policy_json name (r : Report.t) digest =
           | Report.Aborted _ -> "aborted") );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Proactive corpus: the forecasting story. Diurnal ramps and flash
+   crowds, each driven under immediate / debounced / proactive; gates
+   are on corpus sums. *)
+
+let corpus_specs ~quick =
+  let diurnal = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let flash = if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  List.map (fun s -> (Trace.Diurnal, s, 40)) diurnal
+  @ List.map (fun s -> (Trace.Flash_crowd, s, 50)) flash
+
+let corpus_policies =
+  [
+    ("immediate", Policy.Immediate);
+    ("debounced", Policy.default_debounced);
+    ("proactive", Policy.default_proactive);
+  ]
+
+type corpus_row = {
+  cr_kind : Trace.kind;
+  cr_seed : int;
+  cr_results : (string * Report.t) list;  (* in corpus_policies order *)
+}
+
+let run_corpus ~quick ~drive_trace =
+  let rows =
+    List.map
+      (fun (kind, seed, events) ->
+        let trace = Trace.generate ~events ~kind ~seed () in
+        let results =
+          List.map
+            (fun (name, p) ->
+              match drive_trace ?move_budget:None ~seed p trace with
+              | Ok r -> (name, r)
+              | Error e ->
+                  failwith
+                    (Printf.sprintf "%s seed %d under %s: %s"
+                       (Trace.kind_to_string kind) seed name e))
+            corpus_policies
+        in
+        { cr_kind = kind; cr_seed = seed; cr_results = results })
+      (corpus_specs ~quick)
+  in
+  let total name f =
+    List.fold_left (fun acc row -> acc +. f (List.assoc name row.cr_results)) 0.0 rows
+  in
+  let total_i name f =
+    List.fold_left (fun acc row -> acc + f (List.assoc name row.cr_results)) 0 rows
+  in
+  let viol name = total name (fun r -> r.Report.total_violation_s) in
+  let reconfigs name = total_i name (fun r -> r.Report.reconfigs) in
+  let proactive_viol = viol "proactive"
+  and debounced_viol = viol "debounced"
+  and proactive_rc = reconfigs "proactive"
+  and immediate_rc = reconfigs "immediate" in
+  let viol_ok = proactive_viol <= debounced_viol in
+  let rc_ok = 2 * proactive_rc <= immediate_rc in
+  let table =
+    Lemur_util.Texttable.create
+      ~headers:
+        [
+          "trace"; "immediate rc/viol"; "debounced rc/viol";
+          "proactive rc/viol";
+        ]
+  in
+  List.iter
+    (fun row ->
+      let cell name =
+        let r = List.assoc name row.cr_results in
+        Printf.sprintf "%d / %.4f" r.Report.reconfigs
+          r.Report.total_violation_s
+      in
+      Lemur_util.Texttable.add_row table
+        [
+          Printf.sprintf "%s:%d" (Trace.kind_to_string row.cr_kind) row.cr_seed;
+          cell "immediate"; cell "debounced"; cell "proactive";
+        ])
+    rows;
+  Lemur_util.Texttable.print table;
+  Printf.printf
+    "proactive corpus: violation %.4f vs debounced %.4f chain-s (%s); \
+     reconfigs %d vs immediate %d (%s)\n"
+    proactive_viol debounced_viol
+    (if viol_ok then "ok, <=" else "FAILED: >")
+    proactive_rc immediate_rc
+    (if rc_ok then "ok, <=50%" else "FAILED: >50%");
+  let json =
+    Json.Obj
+      [
+        ( "traces",
+          Json.List
+            (List.map
+               (fun row ->
+                 Json.Obj
+                   [
+                     ("kind", Json.String (Trace.kind_to_string row.cr_kind));
+                     ("seed", Json.Int row.cr_seed);
+                     ( "policies",
+                       Json.List
+                         (List.map
+                            (fun (name, r) ->
+                              policy_json name r (Report.digest r))
+                            row.cr_results) );
+                   ])
+               rows) );
+        ("proactive_violation_s", Json.Float proactive_viol);
+        ("debounced_violation_s", Json.Float debounced_viol);
+        ("proactive_reconfigs", Json.Int proactive_rc);
+        ("immediate_reconfigs", Json.Int immediate_rc);
+        ("violation_ok", Json.Bool viol_ok);
+        ("reconfig_ratio_ok", Json.Bool rc_ok);
+      ]
+  in
+  (viol_ok && rc_ok, json)
+
+(* ------------------------------------------------------------------ *)
+(* Move-budget corpus: traces whose re-placements re-home chains,
+   driven under a budget. Gates: every non-exempt Reconfigured entry
+   respects the budget, the capped path fires at least once across the
+   corpus, and the digests are identical whether the corpus is
+   evaluated on 1 domain or [jobs]. *)
+
+let budget_specs ~quick =
+  let specs =
+    [
+      (Trace.Failure_burst, 2, 50, 0);
+      (Trace.Failure_burst, 7, 50, 0);
+      (Trace.Churn, 5, 50, 0);
+      (Trace.Failure_burst, 2, 50, 1);
+    ]
+  in
+  if quick then [ List.hd specs; List.nth specs 3 ] else specs
+
+let run_budget ~quick ~jobs ~drive_trace =
+  let specs = budget_specs ~quick in
+  let eval (kind, seed, events, budget) =
+    let trace = Trace.generate ~events ~kind ~seed () in
+    match
+      drive_trace ?move_budget:(Some budget) ~seed Policy.Immediate trace
+    with
+    | Ok r -> r
+    | Error e ->
+        failwith
+          (Printf.sprintf "budgeted %s seed %d: %s"
+             (Trace.kind_to_string kind) seed e)
+  in
+  let run_pool ~domains =
+    let results = Lemur_util.Pool.map ~domains eval specs in
+    List.map
+      (function
+        | Ok r -> r
+        | Error (e : Lemur_util.Pool.job_error) -> failwith e.Lemur_util.Pool.message)
+      results
+  in
+  let serial = run_pool ~domains:1 in
+  let parallel = run_pool ~domains:(max 1 jobs) in
+  let digests rs = List.map Report.digest rs in
+  let digests_equal = digests serial = digests parallel in
+  let cap_respected =
+    List.for_all2
+      (fun (_, _, _, budget) (r : Report.t) ->
+        List.for_all
+          (function
+            | Report.Reconfigured { moves; exempt = false; _ } ->
+                moves <= budget
+            | _ -> true)
+          r.Report.journal)
+      specs serial
+  in
+  let capped_total =
+    List.fold_left (fun acc (r : Report.t) -> acc + r.Report.moves_capped) 0 serial
+  in
+  let capped_fired = capped_total > 0 in
+  List.iter2
+    (fun (kind, seed, _, budget) (r : Report.t) ->
+      Printf.printf
+        "move budget %d on %s:%d: %d reconfigs, %d chains moved, %d capped\n"
+        budget (Trace.kind_to_string kind) seed r.Report.reconfigs
+        r.Report.moves_total r.Report.moves_capped)
+    specs serial;
+  Printf.printf
+    "move budget: cap %s, capped path %s (%d capped), -j1 vs -j%d digests %s\n"
+    (if cap_respected then "respected" else "VIOLATED")
+    (if capped_fired then "exercised" else "NEVER FIRED")
+    capped_total (max 1 jobs)
+    (if digests_equal then "identical" else "MISMATCH");
+  let json =
+    Json.Obj
+      [
+        ( "runs",
+          Json.List
+            (List.map2
+               (fun (kind, seed, events, budget) (r : Report.t) ->
+                 Json.Obj
+                   [
+                     ("kind", Json.String (Trace.kind_to_string kind));
+                     ("seed", Json.Int seed);
+                     ("events", Json.Int events);
+                     ("budget", Json.Int budget);
+                     ("reconfigs", Json.Int r.Report.reconfigs);
+                     ("moves_total", Json.Int r.Report.moves_total);
+                     ("moves_capped", Json.Int r.Report.moves_capped);
+                     ("digest", Json.String (Report.digest r));
+                   ])
+               specs serial) );
+        ("cap_respected", Json.Bool cap_respected);
+        ("capped_fired", Json.Bool capped_fired);
+        ("jobs", Json.Int (max 1 jobs));
+        ("digests_equal", Json.Bool digests_equal);
+      ]
+  in
+  (cap_respected && capped_fired && digests_equal, json)
+
+(* ------------------------------------------------------------------ *)
+
 let main args =
   let seed = ref default_seed
   and events = ref default_events
+  and quick = ref false
+  and jobs = ref 2
   and out = ref "BENCH_runtime.json" in
   let rec parse = function
     | [] -> Ok ()
@@ -73,6 +298,12 @@ let main args =
         parse rest
     | "--events" :: v :: rest ->
         events := int_of_string v;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "-j" :: v :: rest ->
+        jobs := int_of_string v;
         parse rest
     | "--out" :: v :: rest ->
         out := v;
@@ -83,10 +314,12 @@ let main args =
   | Error arg ->
       Printf.eprintf
         "bench runtime: unknown argument %S\n\
-         usage: bench -- runtime [--seed N] [--events N] [--out FILE]\n"
+         usage: bench -- runtime [--seed N] [--events N] [--quick] [-j N] \
+         [--out FILE]\n"
         arg;
       2
   | Ok () -> (
+      if !quick && !events = default_events then events := 60;
       let trace = Trace.generate ~events:!events ~seed:!seed () in
       Printf.printf
         "## runtime: control-loop policies on trace seed %d (%d events, %d \
@@ -94,15 +327,16 @@ let main args =
         !seed !events
         (List.length trace.Trace.chains)
         trace.Trace.horizon;
-      let drive policy =
+      let drive_trace ?move_budget ~seed policy trace =
         let cfg =
-          Engine.default_config ~policy ~seed:!seed
-            ~check:Lemur_check.Runtime_check.checker ()
+          Engine.default_config ~policy ~seed
+            ~check:Lemur_check.Runtime_check.checker ?move_budget ()
         in
         match Engine.run cfg trace with
         | Ok (report, _) -> Ok report
         | Error e -> Error (Engine.error_to_string e)
       in
+      let drive policy = drive_trace ~seed:!seed policy trace in
       let run_all =
         let policies =
           [
@@ -154,8 +388,9 @@ let main args =
         in
         let prng = Lemur_util.Prng.create ~seed:!seed in
         let t = ref 0.0 in
+        let n = if !quick then 40 else 120 in
         let events =
-          List.init 120 (fun i ->
+          List.init n (fun i ->
               t := !t +. 0.005;
               let chain_id = Printf.sprintf "r%d" (i mod 3) in
               let rate =
@@ -282,12 +517,19 @@ let main args =
                 ( false,
                   Json.Obj [ ("error", Json.String e) ] )
           in
+          let proactive_ok, proactive_json =
+            run_corpus ~quick:!quick ~drive_trace
+          in
+          let budget_ok, budget_json =
+            run_budget ~quick:!quick ~jobs:!jobs ~drive_trace
+          in
           let doc =
             Json.Obj
               [
-                ("schema", Json.String "lemur.bench.runtime/1");
+                ("schema", Json.String "lemur.bench.runtime/2");
                 ("trace_seed", Json.Int !seed);
                 ("trace_events", Json.Int !events);
+                ("quick", Json.Bool !quick);
                 ("horizon_s", Json.Float trace.Trace.horizon);
                 ( "policies",
                   Json.List
@@ -298,6 +540,8 @@ let main args =
                 ("reconfig_ratio_ok", Json.Bool ratio_ok);
                 ("violation_premium_ok", Json.Bool premium_ok);
                 ("incremental", incremental_json);
+                ("proactive_corpus", proactive_json);
+                ("move_budget", budget_json);
               ]
           in
           let oc = open_out !out in
@@ -305,5 +549,8 @@ let main args =
           output_string oc "\n";
           close_out oc;
           Printf.printf "wrote %s\n" !out;
-          if deterministic && ratio_ok && premium_ok && incremental_ok then 0
+          if
+            deterministic && ratio_ok && premium_ok && incremental_ok
+            && proactive_ok && budget_ok
+          then 0
           else 1)

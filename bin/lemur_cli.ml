@@ -396,8 +396,11 @@ let policy_arg =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:
           "Reconfiguration policy: $(b,immediate), \
-           $(b,debounced[:BUDGET_MS[:COOLDOWN_MS]]), or $(b,scheduled) \
-           (precomputed per-window placements, mandatory events only).")
+           $(b,debounced[:BUDGET_MS[:COOLDOWN_MS]]), $(b,scheduled) \
+           (precomputed per-window placements, mandatory events only), or \
+           $(b,proactive[:HORIZON_MS[:ewma:A|:holt:A:B[:HEADROOM]]]) \
+           (forecast-triggered reconfiguration ahead of predicted \
+           violations).")
 
 let trace_seed_arg =
   Arg.(
@@ -412,7 +415,39 @@ let trace_events_arg =
     & info [ "trace-events" ] ~docv:"N"
         ~doc:"Event count for generated traces.")
 
-let load_trace trace_file trace_seed trace_events =
+let trace_kind_conv =
+  let parse s =
+    match Lemur_runtime.Trace.kind_of_string s with
+    | Ok k -> Ok k
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf k =
+    Format.pp_print_string ppf (Lemur_runtime.Trace.kind_to_string k)
+  in
+  Arg.conv (parse, print)
+
+let trace_kind_arg =
+  Arg.(
+    value
+    & opt trace_kind_conv Lemur_runtime.Trace.Churn
+    & info [ "trace-kind" ] ~docv:"KIND"
+        ~doc:
+          "Generator family for --trace-seed: $(b,churn) (default), \
+           $(b,diurnal), $(b,flash-crowd), $(b,failure-burst), or \
+           $(b,tenant-churn).")
+
+let move_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "move-budget" ] ~docv:"N"
+        ~doc:
+          "Cap the chains a deferrable reconfiguration may re-home (trace \
+           mode). When the placer wants more moves, the engine freezes the \
+           excess chains at their old placement and re-solves allocation; \
+           mandatory events are exempt.")
+
+let load_trace trace_file trace_seed trace_kind trace_events =
   match (trace_file, trace_seed) with
   | Some _, Some _ -> Error "--trace and --trace-seed are mutually exclusive"
   | Some file, None -> (
@@ -422,18 +457,20 @@ let load_trace trace_file trace_seed trace_events =
       | Ok t -> Ok t
       | Error e -> Error (Lemur_runtime.Trace.parse_error_to_string e))
   | None, Some seed ->
-      Ok (Lemur_runtime.Trace.generate ~events:trace_events ~seed ())
+      Ok
+        (Lemur_runtime.Trace.generate ~events:trace_events ~kind:trace_kind
+           ~seed ())
   | None, None -> Error "no trace: pass --trace FILE or --trace-seed N"
 
 let runtime_run ~policy ~engine_seed ~sample_ms ~no_check ~no_incremental
-    ~report_file trace =
+    ~move_budget ~report_file trace =
   let check =
     if no_check then None else Some Lemur_check.Runtime_check.checker
   in
   let cfg =
     Lemur_runtime.Engine.default_config ~policy ~seed:engine_seed
       ~sample:(Lemur_util.Units.ms sample_ms) ?check
-      ~incremental:(not no_incremental) ()
+      ~incremental:(not no_incremental) ?move_budget ()
   in
   match Lemur_runtime.Engine.run cfg trace with
   | Error e ->
@@ -513,21 +550,21 @@ let run_cmd =
           ~doc:"Write the JSON compliance report to $(docv) (trace mode).")
   in
   let run strategy servers cps smartnic ofswitch no_pisa metron duration
-      trace_file trace_seed trace_events policy engine_seed sample_ms no_check
-      no_incremental report_file tfile file =
+      trace_file trace_seed trace_kind trace_events policy engine_seed
+      sample_ms no_check no_incremental move_budget report_file tfile file =
     with_telemetry tfile @@ fun () ->
     match (trace_file, trace_seed, file) with
     | (Some _, _, _ | _, Some _, _) when file <> None ->
         Printf.eprintf "error: a SPEC file and a trace are mutually exclusive\n";
         1
     | (Some _, _, _ | _, Some _, _) -> (
-        match load_trace trace_file trace_seed trace_events with
+        match load_trace trace_file trace_seed trace_kind trace_events with
         | Error e ->
             Printf.eprintf "error: %s\n" e;
             1
         | Ok trace ->
             runtime_run ~policy ~engine_seed ~sample_ms ~no_check
-              ~no_incremental ~report_file trace)
+              ~no_incremental ~move_budget ~report_file trace)
     | None, None, None ->
         Printf.eprintf "error: pass a SPEC file, or --trace / --trace-seed\n";
         1
@@ -562,8 +599,9 @@ let run_cmd =
     Term.(
       const run $ strategy $ servers $ cores_per_socket $ smartnic $ ofswitch
       $ no_pisa $ metron $ duration $ trace_file $ trace_seed_arg
-      $ trace_events_arg $ policy_arg $ engine_seed $ sample_ms $ no_check
-      $ no_incremental $ report_file $ telemetry $ spec_opt)
+      $ trace_kind_arg $ trace_events_arg $ policy_arg $ engine_seed
+      $ sample_ms $ no_check $ no_incremental $ move_budget_arg $ report_file
+      $ telemetry $ spec_opt)
 
 let exec_cmd =
   let duration =
@@ -693,14 +731,14 @@ let trace_cmd =
             "Re-echo (parse, normalize, print) an existing trace file \
              instead of generating one — a round-trip validator.")
   in
-  let run seed events out input =
+  let run seed kind events out input =
     let trace =
       match input with
       | Some file -> (
           match Lemur_runtime.Trace.parse ~file (read_file file) with
           | Ok t -> Ok t
           | Error e -> Error (Lemur_runtime.Trace.parse_error_to_string e))
-      | None -> Ok (Lemur_runtime.Trace.generate ~events ~seed ())
+      | None -> Ok (Lemur_runtime.Trace.generate ~events ~kind ~seed ())
     in
     match trace with
     | Error e ->
@@ -723,7 +761,7 @@ let trace_cmd =
        ~doc:
          "Generate a deterministic runtime event trace from a seed, or \
           validate an existing one by round-tripping it.")
-    Term.(const run $ seed $ trace_events_arg $ out $ input)
+    Term.(const run $ seed $ trace_kind_arg $ trace_events_arg $ out $ input)
 
 let failover_cmd =
   let fail_arg =

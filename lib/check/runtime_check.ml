@@ -32,7 +32,21 @@ type summary = {
   rs_digest : string;
 }
 
-let policies = [ Policy.Immediate; Policy.default_debounced; Policy.Scheduled ]
+let policies =
+  [
+    Policy.Immediate;
+    Policy.default_debounced;
+    Policy.Scheduled;
+    Policy.default_proactive;
+  ]
+
+(* Each seed picks a generator family and (every third seed) a move
+   budget, so one fuzz sweep exercises every trace shape and the
+   budgeted re-placement path without widening the search space. *)
+let trace_kind_of_seed seed =
+  List.nth Trace.all_kinds (abs seed mod List.length Trace.all_kinds)
+
+let move_budget_of_seed seed = if seed mod 3 = 0 then Some 1 else None
 
 (* One engine run, classified. The oracle is always on — that is the
    property under test. *)
@@ -41,8 +55,8 @@ type verdict =
   | Skip of string  (** initial placement infeasible *)
   | Fail of string
 
-let drive ~seed policy trace =
-  let cfg = Engine.default_config ~policy ~seed ~check:checker () in
+let drive ?move_budget ~seed policy trace =
+  let cfg = Engine.default_config ~policy ~seed ~check:checker ?move_budget () in
   match Engine.run cfg trace with
   | Ok (report, _) -> Fine report
   | Error (Engine.Initial_infeasible e) -> Skip e
@@ -51,12 +65,15 @@ let drive ~seed policy trace =
       Fail (Printf.sprintf "oracle rejected deployment at %.3fs: %s" at reason)
   | exception e -> Fail ("engine raised: " ^ Printexc.to_string e)
 
-let fails ~seed policy trace =
-  match drive ~seed policy trace with Fail r -> Some r | Fine _ | Skip _ -> None
+let fails ?move_budget ~seed policy trace =
+  match drive ?move_budget ~seed policy trace with
+  | Fail r -> Some r
+  | Fine _ | Skip _ -> None
 
 (* Greedy event-sequence minimization: drop events one at a time as long
-   as the run keeps failing. *)
-let shrink_trace ~seed policy trace =
+   as [fails] keeps holding. Parameterised on the failing predicate so
+   any property over traces (not just an engine run) can reuse it. *)
+let shrink_events ~fails trace =
   let rec go trace i =
     let evs = trace.Trace.events in
     if i >= List.length evs then trace
@@ -64,11 +81,14 @@ let shrink_trace ~seed policy trace =
       let cand =
         { trace with Trace.events = List.filteri (fun j _ -> j <> i) evs }
       in
-      match fails ~seed policy cand with
-      | Some _ -> go cand i
-      | None -> go trace (i + 1)
+      if fails cand then go cand i else go trace (i + 1)
   in
   go trace 0
+
+let shrink_trace ?move_budget ~seed policy trace =
+  shrink_events
+    ~fails:(fun t -> Option.is_some (fails ?move_budget ~seed policy t))
+    trace
 
 (* Traces go to the pool in fixed-size batches consumed in seed order;
    the batch size is independent of [jobs] so the [max_failures] cutoff
@@ -91,13 +111,24 @@ type trace_eval = {
 }
 
 let eval_trace ~events ~trace_seed =
-  let trace = Trace.generate ~events ~seed:trace_seed () in
+  let kind = trace_kind_of_seed trace_seed in
+  let move_budget = move_budget_of_seed trace_seed in
+  let trace = Trace.generate ~events ~kind ~seed:trace_seed () in
   let runs = ref 0
   and skipped = ref false
   and aborted = ref 0
   and reconfigs = ref 0
   and failures = ref []
-  and items = ref [] in
+  and items =
+    ref
+      [
+        Printf.sprintf "cfg:%s%s"
+          (Trace.kind_to_string kind)
+          (match move_budget with
+          | Some b -> Printf.sprintf ":mb%d" b
+          | None -> "");
+      ]
+  in
   let note_report (r : Report.t) =
     reconfigs := !reconfigs + r.Report.reconfigs;
     match r.Report.stop with
@@ -109,7 +140,7 @@ let eval_trace ~events ~trace_seed =
     | [] -> ()
     | policy :: rest -> (
         incr runs;
-        match drive ~seed:trace_seed policy trace with
+        match drive ?move_budget ~seed:trace_seed policy trace with
         | Skip reason ->
             (* policy-independent: the trace has no valid start *)
             if first then skipped := true;
@@ -127,7 +158,7 @@ let eval_trace ~events ~trace_seed =
                (* determinism: an identical rerun must produce an
                   identical report digest *)
                incr runs;
-               match drive ~seed:trace_seed policy trace with
+               match drive ?move_budget ~seed:trace_seed policy trace with
                | Fine report' ->
                    if
                      not
@@ -193,7 +224,10 @@ let run ?(events = 60) ?(shrink = false) ?(max_failures = 5) ?(jobs = 1) ~seed
           (fun (policy, reason) ->
             let shrunk =
               if shrink then
-                Some (shrink_trace ~seed:trace_seed policy te.te_trace)
+                Some
+                  (shrink_trace
+                     ?move_budget:(move_budget_of_seed trace_seed)
+                     ~seed:trace_seed policy te.te_trace)
               else None
             in
             record_failure trace_seed ~policy_name:(Policy.to_string policy)

@@ -4,7 +4,12 @@
     controller never operates a deployment the placement {!Oracle}
     rejects, never crashes, and its report is bit-deterministic. Traces
     come from {!Lemur_runtime.Trace.generate} (seed-replayable, in the
-    {!Scenario} style); each is driven under every policy with the
+    {!Scenario} style), the generator family rotating through every
+    {!Lemur_runtime.Trace.kind} by seed, with every third seed also
+    running under a move budget of 1 — so one sweep exercises diurnal
+    ramps, flash crowds, correlated failure bursts, tenant churn and
+    the budgeted hybrid re-placement path. Each trace is driven under
+    every policy (immediate, debounced, scheduled, proactive) with the
     oracle hooked into the engine, and the first policy is run twice to
     compare report digests. Traces whose initial chain set has no
     feasible placement are skipped (nothing to operate), and
@@ -59,5 +64,15 @@ val run :
     do not depend on it. *)
 
 val ok : summary -> bool
+
+val shrink_events :
+  fails:(Lemur_runtime.Trace.t -> bool) ->
+  Lemur_runtime.Trace.t ->
+  Lemur_runtime.Trace.t
+(** Greedy event-sequence minimization: starting from the front, drop
+    events one at a time as long as [fails] still holds on the
+    candidate. Terminates after at most [n * (n + 1) / 2] predicate
+    calls for an [n]-event trace; the result still satisfies [fails]
+    whenever the input did. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -6,20 +6,22 @@ type t = {
   artifact : Lemur_codegen.Codegen.artifact;
 }
 
+let of_placement config placement =
+  match Lemur_codegen.Codegen.compile config placement with
+  | artifact -> (
+      (* Validate the emitted steering before calling it deployed. *)
+      match Lemur_codegen.Routing_check.verify placement artifact with
+      | Ok () -> Ok { config; placement; artifact }
+      | Error msg -> Error ("generated routing is inconsistent: " ^ msg))
+  | exception Lemur_codegen.Ebpfgen.Rejected msg ->
+      Error ("eBPF verifier rejected: " ^ msg)
+  | exception Lemur_openflow.Openflow.Unplaceable msg ->
+      Error ("OpenFlow: " ^ msg)
+
 let deploy ?(strategy = Strategy.Lemur) config inputs =
   match Strategy.place strategy config inputs with
   | Strategy.Infeasible { reason } -> Error reason
-  | Strategy.Placed placement -> (
-      match Lemur_codegen.Codegen.compile config placement with
-      | artifact -> (
-          (* Validate the emitted steering before calling it deployed. *)
-          match Lemur_codegen.Routing_check.verify placement artifact with
-          | Ok () -> Ok { config; placement; artifact }
-          | Error msg -> Error ("generated routing is inconsistent: " ^ msg))
-      | exception Lemur_codegen.Ebpfgen.Rejected msg ->
-          Error ("eBPF verifier rejected: " ^ msg)
-      | exception Lemur_openflow.Openflow.Unplaceable msg ->
-          Error ("OpenFlow: " ^ msg))
+  | Strategy.Placed placement -> of_placement config placement
 
 let of_spec ?strategy ?(topology = Lemur_topology.Topology.testbed ()) ?profiler
     ?(metron = false) ?acl_algo source =

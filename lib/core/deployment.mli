@@ -25,6 +25,15 @@ val deploy :
   (t, string) result
 (** Place (default strategy: [Lemur]) and run the meta-compiler. *)
 
+val of_placement :
+  Lemur_placer.Plan.config ->
+  Lemur_placer.Strategy.placement ->
+  (t, string) result
+(** The meta-compiler half of {!deploy}: compile and routing-check an
+    already-evaluated placement. For callers that choose plans
+    themselves (e.g. the runtime engine's move-budgeted hybrid
+    re-placement through {!Lemur_placer.Strategy.evaluate_plans}). *)
+
 val of_spec :
   ?strategy:Lemur_placer.Strategy.t ->
   ?topology:Lemur_topology.Topology.t ->

@@ -7,11 +7,12 @@ type config = {
   check : (Lemur.Deployment.t -> (unit, string) result) option;
   demand_aware : bool;
   incremental : bool;
+  move_budget : int option;
 }
 
 let default_config ?(policy = Policy.Immediate) ?(seed = 11) ?(sample = 1e7)
-    ?check ?(demand_aware = true) ?(incremental = true) () =
-  { policy; seed; sample; check; demand_aware; incremental }
+    ?check ?(demand_aware = true) ?(incremental = true) ?move_budget () =
+  { policy; seed; sample; check; demand_aware; incremental; move_budget }
 
 type error =
   | Trace_invalid of string
@@ -34,6 +35,7 @@ type chain_state = {
   graph : Lemur_spec.Graph.t;
   mutable contract : Lemur_slo.Slo.t;
   mutable demand : float option;
+  forecaster : Forecast.t option;  (** Some only under [Policy.Proactive] *)
 }
 
 type compliance_acc = {
@@ -66,6 +68,27 @@ let failure_used (d : Lemur.Deployment.t) topo failure =
               (fun n -> String.equal n.Lemur_platform.Smartnic.host name)
               topo.Lemur_topology.Topology.smartnics
 
+(* What the orchestration layer would have to migrate between two
+   deployments: a chain "moves" when it exists in both and its placement
+   signature — node locations plus segment-to-server homes — changed.
+   Added/removed chains are not moves (there is nothing to migrate). *)
+let placement_sigs (d : Lemur.Deployment.t) =
+  List.map
+    (fun (r : Strategy.chain_report) ->
+      ( r.Strategy.plan.Plan.input.Plan.id,
+        (r.Strategy.plan.Plan.locs, r.Strategy.seg_server) ))
+    d.Lemur.Deployment.placement.Strategy.chain_reports
+
+let moved_chains ~before ~after =
+  let sigs0 = placement_sigs before in
+  List.filter_map
+    (fun (id, s) ->
+      match List.assoc_opt id sigs0 with
+      | Some s0 when s0 = s -> None
+      | Some _ -> Some id
+      | None -> None)
+    (placement_sigs after)
+
 let run cfg (trace : Trace.t) =
   let tele = Lemur_telemetry.Telemetry.current () in
   let c_events = Lemur_telemetry.Telemetry.counter tele "runtime.events" in
@@ -94,6 +117,12 @@ let run cfg (trace : Trace.t) =
   let c_warm_starts =
     Lemur_telemetry.Telemetry.counter tele "runtime.replace.warm_starts"
   in
+  let c_moves =
+    Lemur_telemetry.Telemetry.counter tele "runtime.replace.moves"
+  in
+  let c_moves_capped =
+    Lemur_telemetry.Telemetry.counter tele "runtime.replace.moves_capped"
+  in
   (* A placement call must never kill the trace: an escaped exception
      (a solver bug exposed mid-flight) is demoted to an [Error], which
      the caller then treats exactly like an infeasible placement —
@@ -113,14 +142,27 @@ let run cfg (trace : Trace.t) =
       let base_config = Trace.config trace in
       let pristine = base_config.Plan.topology in
       let prng = Lemur_util.Prng.create ~seed:cfg.seed in
+      let proactive =
+        match cfg.policy with
+        | Policy.Proactive { horizon_s; model; headroom } ->
+            Some (horizon_s, model, headroom)
+        | _ -> None
+      in
+      let mk_chain_state graph contract =
+        {
+          graph;
+          contract;
+          demand = None;
+          forecaster =
+            Option.map (fun (_, model, _) -> Forecast.create model) proactive;
+        }
+      in
       (* Mutable controller state *)
       let chains =
         ref
           (List.map
              (fun (i : Plan.chain_input) ->
-               ( i.Plan.id,
-                 { graph = i.Plan.graph; contract = i.Plan.slo; demand = None }
-               ))
+               (i.Plan.id, mk_chain_state i.Plan.graph i.Plan.slo))
              inputs0)
       in
       let cur_config = ref base_config in
@@ -135,6 +177,8 @@ let run cfg (trace : Trace.t) =
       let applied = ref 0 and rejected = ref 0 in
       let epochs = ref 0 in
       let reconfigs = ref 0 in
+      let moves_total = ref 0 in
+      let moves_capped = ref 0 in
       let reasons : (string, int) Hashtbl.t = Hashtbl.create 7 in
       let compliance : (string, compliance_acc) Hashtbl.t = Hashtbl.create 7 in
       let latencies = ref [] in
@@ -170,6 +214,16 @@ let run cfg (trace : Trace.t) =
           match c.demand with
           | None -> slo
           | Some r ->
+              (* Under a proactive policy the cap provisions for where
+                 demand is headed, not just where it was last seen. *)
+              let r =
+                match (proactive, c.forecaster) with
+                | Some (horizon_s, _, headroom), Some f
+                  when Forecast.observations f >= 2 ->
+                    Float.max r
+                      (Forecast.predict f ~horizon_s *. (1.0 +. headroom))
+                | _ -> r
+              in
               (* never below t_min (the contract stands), never a
                  degenerate 0 ceiling when the chain idles *)
               let cap = Float.max 1e6 (Float.max r slo.Lemur_slo.Slo.t_min) in
@@ -274,10 +328,17 @@ let run cfg (trace : Trace.t) =
           let outcome =
             try
               oracle 0.0 d0;
-            let note_reconfig at reason (d : Lemur.Deployment.t) =
+            let note_reconfig at reason ~moves ~capped ~exempt
+                (d : Lemur.Deployment.t) =
               deployment := d;
               incr reconfigs;
               Lemur_telemetry.Counter.incr c_reconfigs;
+              Lemur_telemetry.Counter.incr ~by:moves c_moves;
+              if not exempt then moves_total := !moves_total + moves;
+              if capped then begin
+                incr moves_capped;
+                Lemur_telemetry.Counter.incr c_moves_capped
+              end;
               Hashtbl.replace reasons reason
                 (1 + Option.value ~default:0 (Hashtbl.find_opt reasons reason));
               add_journal
@@ -290,8 +351,114 @@ let run cfg (trace : Trace.t) =
                          d.Lemur.Deployment.placement.Strategy.chain_reports;
                      predicted_rate =
                        d.Lemur.Deployment.placement.Strategy.total_rate;
+                     moves;
+                     capped;
+                     exempt;
                    });
               Policy.note_reconfig pstate ~now:at
+            in
+            (* Move-budgeted hybrid: keep at most [budget] of the moves
+               the unconstrained placement wanted — the structurally
+               dirty chains first, then the largest allocation swings —
+               and freeze every other mover at its old locations
+               (re-elaborated under the current config and SLOs), then
+               redo core allocation + rate LP over the mixed plan set. *)
+            let hybrid_deployment ~proposed ~moved ~budget inputs =
+              let report_of (d : Lemur.Deployment.t) id =
+                List.find_opt
+                  (fun (r : Strategy.chain_report) ->
+                    String.equal r.Strategy.plan.Plan.input.Plan.id id)
+                  d.Lemur.Deployment.placement.Strategy.chain_reports
+              in
+              let before = !deployment in
+              let structurally_dirty id =
+                match
+                  ( report_of before id,
+                    List.find_opt
+                      (fun (i : Plan.chain_input) ->
+                        String.equal i.Plan.id id)
+                      inputs )
+                with
+                | Some r0, Some i ->
+                    (not
+                       (r0.Strategy.plan.Plan.input.Plan.graph == i.Plan.graph))
+                    || r0.Strategy.plan.Plan.input.Plan.slo.Lemur_slo.Slo.t_min
+                       <> i.Plan.slo.Lemur_slo.Slo.t_min
+                | _ -> true
+              in
+              let rate_delta id =
+                match (report_of before id, report_of proposed id) with
+                | Some a, Some b ->
+                    Float.abs (b.Strategy.rate -. a.Strategy.rate)
+                | _ -> infinity
+              in
+              let ranked =
+                List.sort
+                  (fun a b ->
+                    match
+                      compare (structurally_dirty b) (structurally_dirty a)
+                    with
+                    | 0 -> (
+                        match compare (rate_delta b) (rate_delta a) with
+                        | 0 -> String.compare a b
+                        | c -> c)
+                    | c -> c)
+                  moved
+              in
+              let allowed = List.filteri (fun i _ -> i < budget) ranked in
+              let frozen id =
+                List.exists (String.equal id) moved
+                && not (List.exists (String.equal id) allowed)
+              in
+              match
+                List.map
+                  (fun (i : Plan.chain_input) ->
+                    if frozen i.Plan.id then
+                      match report_of before i.Plan.id with
+                      | Some r0 ->
+                          Plan.elaborate !cur_config i
+                            r0.Strategy.plan.Plan.locs
+                      | None -> failwith ("no old placement for " ^ i.Plan.id)
+                    else
+                      match report_of proposed i.Plan.id with
+                      | Some r -> r.Strategy.plan
+                      | None ->
+                          failwith ("no proposed placement for " ^ i.Plan.id))
+                  inputs
+              with
+              | exception exn ->
+                  Error
+                    ("frozen chains cannot keep their placement: "
+                    ^ Printexc.to_string exn)
+              | plans -> (
+                  let evaluated =
+                    List.filter_map
+                      (fun pol ->
+                        match
+                          Strategy.evaluate_plans Strategy.Lemur !cur_config
+                            pol plans
+                        with
+                        | Strategy.Placed p -> Some p
+                        | Strategy.Infeasible _ -> None)
+                      [ Alloc.Slo_driven; Alloc.By_index; Alloc.Even ]
+                  in
+                  match
+                    List.fold_left
+                      (fun best (p : Strategy.placement) ->
+                        match best with
+                        | Some (b : Strategy.placement)
+                          when b.Strategy.total_marginal
+                               >= p.Strategy.total_marginal ->
+                            best
+                        | _ -> Some p)
+                      None evaluated
+                  with
+                  | None ->
+                      Error
+                        "no feasible core/rate allocation keeps the frozen \
+                         chains in place"
+                  | Some best -> Lemur.Deployment.of_placement !cur_config best
+                  )
             in
             let reconfigure ~at ~mandatory ~reason =
               let vc_hits0 = fst (Strategy.variant_cache_stats ()) in
@@ -300,15 +467,60 @@ let run cfg (trace : Trace.t) =
                     fresh ();
                     let inputs = effective_inputs () in
                     note_dirty inputs;
-                    guarded (fun () ->
-                        Lemur.Deployment.deploy !cur_config inputs))
+                    Result.map
+                      (fun d -> (d, inputs))
+                      (guarded (fun () ->
+                           Lemur.Deployment.deploy !cur_config inputs)))
               in
               if fst (Strategy.variant_cache_stats ()) > vc_hits0 then
                 Lemur_telemetry.Counter.incr c_warm_starts;
               match result with
-              | Ok d ->
-                  oracle at d;
-                  note_reconfig at reason d
+              | Ok (d, inputs) -> (
+                  let moved = moved_chains ~before:!deployment ~after:d in
+                  match cfg.move_budget with
+                  | Some budget
+                    when (not mandatory) && List.length moved > budget -> (
+                      match
+                        guarded (fun () ->
+                            hybrid_deployment ~proposed:d ~moved ~budget
+                              inputs)
+                      with
+                      | Ok d' ->
+                          let moves' =
+                            List.length
+                              (moved_chains ~before:!deployment ~after:d')
+                          in
+                          if moves' <= budget then begin
+                            oracle at d';
+                            note_reconfig at reason ~moves:moves' ~capped:true
+                              ~exempt:false d'
+                          end
+                          else
+                            add_journal
+                              (Report.Infeasible
+                                 {
+                                   at;
+                                   reason =
+                                     Printf.sprintf
+                                       "%s: move budget %d exceeded (hybrid \
+                                        still moves %d)"
+                                       reason budget moves';
+                                 })
+                      | Error e ->
+                          add_journal
+                            (Report.Infeasible
+                               {
+                                 at;
+                                 reason =
+                                   Printf.sprintf
+                                     "%s: move budget %d exceeded (%d moves \
+                                      wanted; %s)"
+                                     reason budget (List.length moved) e;
+                               }))
+                  | _ ->
+                      oracle at d;
+                      note_reconfig at reason ~moves:(List.length moved)
+                        ~capped:false ~exempt:mandatory d)
               | Error e ->
                   if mandatory then
                     raise
@@ -371,7 +583,41 @@ let run cfg (trace : Trace.t) =
                            })
                   | Some d ->
                       oracle at d;
-                      note_reconfig at "window-install" d)
+                      let moves =
+                        List.length (moved_chains ~before:!deployment ~after:d)
+                      in
+                      note_reconfig at "window-install" ~moves ~capped:false
+                        ~exempt:true d)
+            in
+            (* Proactive alarm: does any chain's forecast, inflated by
+               the headroom, exceed what the live deployment allocated to
+               it (within the monitor's tolerance)? If so the monitor is
+               about to start charging violation-seconds — act now,
+               before an epoch observes the shortfall. *)
+            let forecast_alarm () =
+              match proactive with
+              | None -> false
+              | Some (horizon_s, _, headroom) ->
+                  List.exists
+                    (fun (_id, c) ->
+                      match c.forecaster with
+                      | Some f when Forecast.observations f >= 2 -> (
+                          let rhat =
+                            Forecast.predict f ~horizon_s *. (1.0 +. headroom)
+                          in
+                          match
+                            List.find_opt
+                              (fun (r : Strategy.chain_report) ->
+                                String.equal r.Strategy.plan.Plan.input.Plan.id
+                                  _id)
+                              !deployment.Lemur.Deployment.placement
+                                .Strategy.chain_reports
+                          with
+                          | Some r ->
+                              rhat *. Monitor.tolerance > r.Strategy.rate
+                          | None -> rhat > 0.0)
+                      | _ -> false)
+                    !chains
             in
             let sample_epoch until =
               let len = until -. !now in
@@ -433,7 +679,8 @@ let run cfg (trace : Trace.t) =
                            })
                     end)
                   ep.Monitor.ep_obs;
-                Policy.note_violation pstate (Monitor.violation_seconds ep)
+                Policy.note_violation pstate ~now:until
+                  (Monitor.violation_seconds ep)
               end
             in
             let invalidate_schedule () = schedule := None in
@@ -446,10 +693,17 @@ let run cfg (trace : Trace.t) =
                         (Printf.sprintf "unknown chain %S" chain_id)
                   | Some c ->
                       c.demand <- Some rate;
+                      Option.iter
+                        (fun f -> Forecast.observe f ~at rate)
+                        c.forecaster;
                       mark_applied at action;
                       if cfg.demand_aware then
-                        consider ~at ~trigger:Policy.Traffic_shift
-                          ~reason:"traffic-shift")
+                        if forecast_alarm () then
+                          consider ~at ~trigger:Policy.Forecast
+                            ~reason:"forecast"
+                        else
+                          consider ~at ~trigger:Policy.Traffic_shift
+                            ~reason:"traffic-shift")
               | Trace.Set_slo { chain_id; slo } -> (
                   match List.assoc_opt chain_id !chains with
                   | None ->
@@ -474,11 +728,8 @@ let run cfg (trace : Trace.t) =
                           !chains
                           @ [
                               ( input.Plan.id,
-                                {
-                                  graph = input.Plan.graph;
-                                  contract = input.Plan.slo;
-                                  demand = None;
-                                } );
+                                mk_chain_state input.Plan.graph input.Plan.slo
+                              );
                             ];
                         invalidate_schedule ();
                         mark_applied at action;
@@ -609,6 +860,17 @@ let run cfg (trace : Trace.t) =
                   List.fold_left
                     (fun s c -> s +. c.Report.cc_marginal_bits)
                     0.0 chains_compliance;
+                moves_total = !moves_total;
+                moves_capped = !moves_capped;
+                forecast_mae =
+                  List.filter_map
+                    (fun (id, c) ->
+                      match c.forecaster with
+                      | Some f when Forecast.observations f >= 2 ->
+                          Some (id, Forecast.mean_abs_error f)
+                      | _ -> None)
+                    !chains
+                  |> List.sort (fun (a, _) (b, _) -> String.compare a b);
                 decision_latency_s = List.rev !latencies;
                 journal = List.rev !journal;
                 stop;

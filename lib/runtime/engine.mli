@@ -42,7 +42,39 @@
     deferrable. A mandatory re-placement with no feasible result stops
     the run ({!Report.Aborted} — a legal outcome, not a controller
     bug); a deferrable one just journals [Infeasible] and keeps the old
-    deployment. *)
+    deployment.
+
+    {2 Forecasting (proactive policies)}
+
+    Under {!Policy.Proactive} every chain carries a {!Forecast}
+    forecaster fed by its traffic events. Each traffic event then asks:
+    does any chain's predicted demand a horizon ahead — inflated by the
+    headroom, capped at its contractual [t_min], and scaled by the
+    monitor's tolerance — exceed what the live deployment allocated to
+    it? If so the event is classified {!Policy.Forecast} (the proactive
+    policy acts); otherwise it is an ordinary traffic shift (the
+    proactive policy defers). The demand-aware burst ceiling also
+    provisions for [max (observed, forecast * (1 + headroom))], so a
+    proactive re-placement sizes for where demand is {e headed}.
+    Per-chain mean absolute one-step-ahead errors are reported in
+    {!Report.t.forecast_mae}.
+
+    {2 Move budget (fast reconfiguration)}
+
+    With [move_budget = Some b], a deferrable re-placement may re-home
+    at most [b] chains (a {e move} = a chain present before and after
+    whose locations or segment homes changed). When the unconstrained
+    placement wants more, the engine keeps the [b] most valuable moves
+    (structurally dirty chains first, then the largest allocation
+    swings), freezes every other mover at its old locations
+    re-elaborated under the current config and SLOs, and re-runs core
+    allocation + rate LP ({!Lemur_placer.Strategy.evaluate_plans},
+    best feasible spare policy by marginal) over the mixed plan set.
+    If even the hybrid cannot respect the budget the event journals
+    [Infeasible] and the old deployment stays. Mandatory triggers and
+    scheduled window installs are exempt. Counters
+    [runtime.replace.moves] / [runtime.replace.moves_capped] record
+    migration volume and cap activations. *)
 
 type config = {
   policy : Policy.t;
@@ -66,6 +98,9 @@ type config = {
           byte-identical to recomputation, only decision latency
           moves. Counters [runtime.replace.dirty_chains] /
           [clean_chains] / [warm_starts] record the split. *)
+  move_budget : int option;
+      (** max chains a deferrable reconfiguration may re-home; [None]
+          (the default) = unbounded *)
 }
 
 val default_config :
@@ -75,10 +110,11 @@ val default_config :
   ?check:(Lemur.Deployment.t -> (unit, string) result) ->
   ?demand_aware:bool ->
   ?incremental:bool ->
+  ?move_budget:int ->
   unit ->
   config
 (** Defaults: [Immediate], seed 11, 10 ms sample, no oracle,
-    demand-aware, incremental. *)
+    demand-aware, incremental, no move budget. *)
 
 type error =
   | Trace_invalid of string  (** initial chain set does not parse *)

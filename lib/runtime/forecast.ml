@@ -1,0 +1,77 @@
+(* Demand forecasting over a chain's observed offered-rate history.
+
+   Samples arrive at irregular wall-clock times (traffic events are not
+   evenly spaced), so both models are time-aware: the EWMA discounts by
+   elapsed seconds and the Holt-Winters trend is a slope in bit/s per
+   second, not per observation. Everything is pure float arithmetic on
+   the observed series — equal inputs give equal forecasts, which keeps
+   engine runs deterministic. *)
+
+type model =
+  | Ewma of { alpha : float }
+  | Holt_winters of { alpha : float; beta : float }
+
+let default_model = Holt_winters { alpha = 0.5; beta = 0.3 }
+
+let model_to_string =
+  let fl = Lemur_util.Units.exact_string in
+  function
+  | Ewma { alpha } -> Printf.sprintf "ewma:%s" (fl alpha)
+  | Holt_winters { alpha; beta } ->
+      Printf.sprintf "holt:%s:%s" (fl alpha) (fl beta)
+
+let valid_weight a = Float.is_finite a && a > 0.0 && a <= 1.0
+
+type t = {
+  model : model;
+  mutable n : int;  (* observations so far *)
+  mutable last_at : float;
+  mutable level : float;
+  mutable trend : float;  (* bit/s per second; 0 for EWMA *)
+  mutable abs_err_sum : float;  (* sum of |observed - one-step forecast| *)
+}
+
+let create model =
+  { model; n = 0; last_at = 0.0; level = 0.0; trend = 0.0; abs_err_sum = 0.0 }
+
+let observations t = t.n
+
+(* Discount an interval into "steps" of the reference cadence: smoothing
+   weights are specified per [dt_ref] seconds of elapsed time, so a
+   burst of closely spaced samples does not wash out history faster
+   than a sparse stream would. *)
+let dt_ref = 0.010
+
+let observe t ~at x =
+  if t.n = 0 then begin
+    t.level <- x;
+    t.trend <- 0.0;
+    t.last_at <- at;
+    t.n <- 1
+  end
+  else begin
+    let dt = Float.max 1e-6 (at -. t.last_at) in
+    let predicted = t.level +. (t.trend *. dt) in
+    t.abs_err_sum <- t.abs_err_sum +. Float.abs (x -. predicted);
+    let steps = dt /. dt_ref in
+    (match t.model with
+    | Ewma { alpha } ->
+        let keep = (1.0 -. alpha) ** steps in
+        t.level <- ((1.0 -. keep) *. x) +. (keep *. t.level)
+    | Holt_winters { alpha; beta } ->
+        let keep = (1.0 -. alpha) ** steps in
+        let level' = ((1.0 -. keep) *. x) +. (keep *. predicted) in
+        let keep_b = (1.0 -. beta) ** steps in
+        let slope = (level' -. t.level) /. dt in
+        t.trend <- ((1.0 -. keep_b) *. slope) +. (keep_b *. t.trend);
+        t.level <- level');
+    t.last_at <- at;
+    t.n <- t.n + 1
+  end
+
+let predict t ~horizon_s =
+  if t.n = 0 then 0.0
+  else Float.max 0.0 (t.level +. (t.trend *. Float.max 0.0 horizon_s))
+
+let mean_abs_error t =
+  if t.n <= 1 then 0.0 else t.abs_err_sum /. float_of_int (t.n - 1)

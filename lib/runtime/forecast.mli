@@ -1,0 +1,55 @@
+(** One-chain demand forecasting — the signal behind
+    {!Policy.Proactive}.
+
+    The engine feeds each chain's observed offered rate (every
+    [Trace.Traffic] event) into a forecaster and asks for the demand a
+    short horizon ahead; a predicted SLO breach triggers re-placement
+    {e before} the {!Monitor} ever observes a violation.
+
+    Two classic models, both time-aware (samples arrive at irregular
+    event times, so smoothing weights are applied per elapsed second,
+    and the Holt-Winters trend is a slope in bit/s per second):
+
+    - {e EWMA}: exponentially weighted level only. Tracks steps and
+      plateaus; always forecasts flat, so it lags ramps.
+    - {e Holt-Winters} (double exponential smoothing, level + trend):
+      extrapolates ramps, which is what catches a diurnal climb or
+      flash-crowd onset ahead of the breach.
+
+    Forecasts are a pure function of the observed [(at, rate)] series —
+    deterministic, so engine report digests stay replayable. *)
+
+type model =
+  | Ewma of { alpha : float }  (** level weight per 10 ms, in (0, 1] *)
+  | Holt_winters of { alpha : float; beta : float }
+      (** level and trend weights per 10 ms, each in (0, 1] *)
+
+val default_model : model
+(** Holt-Winters, alpha 0.5, beta 0.3. *)
+
+val model_to_string : model -> string
+(** [ewma:ALPHA] or [holt:ALPHA:BETA], exact-round-trip floats
+    ({!Lemur_util.Units.exact_string}); the canonical form inside
+    {!Policy.to_string}. *)
+
+val valid_weight : float -> bool
+(** Finite and in (0, 1] — what {!Policy.parse} accepts for
+    alpha/beta. *)
+
+type t
+
+val create : model -> t
+val observe : t -> at:float -> float -> unit
+(** Record a demand sample (bit/s) observed at [at] seconds. Samples
+    must arrive in nondecreasing [at] order (the engine's event order). *)
+
+val predict : t -> horizon_s:float -> float
+(** Forecast demand [horizon_s] seconds past the last sample, clamped
+    to be nonnegative. 0 before any sample. *)
+
+val observations : t -> int
+
+val mean_abs_error : t -> float
+(** Mean absolute one-step-ahead error (bit/s): each sample is compared
+    against what the model forecast for that instant just before
+    observing it. 0 until two samples have arrived. *)

@@ -16,6 +16,22 @@ type epoch = { ep_start : float; ep_len : float; ep_obs : chain_obs list }
 
 let tolerance = 0.98
 
+let classify ~offered ~delivered ~p99_latency ~batches_delivered ~t_min ~d_max
+    =
+  (* the floor only binds up to what the generator offered *)
+  let target = Float.min offered t_min in
+  let thr_violated = target > 0.0 && delivered < target *. tolerance in
+  let lat_violated =
+    d_max < infinity
+    &&
+    (* A starved chain delivers no batches, so there is no p99 to test —
+       but if traffic was offered and nothing came out, the latency SLO
+       is violated (unbounded queueing), not vacuously met. *)
+    if batches_delivered > 0 then p99_latency > d_max else offered > 0.0
+  in
+  let marginal = Float.max 0.0 (delivered -. target) in
+  (thr_violated, lat_violated, marginal)
+
 let observe ~seed ~sample ~demand ~start ~len (d : Lemur.Deployment.t) =
   let result =
     Lemur_dataplane.Sim.run ~seed ~duration:sample ~offered:demand
@@ -37,13 +53,11 @@ let observe ~seed ~sample ~demand ~start ~len (d : Lemur.Deployment.t) =
         let d_max = slo.Lemur_slo.Slo.d_max in
         let offered = r.Lemur_dataplane.Sim.offered in
         let delivered = r.Lemur_dataplane.Sim.delivered in
-        (* the floor only binds up to what the generator offered *)
-        let target = Float.min offered t_min in
-        let thr_violated = target > 0.0 && delivered < target *. tolerance in
-        let lat_violated =
-          d_max < infinity
-          && r.Lemur_dataplane.Sim.batches_delivered > 0
-          && r.Lemur_dataplane.Sim.p99_latency > d_max
+        let thr_violated, lat_violated, marginal =
+          classify ~offered ~delivered
+            ~p99_latency:r.Lemur_dataplane.Sim.p99_latency
+            ~batches_delivered:r.Lemur_dataplane.Sim.batches_delivered ~t_min
+            ~d_max
         in
         {
           co_id = r.Lemur_dataplane.Sim.chain_id;
@@ -54,7 +68,7 @@ let observe ~seed ~sample ~demand ~start ~len (d : Lemur.Deployment.t) =
           co_d_max = d_max;
           co_throughput_violated = thr_violated;
           co_latency_violated = lat_violated;
-          co_marginal = Float.max 0.0 (delivered -. t_min);
+          co_marginal = marginal;
         })
       result.Lemur_dataplane.Sim.chains
   in

@@ -10,7 +10,10 @@
     - {e throughput}: delivered rate below [min (offered, t_min)] (the
       floor only binds up to what was actually offered), with the same
       2% tolerance as {!Lemur.Deployment.slo_report};
-    - {e latency}: measured p99 above [d_max].
+    - {e latency}: measured p99 above [d_max]; a chain with a finite
+      [d_max] that was offered traffic but delivered {e no} batches is
+      latency-violated too (unbounded queueing delay), not vacuously
+      compliant.
 
     One sample window stands in for the whole epoch: violation-seconds
     and marginal-throughput integrals scale the sampled verdict by the
@@ -25,7 +28,9 @@ type chain_obs = {
   co_d_max : float;
   co_throughput_violated : bool;
   co_latency_violated : bool;
-  co_marginal : float;  (** bit/s delivered above [t_min], >= 0 *)
+  co_marginal : float;
+      (** bit/s delivered above [min (offered, t_min)] — the same
+          offered-capped target the violation verdict uses — [>= 0] *)
 }
 
 type epoch = {
@@ -36,6 +41,19 @@ type epoch = {
 
 val tolerance : float
 (** 0.98 — matches {!Lemur.Deployment.slo_report}. *)
+
+val classify :
+  offered:float ->
+  delivered:float ->
+  p99_latency:float ->
+  batches_delivered:int ->
+  t_min:float ->
+  d_max:float ->
+  bool * bool * float
+(** Pure verdict behind {!observe}:
+    [(throughput_violated, latency_violated, marginal)] for one chain's
+    measured epoch. Exposed so verdict edge cases (starved chains,
+    offered-capped targets) are unit-testable without a simulator run. *)
 
 val observe :
   seed:int ->

@@ -9,6 +9,9 @@ type journal_entry =
       reason : string;
       chains : int;
       predicted_rate : float;
+      moves : int;
+      capped : bool;
+      exempt : bool;
     }
   | Deferred of { at : float; trigger : string }
   | Infeasible of { at : float; reason : string }
@@ -35,6 +38,9 @@ type t = {
   chains : chain_compliance list;
   total_violation_s : float;
   total_marginal_bits : float;
+  moves_total : int;
+  moves_capped : int;
+  forecast_mae : (string * float) list;
   decision_latency_s : float list;
   journal : journal_entry list;
   stop : stop;
@@ -51,10 +57,13 @@ let entry_json = function
       Json.Obj [ ("e", Json.String "violation"); ("at", Json.Float at);
                  ("chain", Json.String chain); ("kind", Json.String kind);
                  ("seconds", Json.Float seconds) ]
-  | Reconfigured { at; reason; chains; predicted_rate } ->
+  | Reconfigured { at; reason; chains; predicted_rate; moves; capped; exempt }
+    ->
       Json.Obj [ ("e", Json.String "reconfigured"); ("at", Json.Float at);
                  ("reason", Json.String reason); ("chains", Json.Int chains);
-                 ("predicted_rate", Json.Float predicted_rate) ]
+                 ("predicted_rate", Json.Float predicted_rate);
+                 ("moves", Json.Int moves); ("capped", Json.Bool capped);
+                 ("exempt", Json.Bool exempt) ]
   | Deferred { at; trigger } ->
       Json.Obj [ ("e", Json.String "deferred"); ("at", Json.Float at);
                  ("trigger", Json.String trigger) ]
@@ -81,7 +90,7 @@ let stop_json = function
 let json_core ?(latencies = true) t =
   let base =
     [
-      ("schema", Json.String "lemur.runtime/1");
+      ("schema", Json.String "lemur.runtime/2");
       ("policy", Json.String t.policy);
       ("seed", Json.Int t.seed);
       ("horizon_s", Json.Float t.horizon);
@@ -95,6 +104,11 @@ let json_core ?(latencies = true) t =
       ("chains", Json.List (List.map chain_json t.chains));
       ("total_violation_s", Json.Float t.total_violation_s);
       ("total_marginal_bits", Json.Float t.total_marginal_bits);
+      ("moves_total", Json.Int t.moves_total);
+      ("moves_capped", Json.Int t.moves_capped);
+      ( "forecast_mae",
+        Json.Obj (List.map (fun (id, e) -> (id, Json.Float e)) t.forecast_mae)
+      );
       ("stop", stop_json t.stop);
       ("journal", Json.List (List.map entry_json t.journal));
     ]
@@ -123,10 +137,11 @@ let summary t =
   in
   Printf.sprintf
     "policy %s: %d events applied (%d rejected) over %.3fs in %d epochs; %d \
-     reconfigurations; %.4f chain-seconds of SLO violation; %.3e marginal \
-     bits; %s"
+     reconfigurations moving %d chains (%d capped); %.4f chain-seconds of \
+     SLO violation; %.3e marginal bits; %s"
     t.policy t.events_applied t.events_rejected t.horizon t.epochs t.reconfigs
-    t.total_violation_s t.total_marginal_bits stop
+    t.moves_total t.moves_capped t.total_violation_s t.total_marginal_bits
+    stop
 
 let pp_entry ppf = function
   | Applied { at; what } -> Format.fprintf ppf "%8.3f  apply   %s" at what
@@ -134,9 +149,14 @@ let pp_entry ppf = function
       Format.fprintf ppf "%8.3f  reject  %s (%s)" at what reason
   | Violation { at; chain; kind; seconds } ->
       Format.fprintf ppf "%8.3f  violate %s %s (%.4fs)" at chain kind seconds
-  | Reconfigured { at; reason; chains; predicted_rate } ->
-      Format.fprintf ppf "%8.3f  replace %d chains on %s, predicted %a" at
-        chains reason Lemur_util.Units.pp_rate predicted_rate
+  | Reconfigured { at; reason; chains; predicted_rate; moves; capped; exempt }
+    ->
+      Format.fprintf ppf "%8.3f  replace %d chains on %s, %d moved%s%s, \
+                          predicted %a"
+        at chains reason moves
+        (if capped then " (capped)" else "")
+        (if exempt then " (exempt)" else "")
+        Lemur_util.Units.pp_rate predicted_rate
   | Deferred { at; trigger } ->
       Format.fprintf ppf "%8.3f  defer   %s" at trigger
   | Infeasible { at; reason } ->

@@ -19,6 +19,16 @@ type journal_entry =
       reason : string;
       chains : int;
       predicted_rate : float;  (** bit/s aggregate of the new placement *)
+      moves : int;
+          (** chains present before and after whose placement (locations
+              or segment-to-server homes) changed — what the
+              orchestration layer must actually migrate *)
+      capped : bool;
+          (** the move budget forced a hybrid placement that re-homes
+              fewer chains than the unconstrained one wanted *)
+      exempt : bool;
+          (** mandatory trigger or window install: the budget does not
+              apply *)
     }
   | Deferred of { at : float; trigger : string }
       (** the policy declined to act on a deferrable trigger *)
@@ -53,6 +63,11 @@ type t = {
   chains : chain_compliance list;  (** sorted by chain id *)
   total_violation_s : float;  (** chain-seconds, throughput + latency *)
   total_marginal_bits : float;
+  moves_total : int;  (** Σ moves over non-exempt reconfigurations *)
+  moves_capped : int;  (** reconfigurations the move budget capped *)
+  forecast_mae : (string * float) list;
+      (** per chain, mean absolute one-step-ahead forecast error (bit/s)
+          — only populated under a [Proactive] policy; sorted by id *)
   decision_latency_s : float list;
       (** placer wall time per reconfiguration, oldest first — the only
           nondeterministic field; excluded from {!digest} *)
@@ -65,7 +80,7 @@ val digest : t -> string
     [decision_latency_s]. Equal traces and seeds give equal digests. *)
 
 val to_json : t -> Lemur_telemetry.Json.t
-(** Schema [lemur.runtime/1]; see [docs/RUNTIME.md]. *)
+(** Schema [lemur.runtime/2]; see [docs/RUNTIME.md]. *)
 
 val summary : t -> string
 (** One-paragraph human outcome (reconfigs, violation-seconds,

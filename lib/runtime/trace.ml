@@ -98,10 +98,8 @@ let dynamics_event = function
 (* ------------------------------------------------------------------ *)
 (* Text format *)
 
-let fl x =
-  (* Shortest exact decimal round-trip. *)
-  let s = Printf.sprintf "%.12g" x in
-  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+(* Shortest exact decimal round-trip. *)
+let fl = Lemur_util.Units.exact_string
 
 let failure_to_string = function
   | Lemur.Failover.Pisa_failed -> "pisa"
@@ -454,7 +452,37 @@ let gen_extra_pipelines = [| "Tunnel -> IPv4Fwd"; "ACL -> NAT"; "Encrypt" |]
    strings and the raw bit/s event fields both round-trip exactly. *)
 let tenth_gbps prng lo hi = float_of_int (lo + Lemur_util.Prng.int prng (hi - lo + 1)) *. 1e8
 
-let generate ?(events = 60) ~seed () =
+(* Snap any computed rate to the same 0.1 Gbps lattice: [n *. 1e8] for
+   integer [n] is exactly representable, so the text form re-reads
+   bit-identically. *)
+let quantize_rate x = Float.max 1e8 (Float.round (x /. 1e8) *. 1e8)
+
+type kind = Churn | Diurnal | Flash_crowd | Failure_burst | Tenant_churn
+
+let all_kinds = [ Churn; Diurnal; Flash_crowd; Failure_burst; Tenant_churn ]
+
+let kind_to_string = function
+  | Churn -> "churn"
+  | Diurnal -> "diurnal"
+  | Flash_crowd -> "flash-crowd"
+  | Failure_burst -> "failure-burst"
+  | Tenant_churn -> "tenant-churn"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "churn" -> Ok Churn
+  | "diurnal" -> Ok Diurnal
+  | "flash-crowd" | "flash" -> Ok Flash_crowd
+  | "failure-burst" | "failures" -> Ok Failure_burst
+  | "tenant-churn" | "tenants" -> Ok Tenant_churn
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown trace kind %S (churn, diurnal, flash-crowd, \
+            failure-burst, tenant-churn)"
+           other)
+
+let gen_churn ~events ~seed =
   let prng = Lemur_util.Prng.create ~seed in
   let open Lemur_util in
   let topo =
@@ -566,3 +594,255 @@ let generate ?(events = 60) ~seed () =
     events = List.rev !evs;
     horizon = !t +. 0.02;
   }
+
+(* Shared scaffolding for the shaped generators: fixed-ish topologies,
+   [n] chains with declared floors, and an event accumulator whose
+   output is stably time-sorted (what {!parse} produces, so generated
+   traces are a fixed point of the text round-trip). *)
+
+let chain_decl id tmin pipeline =
+  Printf.sprintf "%s slo(tmin='%.1fGbps', tmax='100Gbps') = %s" id
+    (tmin /. 1e9) pipeline
+
+let finish ~seed ~topo ~chains ~windows ~horizon evs =
+  {
+    seed = Some seed;
+    topo;
+    chains;
+    windows;
+    events = List.stable_sort (fun a b -> Float.compare a.at b.at) (List.rev evs);
+    horizon;
+  }
+
+(* Diurnal: each chain's demand follows its own sinusoid (period, phase
+   and amplitude drawn once from the seed), sampled on a dense event
+   grid. Pure demand dynamics — no structural events — so the slow
+   coherent ramps isolate exactly what a trend-aware forecaster can
+   extrapolate and a reactive policy keeps chasing. *)
+let gen_diurnal ~events ~seed =
+  let prng = Lemur_util.Prng.create ~seed in
+  let open Lemur_util in
+  let topo = { default_topo with servers = 2; cores_per_socket = 8 } in
+  let n_chains = 2 + Prng.int prng 2 in
+  let chain_ids = List.init n_chains (fun i -> Printf.sprintf "c%d" i) in
+  let bases = List.map (fun _ -> tenth_gbps prng 4 9) chain_ids in
+  let tmins = List.map (fun b -> quantize_rate (b *. 0.5)) bases in
+  let chains =
+    List.map2
+      (fun id tmin -> chain_decl id tmin (Prng.choose prng gen_pipelines))
+      chain_ids tmins
+  in
+  let params =
+    List.map
+      (fun b ->
+        let period_s = float_of_int (60 + Prng.int prng 61) /. 1000.0 in
+        let phase = float_of_int (Prng.int prng 100) /. 100.0 *. 2.0 *. Float.pi in
+        let amp = 0.5 +. (float_of_int (Prng.int prng 4) /. 10.0) in
+        (b, period_s, phase, amp))
+      bases
+  in
+  let chain_arr = Array.of_list chain_ids in
+  let param_arr = Array.of_list params in
+  let t = ref 0.0 in
+  let evs = ref [] in
+  for step = 0 to events - 1 do
+    t := !t +. 0.002 +. (float_of_int (Prng.int prng 4) /. 1000.0);
+    let i = step mod n_chains in
+    let b, period_s, phase, amp = param_arr.(i) in
+    let tide = sin (((2.0 *. Float.pi) *. !t /. period_s) +. phase) in
+    evs :=
+      {
+        at = !t;
+        action =
+          Traffic
+            {
+              chain_id = chain_arr.(i);
+              rate = quantize_rate (b *. (1.0 +. (amp *. tide)));
+            };
+      }
+      :: !evs
+  done;
+  finish ~seed ~topo ~chains ~windows:[] ~horizon:(!t +. 0.02) !evs
+
+(* Flash crowd: quiet baselines punctuated by sudden multi-event spikes
+   on one chain — a steep ramp to several times the base rate, a short
+   hold, then decay. The onset ramp is steep but spans a few events, so
+   a forecaster that extrapolates slope can fire before the peak. *)
+let gen_flash_crowd ~events ~seed =
+  let prng = Lemur_util.Prng.create ~seed in
+  let open Lemur_util in
+  let topo = { default_topo with servers = 2; cores_per_socket = 8 } in
+  let n_chains = 2 + Prng.int prng 2 in
+  let chain_ids = List.init n_chains (fun i -> Printf.sprintf "c%d" i) in
+  let bases = List.map (fun _ -> tenth_gbps prng 2 5 ) chain_ids in
+  let tmins = List.map (fun b -> quantize_rate (b *. 0.5)) bases in
+  let chains =
+    List.map2
+      (fun id tmin -> chain_decl id tmin (Prng.choose prng gen_pipelines))
+      chain_ids tmins
+  in
+  let chain_arr = Array.of_list chain_ids in
+  let base_arr = Array.of_list bases in
+  let profile = [ 2.0; 4.0; 7.0; 8.0; 8.0; 6.0; 3.0; 1.0 ] in
+  let spike = ref None in
+  let t = ref 0.0 in
+  let evs = ref [] in
+  let emit chain_id rate =
+    evs := { at = !t; action = Traffic { chain_id; rate } } :: !evs
+  in
+  for _ = 0 to events - 1 do
+    t := !t +. 0.003 +. (float_of_int (Prng.int prng 5) /. 1000.0);
+    match !spike with
+    | Some (i, m :: rest) ->
+        emit chain_arr.(i) (quantize_rate (base_arr.(i) *. m));
+        spike := (if rest = [] then None else Some (i, rest))
+    | Some (_, []) | None ->
+        if Prng.int prng 100 < 12 then begin
+          let i = Prng.int prng n_chains in
+          emit chain_arr.(i)
+            (quantize_rate (base_arr.(i) *. List.hd profile));
+          spike := Some (i, List.tl profile)
+        end
+        else begin
+          let i = Prng.int prng n_chains in
+          let jitter = float_of_int (Prng.int prng 5 - 2) *. 1e8 in
+          emit chain_arr.(i) (quantize_rate (base_arr.(i) +. jitter))
+        end
+  done;
+  finish ~seed ~topo ~chains ~windows:[] ~horizon:(!t +. 0.02) !evs
+
+(* Failure burst: a redundant rack (three servers, SmartNIC, OF switch)
+   where failures arrive correlated — two or three elements go down
+   within ~2 ms, then each recovers 20–40 ms later. Floors are modest so
+   the degraded rack usually still places. *)
+let gen_failure_burst ~events ~seed =
+  let prng = Lemur_util.Prng.create ~seed in
+  let open Lemur_util in
+  let topo =
+    {
+      default_topo with
+      servers = 3;
+      cores_per_socket = 8;
+      smartnic = true;
+      ofswitch = true;
+    }
+  in
+  let n_chains = 2 + Prng.int prng 2 in
+  let chain_ids = List.init n_chains (fun i -> Printf.sprintf "c%d" i) in
+  let tmins = List.map (fun _ -> tenth_gbps prng 2 5) chain_ids in
+  let chains =
+    List.map2
+      (fun id tmin -> chain_decl id tmin (Prng.choose prng gen_pipelines))
+      chain_ids tmins
+  in
+  let failable =
+    [
+      Lemur.Failover.Smartnic_failed;
+      Lemur.Failover.Ofswitch_failed;
+      Lemur.Failover.Server_failed "server1";
+      Lemur.Failover.Server_failed "server2";
+    ]
+  in
+  let chain_arr = Array.of_list chain_ids in
+  (* (element, recovery time): down until the trace clock passes it *)
+  let down = ref [] in
+  let t = ref 0.0 in
+  let evs = ref [] in
+  let last_t = ref 0.0 in
+  for _ = 0 to events - 1 do
+    t := !t +. 0.004 +. (float_of_int (Prng.int prng 9) /. 1000.0);
+    down := List.filter (fun (_, r) -> r >= !t) !down;
+    let candidates =
+      List.filter (fun f -> not (List.mem_assoc f !down)) failable
+    in
+    if Prng.int prng 100 < 10 && List.length candidates >= 2 then begin
+      let k = min (2 + Prng.int prng 2) (List.length candidates) in
+      let chosen = ref [] in
+      let pool = ref candidates in
+      for _ = 1 to k do
+        let f = Prng.choose prng (Array.of_list !pool) in
+        pool := List.filter (fun g -> g <> f) !pool;
+        chosen := f :: !chosen
+      done;
+      List.iteri
+        (fun j f ->
+          let fail_at = !t +. (float_of_int j *. 0.001) in
+          let recover_at =
+            fail_at +. 0.020 +. (float_of_int (Prng.int prng 21) /. 1000.0)
+          in
+          down := (f, recover_at) :: !down;
+          evs := { at = fail_at; action = Fail f } :: !evs;
+          evs := { at = recover_at; action = Recover f } :: !evs;
+          last_t := Float.max !last_t recover_at)
+        (List.rev !chosen)
+    end
+    else begin
+      let i = Prng.int prng n_chains in
+      evs :=
+        {
+          at = !t;
+          action =
+            Traffic { chain_id = chain_arr.(i); rate = tenth_gbps prng 1 15 };
+        }
+        :: !evs
+    end;
+    last_t := Float.max !last_t !t
+  done;
+  finish ~seed ~topo ~chains ~windows:[] ~horizon:(!last_t +. 0.02) !evs
+
+(* Multi-tenant churn: tenants arrive and depart constantly — the
+   add/remove-heavy mix that exercises mandatory reconfigurations and
+   gives a move budget extra pressure from re-homing survivors. *)
+let gen_tenant_churn ~events ~seed =
+  let prng = Lemur_util.Prng.create ~seed in
+  let open Lemur_util in
+  let topo =
+    { default_topo with servers = 2 + Prng.int prng 2; cores_per_socket = 8 }
+  in
+  let n_chains = 2 in
+  let chain_ids = List.init n_chains (fun i -> Printf.sprintf "c%d" i) in
+  let tmins = List.map (fun _ -> tenth_gbps prng 2 6) chain_ids in
+  let chains =
+    List.map2
+      (fun id tmin -> chain_decl id tmin (Prng.choose prng gen_pipelines))
+      chain_ids tmins
+  in
+  let extras = ref [] in
+  let next_extra = ref 0 in
+  let t = ref 0.0 in
+  let evs = ref [] in
+  let emit action = evs := { at = !t; action } :: !evs in
+  for _ = 0 to events - 1 do
+    t := !t +. 0.003 +. (float_of_int (Prng.int prng 7) /. 1000.0);
+    let roll = Prng.int prng 100 in
+    if roll < 22 && List.length !extras < 4 then begin
+      let id = Printf.sprintf "x%d" !next_extra in
+      incr next_extra;
+      extras := !extras @ [ id ];
+      emit
+        (Add_chain
+           {
+             decl = chain_decl id 2e8 (Prng.choose prng gen_extra_pipelines);
+           })
+    end
+    else if roll < 40 && !extras <> [] then begin
+      let id = Prng.choose prng (Array.of_list !extras) in
+      extras := List.filter (fun i -> i <> id) !extras;
+      emit (Remove_chain id)
+    end
+    else begin
+      let live = Array.of_list (chain_ids @ !extras) in
+      emit
+        (Traffic
+           { chain_id = Prng.choose prng live; rate = tenth_gbps prng 1 20 })
+    end
+  done;
+  finish ~seed ~topo ~chains ~windows:[] ~horizon:(!t +. 0.02) !evs
+
+let generate ?(events = 60) ?(kind = Churn) ~seed () =
+  match kind with
+  | Churn -> gen_churn ~events ~seed
+  | Diurnal -> gen_diurnal ~events ~seed
+  | Flash_crowd -> gen_flash_crowd ~events ~seed
+  | Failure_burst -> gen_failure_burst ~events ~seed
+  | Tenant_churn -> gen_tenant_churn ~events ~seed

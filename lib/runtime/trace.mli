@@ -85,11 +85,40 @@ val to_string : t -> string
 (** Render to the text format. [parse (to_string t)] re-reads an equal
     trace (floats are printed round-trip exactly). *)
 
-val generate : ?events:int -> seed:int -> unit -> t
-(** A random but deterministic trace: a feasible-leaning topology and
-    chain set, two SLO windows, and [events] (default 60) drawn from a
-    churn mix — mostly traffic ramps, with SLO changes, chain
-    add/remove, failure/recovery pairs and window switches. *)
+(** Generator families — each a different demand/availability shape,
+    equally deterministic per seed. *)
+type kind =
+  | Churn
+      (** the original mixed bag: traffic ramps, SLO changes, chain
+          add/remove, failure/recovery pairs, window switches *)
+  | Diurnal
+      (** per-chain sinusoidal demand (seeded period/phase/amplitude) on
+          a dense grid — slow coherent ramps a trend-aware forecaster
+          can extrapolate; purely traffic events, no structural churn *)
+  | Flash_crowd
+      (** quiet baselines with sudden spikes to several times the base
+          rate: a steep few-event onset ramp, a hold, a decay *)
+  | Failure_burst
+      (** a redundant rack where 2–3 elements fail within ~2 ms of each
+          other and recover 20–40 ms later *)
+  | Tenant_churn
+      (** tenants arrive and depart constantly — add/remove-heavy *)
+
+val all_kinds : kind list
+(** In declaration order. *)
+
+val kind_to_string : kind -> string
+(** [churn], [diurnal], [flash-crowd], [failure-burst],
+    [tenant-churn]. *)
+
+val kind_of_string : string -> (kind, string) result
+
+val generate : ?events:int -> ?kind:kind -> seed:int -> unit -> t
+(** A random but deterministic trace of the given [kind] (default
+    [Churn]) with [events] (default 60) events: equal [(kind, events,
+    seed)] yield equal traces, and every generated trace is a fixed
+    point of the text round-trip ([parse (to_string t)] = [t], floats
+    bit-exact). *)
 
 val pp : Format.formatter -> t -> unit
 val pp_action : Format.formatter -> action -> unit

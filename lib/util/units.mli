@@ -39,5 +39,11 @@ val pps_of_bps : pkt_bytes:int -> float -> float
 val bps_of_pps : pkt_bytes:int -> float -> float
 (** Convert packets/s to a bit rate for a given packet size. *)
 
+val exact_string : float -> string
+(** Shortest decimal string that re-reads ([float_of_string]) to exactly
+    the same float — ["%.12g"] when that round-trips, ["%.17g"]
+    otherwise. The printer behind every text format that must re-parse
+    bit-identically (traces, policy strings). *)
+
 val pp_rate : Format.formatter -> float -> unit
 (** Human-readable rate, e.g. ["12.34 Gbps"]. *)

@@ -1,10 +1,12 @@
 (* Tests for the online control loop (lib/runtime): trace round-trips,
-   policy parsing, and the engine's determinism / policy / oracle
-   contracts. *)
+   policy parsing, forecasting, the move budget, and the engine's
+   determinism / policy / oracle contracts. *)
 module Trace = Lemur_runtime.Trace
 module Policy = Lemur_runtime.Policy
 module Engine = Lemur_runtime.Engine
 module Report = Lemur_runtime.Report
+module Forecast = Lemur_runtime.Forecast
+module Monitor = Lemur_runtime.Monitor
 
 let contains ~needle hay =
   let nh = String.length needle and lh = String.length hay in
@@ -77,6 +79,303 @@ let test_policy_parse () =
   match Policy.parse "bogus" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bogus policy must not parse"
+
+let test_policy_parse_strict () =
+  (* A trailing or doubled ':' is an empty component: rejected with the
+     1-based column of the offending position, never silently
+     defaulted. *)
+  List.iter
+    (fun (s, col) ->
+      match Policy.parse s with
+      | Ok p ->
+          Alcotest.failf "%S must not parse (got %s)" s (Policy.to_string p)
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error names column %d" s col)
+            true
+            (contains ~needle:(Printf.sprintf "column %d" col) e))
+    [
+      ("debounced:10:", 14);
+      ("debounced::20", 11);
+      (":immediate", 1);
+      ("proactive:20:", 14);
+      ("proactive:20:holt:0.5:", 23);
+    ];
+  (* the proactive parameterised forms *)
+  (match Policy.parse "proactive:40:ewma:0.25" with
+  | Ok (Policy.Proactive { horizon_s; model = Forecast.Ewma { alpha }; _ }) ->
+      Alcotest.(check (float 1e-12)) "horizon" 0.040 horizon_s;
+      Alcotest.(check (float 0.0)) "alpha" 0.25 alpha
+  | Ok p -> Alcotest.failf "wrong shape: %s" (Policy.to_string p)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Policy.parse "proactive:20:holt:0.5:0.3:0.2" with
+  | Ok (Policy.Proactive { headroom; _ }) ->
+      Alcotest.(check (float 0.0)) "headroom" 0.2 headroom
+  | Ok p -> Alcotest.failf "wrong shape: %s" (Policy.to_string p)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_debounce_decay () =
+  (* The accumulator decays with a 0.2 s half-life: violation noted at
+     t=0 is nearly gone two seconds later, so a gap-heavy trace never
+     crosses the budget that the same violations packed densely would
+     cross immediately. *)
+  let policy = Policy.Debounced { budget_s = 0.03; cooldown_s = 0.0 } in
+  let dense = Policy.initial_state () in
+  Policy.note_violation dense ~now:0.0 0.05;
+  Alcotest.(check bool) "dense violations trip the budget" true
+    (Policy.decide policy dense ~now:0.005 Policy.Violations);
+  let stale = Policy.initial_state () in
+  Policy.note_violation stale ~now:0.0 0.05;
+  Alcotest.(check bool) "stale violations decayed away" false
+    (Policy.decide policy stale ~now:2.0 Policy.Violations);
+  (* the same 0.05 total spread over 10 s of gaps never accumulates *)
+  let sparse = Policy.initial_state () in
+  for i = 0 to 4 do
+    Policy.note_violation sparse ~now:(float_of_int i *. 2.0) 0.01
+  done;
+  Alcotest.(check bool) "gap-heavy trace stays under budget" false
+    (Policy.decide policy sparse ~now:8.005 Policy.Violations)
+
+let test_monitor_starved_chain () =
+  (* A chain that delivered no batches at all is the worst latency
+     case, not a healthy one: with a finite d_max and offered traffic
+     it must be latency-violated even though no p99 sample exists. *)
+  let thr, lat, _ =
+    Monitor.classify ~offered:1e9 ~delivered:0.0 ~p99_latency:0.0
+      ~batches_delivered:0 ~t_min:2e9 ~d_max:0.001
+  in
+  Alcotest.(check bool) "starved chain is throughput-violated" true thr;
+  Alcotest.(check bool) "starved chain is latency-violated" true lat;
+  (* no latency SLO -> nothing to violate *)
+  let _, lat_free, _ =
+    Monitor.classify ~offered:1e9 ~delivered:0.0 ~p99_latency:0.0
+      ~batches_delivered:0 ~t_min:2e9 ~d_max:infinity
+  in
+  Alcotest.(check bool) "no d_max, no latency violation" false lat_free;
+  (* idle chain: no offered traffic means nothing was starved *)
+  let _, lat_idle, _ =
+    Monitor.classify ~offered:0.0 ~delivered:0.0 ~p99_latency:0.0
+      ~batches_delivered:0 ~t_min:2e9 ~d_max:0.001
+  in
+  Alcotest.(check bool) "idle chain not latency-violated" false lat_idle
+
+let test_monitor_marginal_capped () =
+  (* Marginal throughput is credited against min(offered, t_min): a
+     chain offered less than its floor is not in deficit for traffic
+     that never arrived, and delivery above the offered load counts as
+     margin. *)
+  let thr, _, marginal =
+    Monitor.classify ~offered:1e9 ~delivered:1.5e9 ~p99_latency:0.0
+      ~batches_delivered:10 ~t_min:2e9 ~d_max:infinity
+  in
+  Alcotest.(check bool) "not throughput-violated below offered floor" false
+    thr;
+  Alcotest.(check (float 1.0)) "marginal over the offered-capped target"
+    0.5e9 marginal;
+  let _, _, marginal_sat =
+    Monitor.classify ~offered:3e9 ~delivered:2.5e9 ~p99_latency:0.0
+      ~batches_delivered:10 ~t_min:2e9 ~d_max:infinity
+  in
+  Alcotest.(check (float 1.0)) "t_min caps the target when offered exceeds"
+    0.5e9 marginal_sat
+
+let test_forecast_models () =
+  (* EWMA converges to a constant signal and forecasts flat. *)
+  let ewma = Forecast.create (Forecast.Ewma { alpha = 0.5 }) in
+  for i = 0 to 19 do
+    Forecast.observe ewma ~at:(float_of_int i *. 0.01) 5e9
+  done;
+  Alcotest.(check bool) "ewma converges to the level" true
+    (Float.abs (Forecast.predict ewma ~horizon_s:0.05 -. 5e9) < 1e6);
+  (* Holt-Winters extrapolates a ramp beyond the last sample. *)
+  let holt = Forecast.create (Forecast.Holt_winters { alpha = 0.5; beta = 0.3 }) in
+  for i = 0 to 19 do
+    (* 1 Gbps per 10 ms = 100 Gbps/s slope *)
+    Forecast.observe holt ~at:(float_of_int i *. 0.01)
+      (1e9 +. (float_of_int i *. 1e9))
+  done;
+  let last = 20e9 in
+  Alcotest.(check bool) "holt extrapolates above the last sample" true
+    (Forecast.predict holt ~horizon_s:0.02 > last);
+  (* the flat model lags the same ramp *)
+  let ewma_ramp = Forecast.create (Forecast.Ewma { alpha = 0.5 }) in
+  for i = 0 to 19 do
+    Forecast.observe ewma_ramp ~at:(float_of_int i *. 0.01)
+      (1e9 +. (float_of_int i *. 1e9))
+  done;
+  Alcotest.(check bool) "trend model beats flat model on a ramp" true
+    (Forecast.mean_abs_error holt < Forecast.mean_abs_error ewma_ramp);
+  (* predictions never go negative *)
+  let falling = Forecast.create (Forecast.Holt_winters { alpha = 1.0; beta = 1.0 }) in
+  Forecast.observe falling ~at:0.0 2e9;
+  Forecast.observe falling ~at:0.01 1e8;
+  Alcotest.(check bool) "clamped nonnegative" true
+    (Forecast.predict falling ~horizon_s:1.0 >= 0.0)
+
+let test_generator_kinds () =
+  (* Every generator family is deterministic per seed and a fixed point
+     of the text round-trip, floats bit-exact. *)
+  List.iter
+    (fun kind ->
+      let name = Trace.kind_to_string kind in
+      let a = Trace.generate ~events:25 ~kind ~seed:9 () in
+      let b = Trace.generate ~events:25 ~kind ~seed:9 () in
+      Alcotest.(check string)
+        (name ^ ": same seed, same trace")
+        (Trace.to_string a) (Trace.to_string b);
+      let text = Trace.to_string a in
+      (match Trace.parse text with
+      | Error e ->
+          Alcotest.failf "%s: re-parse failed: %s" name
+            (Trace.parse_error_to_string e)
+      | Ok a' ->
+          Alcotest.(check string)
+            (name ^ ": print/parse/print fixpoint")
+            text (Trace.to_string a');
+          List.iter2
+            (fun (e : Trace.event) (e' : Trace.event) ->
+              Alcotest.(check bool)
+                (name ^ ": event round-trips bit-exactly")
+                true
+                (Float.equal e.Trace.at e'.Trace.at
+                && e.Trace.action = e'.Trace.action))
+            a.Trace.events a'.Trace.events);
+      (match Trace.kind_of_string name with
+      | Ok k -> Alcotest.(check bool) (name ^ " name round-trip") true (k = kind)
+      | Error e -> Alcotest.failf "kind_of_string %s: %s" name e))
+    Trace.all_kinds
+
+let test_shrink_terminates () =
+  (* shrink_events must terminate on every generator family and return
+     the greedy fixpoint of its predicate. *)
+  List.iter
+    (fun kind ->
+      let trace = Trace.generate ~events:20 ~kind ~seed:4 () in
+      let fails t = List.length t.Trace.events >= 5 in
+      let shrunk = Lemur_check.Runtime_check.shrink_events ~fails trace in
+      Alcotest.(check int)
+        (Trace.kind_to_string kind ^ ": shrunk to the minimal failing size")
+        5
+        (List.length shrunk.Trace.events);
+      Alcotest.(check bool) "still fails" true (fails shrunk))
+    Trace.all_kinds
+
+let test_proactive_engine () =
+  (* On a flash-crowd trace the forecast alarm fires: the proactive
+     policy reconfigures on predicted breaches (journaled as
+     "forecast"), far less often than immediate, and reports per-chain
+     forecast error. *)
+  let trace = Trace.generate ~events:50 ~kind:Trace.Flash_crowd ~seed:2 () in
+  let pro, _ = run_ok ~policy:Policy.default_proactive trace in
+  let imm, _ = run_ok ~policy:Policy.Immediate trace in
+  Alcotest.(check bool) "forecast trigger fired" true
+    (List.exists
+       (function
+         | Report.Reconfigured { reason; _ } -> contains ~needle:"forecast" reason
+         | _ -> false)
+       pro.Report.journal);
+  Alcotest.(check bool) "at most half of immediate's reconfigs" true
+    (2 * pro.Report.reconfigs <= imm.Report.reconfigs);
+  Alcotest.(check bool) "forecast error reported per chain" true
+    (pro.Report.forecast_mae <> []
+    && List.for_all (fun (_, mae) -> mae >= 0.0) pro.Report.forecast_mae);
+  (* deterministic under the forecasting path too *)
+  let pro2, _ = run_ok ~policy:Policy.default_proactive trace in
+  Alcotest.(check string) "proactive digest stable" (Report.digest pro)
+    (Report.digest pro2)
+
+let test_move_budget () =
+  (* Under a budget of 0 every non-exempt reconfiguration must re-home
+     zero chains; the capped path actually fires on a failure-burst
+     trace (recoveries want to move chains back), and mandatory
+     reconfigurations stay exempt. *)
+  let trace = Trace.generate ~events:50 ~kind:Trace.Failure_burst ~seed:2 () in
+  let drive budget =
+    let cfg =
+      Engine.default_config ~policy:Policy.Immediate ~seed:11
+        ~check:Lemur_check.Runtime_check.checker ?move_budget:budget ()
+    in
+    match Engine.run cfg trace with
+    | Ok (report, _) -> report
+    | Error e -> Alcotest.failf "engine failed: %s" (Engine.error_to_string e)
+  in
+  let capped = drive (Some 0) in
+  Alcotest.(check bool) "capped path exercised" true
+    (capped.Report.moves_capped > 0);
+  Alcotest.(check int) "no non-exempt moves under budget 0" 0
+    capped.Report.moves_total;
+  List.iter
+    (function
+      | Report.Reconfigured { moves; exempt = false; _ } ->
+          Alcotest.(check int) "journal entry respects the budget" 0 moves
+      | _ -> ())
+    capped.Report.journal;
+  (* failures still re-home chains: the budget never blocks mandatory
+     reconfigurations *)
+  Alcotest.(check bool) "exempt reconfigurations still move chains" true
+    (List.exists
+       (function
+         | Report.Reconfigured { moves; exempt = true; _ } -> moves > 0
+         | _ -> false)
+       capped.Report.journal);
+  (* digest-deterministic *)
+  let capped2 = drive (Some 0) in
+  Alcotest.(check string) "budgeted digest stable" (Report.digest capped)
+    (Report.digest capped2);
+  (* an unbudgeted run on the same trace does move chains *)
+  let free = drive None in
+  Alcotest.(check bool) "unbudgeted run re-homes chains" true
+    (free.Report.moves_total > 0);
+  Alcotest.(check int) "nothing capped without a budget" 0
+    free.Report.moves_capped
+
+let qcheck_cases =
+  let open QCheck in
+  let duration_gen =
+    Gen.oneof
+      [
+        Gen.map (fun i -> float_of_int i /. 1000.0) (Gen.int_range 1 100_000);
+        Gen.map (fun i -> float_of_int i /. 7000.0) (Gen.int_range 1 100_000);
+        Gen.map (fun f -> Float.abs f +. 1e-6) Gen.pfloat;
+      ]
+  in
+  let weight_gen =
+    Gen.map (fun i -> float_of_int i /. 1_000_000.0) (Gen.int_range 1 1_000_000)
+  in
+  let headroom_gen =
+    Gen.map (fun i -> float_of_int i /. 300.0) (Gen.int_range 0 900)
+  in
+  let model_gen =
+    Gen.oneof
+      [
+        Gen.map (fun a -> Forecast.Ewma { alpha = a }) weight_gen;
+        Gen.map2
+          (fun a b -> Forecast.Holt_winters { alpha = a; beta = b })
+          weight_gen weight_gen;
+      ]
+  in
+  let policy_gen =
+    Gen.oneof
+      [
+        Gen.return Policy.Immediate;
+        Gen.return Policy.Scheduled;
+        Gen.map2
+          (fun b c -> Policy.Debounced { budget_s = b; cooldown_s = c })
+          duration_gen duration_gen;
+        Gen.map3
+          (fun h m hd ->
+            Policy.Proactive { horizon_s = h; model = m; headroom = hd })
+          duration_gen model_gen headroom_gen;
+      ]
+  in
+  let policy_arb = make ~print:Policy.to_string policy_gen in
+  [
+    Test.make ~name:"policy parse inverts to_string" ~count:500 policy_arb
+      (fun p ->
+        match Policy.parse (Policy.to_string p) with
+        | Ok p' -> p = p'
+        | Error _ -> false);
+  ]
 
 let test_trace_roundtrip () =
   let t = Trace.generate ~events:20 ~seed:5 () in
@@ -272,4 +571,21 @@ let suite =
     Alcotest.test_case "incremental matches from-scratch" `Quick
       test_incremental_digest_parity;
     Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
+    Alcotest.test_case "policy parse rejects empty components" `Quick
+      test_policy_parse_strict;
+    Alcotest.test_case "debounce accumulator decays" `Quick
+      test_debounce_decay;
+    Alcotest.test_case "starved chain is latency-violated" `Quick
+      test_monitor_starved_chain;
+    Alcotest.test_case "marginal capped at offered" `Quick
+      test_monitor_marginal_capped;
+    Alcotest.test_case "forecast models" `Quick test_forecast_models;
+    Alcotest.test_case "generator kinds round-trip" `Quick
+      test_generator_kinds;
+    Alcotest.test_case "shrinking terminates on all kinds" `Quick
+      test_shrink_terminates;
+    Alcotest.test_case "proactive forecasting engine" `Quick
+      test_proactive_engine;
+    Alcotest.test_case "move budget caps re-homing" `Quick test_move_budget;
   ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases
